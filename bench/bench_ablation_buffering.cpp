@@ -1,0 +1,75 @@
+// Ablation: double buffering & staging depth (the paper's "double
+// buffering and memory coalesce technique at each level of the memory
+// hierarchy as scheduling options", Sec. III-C).  Uses the discrete-event
+// tile pipeline to show how buffer depth moves operator latency for the
+// paper's characteristic compute/memory balances.
+
+#include "bench/bench_util.h"
+#include "mem/memory.h"
+#include "sim/pipeline_sim.h"
+
+using namespace cimtpu;
+
+namespace {
+
+void BM_tile_pipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::simulate_tile_pipeline(10e-3, 8e-3, 256, state.range(0)));
+  }
+}
+BENCHMARK(BM_tile_pipeline)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Ablation: double buffering",
+                "tile-pipeline latency vs staging-buffer depth");
+
+  CsvWriter csv(bench::output_dir() + "/ablation_buffering.csv");
+  csv.write_header({"scenario", "buffer_depth", "total_s", "engine_idle_s"});
+
+  // Characteristic operator balances from the Fig. 6 workloads:
+  //   prefill FFN (compute-bound), decode linear (memory-bound),
+  //   balanced mid-size GEMM.
+  const struct {
+    const char* name;
+    Seconds compute;
+    Seconds memory;
+    int tiles;
+  } scenarios[] = {
+      {"prefill FFN (compute-bound)", 19.6e-3, 1.0e-3, 112},
+      {"decode linear (memory-bound)", 0.30e-3, 1.0e-3, 38},
+      {"balanced GEMM", 4.0e-3, 4.0e-3, 64},
+  };
+
+  for (const auto& scenario : scenarios) {
+    AsciiTable table(scenario.name);
+    table.set_header({"buffer depth", "latency", "vs depth 2",
+                      "engine idle", "analytic model"});
+    const Seconds analytic = mem::overlap_double_buffered(
+        scenario.compute, scenario.memory, scenario.tiles);
+    const Seconds reference =
+        sim::simulate_tile_pipeline(scenario.compute, scenario.memory,
+                                    scenario.tiles, 2)
+            .total;
+    for (int depth : {1, 2, 3, 4}) {
+      const auto result = sim::simulate_tile_pipeline(
+          scenario.compute, scenario.memory, scenario.tiles, depth);
+      table.add_row({cell_i(depth), format_time(result.total),
+                     format_percent_delta(result.total / reference - 1.0),
+                     format_time(result.compute_idle),
+                     depth == 2 ? format_time(analytic) : std::string("-")});
+      csv.write_row({scenario.name, cell_i(depth), cell_f(result.total, 9),
+                     cell_f(result.compute_idle, 9)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "  depth 1 (no double buffering) serializes load and compute —\n"
+      "  up to 2x slower on balanced ops; depth > 2 buys nothing, matching\n"
+      "  the paper's choice of plain double buffering.\n");
+
+  return bench::run_microbenchmarks(argc, argv);
+}

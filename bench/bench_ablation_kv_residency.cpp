@@ -1,0 +1,80 @@
+// Ablation: KV-cache residency.  The two-level on-chip hierarchy the
+// paper's model keeps (CMEM + VMEM) lets the KV cache stream from CMEM
+// when one operand fits; forcing it to HBM shows how much the hierarchy
+// contributes, and sweeping batch shows the spill point where the KV cache
+// outgrows CMEM.
+
+#include "arch/chip.h"
+#include "arch/tpu_config.h"
+#include "bench/bench_util.h"
+#include "sim/workload_runner.h"
+
+using namespace cimtpu;
+
+namespace {
+
+void BM_kv_residency_decode(benchmark::State& state) {
+  arch::TpuChip chip(arch::cim_tpu_default());
+  sim::Simulator simulator(chip);
+  const auto gpt3 = models::gpt3_30b();
+  const ir::Residency residency =
+      state.range(0) ? ir::Residency::kCmem : ir::Residency::kHbm;
+  const auto graph = models::build_decode_layer(gpt3, 8, 1280, residency);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.run(graph));
+  }
+}
+BENCHMARK(BM_kv_residency_decode)->Arg(0)->Arg(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Ablation: KV-cache residency",
+                "CMEM-resident vs HBM-streamed attention operands");
+
+  arch::TpuChip base_chip(arch::tpu_v4i_baseline());
+  arch::TpuChip cim_chip(arch::cim_tpu_default());
+  sim::Simulator base_sim(base_chip);
+  sim::Simulator cim_sim(cim_chip);
+  const auto gpt3 = models::gpt3_30b();
+
+  AsciiTable forced("Decode layer, KV forced to each level (batch 8, kv 1280)");
+  forced.set_header({"chip", "KV in CMEM", "KV in HBM", "penalty"});
+  CsvWriter csv(bench::output_dir() + "/ablation_kv_residency.csv");
+  csv.write_header({"chip", "batch", "kv_residency", "decode_latency_s"});
+  for (auto* entry : {&base_sim, &cim_sim}) {
+    const auto cmem = entry->run(
+        models::build_decode_layer(gpt3, 8, 1280, ir::Residency::kCmem));
+    const auto hbm = entry->run(
+        models::build_decode_layer(gpt3, 8, 1280, ir::Residency::kHbm));
+    forced.add_row({entry->chip().config().name, format_time(cmem.latency),
+                    format_time(hbm.latency),
+                    format_percent_delta(hbm.latency / cmem.latency - 1.0)});
+    csv.write_row({entry->chip().config().name, "8", "cmem",
+                   cell_f(cmem.latency, 9)});
+    csv.write_row({entry->chip().config().name, "8", "hbm",
+                   cell_f(hbm.latency, 9)});
+  }
+  forced.print();
+
+  // Batch sweep: the automatic residency chooser spills K/V to HBM once one
+  // operand no longer fits beside the reserved CMEM slice.
+  AsciiTable sweep("Batch sweep with automatic residency (CIM-based TPU)");
+  sweep.set_header({"batch", "KV operand", "chosen residency",
+                    "decode latency", "ms/token/layer"});
+  for (std::int64_t batch : {1, 4, 8, 16, 32, 64}) {
+    const ir::Residency residency =
+        sim::kv_residency_for(cim_chip, gpt3, batch, 1280);
+    const auto result =
+        sim::run_decode_layer(cim_sim, gpt3, batch, 1280);
+    const Bytes operand = static_cast<double>(batch) * 1280 * gpt3.d_model;
+    sweep.add_row({cell_i(batch), format_bytes(operand),
+                   ir::residency_name(residency), format_time(result.latency),
+                   cell_f(result.latency / ms, 3)});
+    csv.write_row({"cim-tpu-auto", cell_i(batch),
+                   ir::residency_name(residency), cell_f(result.latency, 9)});
+  }
+  sweep.print();
+
+  return bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,95 @@
+// Reproduces Fig. 2(d): inference-latency breakdown of generative models —
+// token embedding / Transformer layers / prediction head for Llama2-13B,
+// and pre-process / DiT blocks / post-process for DiT-XL/2.
+//
+// The paper measured these on A100 GPUs to motivate the work (Transformer
+// layers dominate: 98.35% and 99.31%); we reproduce the breakdown by
+// simulation on the baseline TPU model.  The paper's measured milliseconds
+// are embedded for side-by-side comparison.
+
+#include "arch/chip.h"
+#include "arch/tpu_config.h"
+#include "bench/bench_util.h"
+#include "sim/workload_runner.h"
+
+using namespace cimtpu;
+
+namespace {
+
+void print_breakdown(const char* model, const sim::BreakdownResult& result,
+                     const char* paper_rows[3][3], CsvWriter& csv) {
+  AsciiTable table(std::string("Fig. 2(d) — ") + model);
+  table.set_header({"Layer Name", "Latency (ours)", "Breakdown (ours)",
+                    "Latency (paper, A100)", "Breakdown (paper)"});
+  const Seconds total = result.total();
+  const Seconds parts[3] = {result.pre.latency, result.core.latency,
+                            result.post.latency};
+  for (int i = 0; i < 3; ++i) {
+    table.add_row({paper_rows[i][0], format_time(parts[i]),
+                   cell_f(100.0 * parts[i] / total, 2) + "%",
+                   paper_rows[i][1], paper_rows[i][2]});
+    csv.write_row({model, paper_rows[i][0], cell_f(parts[i], 9),
+                   cell_f(100.0 * parts[i] / total, 4)});
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+
+namespace {
+void BM_dit_breakdown(benchmark::State& state) {
+  arch::TpuChip chip(arch::tpu_v4i_baseline());
+  sim::Simulator simulator(chip);
+  sim::DitScenario dit;
+  dit.model = models::dit_xl_2();
+  dit.geometry = models::dit_geometry_512();
+  dit.batch = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_dit_breakdown(simulator, dit));
+  }
+}
+BENCHMARK(BM_dit_breakdown);
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Fig. 2(d)",
+                "runtime breakdown of Llama2-13B and DiT-XL/2 inference");
+
+  arch::TpuChip chip(arch::tpu_v4i_baseline());
+  sim::Simulator simulator(chip);
+  CsvWriter csv(bench::output_dir() + "/fig2_breakdown.csv");
+  csv.write_header({"model", "component", "latency_s", "percent"});
+
+  // Llama2-13B with an Alpaca-like serving shape (short instruction prompt,
+  // moderate completion), batch 1 as in the paper's measurement.
+  sim::LlmScenario llama;
+  llama.model = models::llama2_13b();
+  llama.batch = 1;
+  llama.input_len = 128;
+  llama.output_len = 256;
+  const sim::BreakdownResult llama_result =
+      sim::run_llm_breakdown(simulator, llama);
+  const char* llama_rows[3][3] = {
+      {"Token Embedding", "0.41 ms", "0.70%"},
+      {"Transformer Layers", "57.91 ms", "98.35%"},
+      {"Prediction Head", "0.56 ms", "0.95%"},
+  };
+  print_breakdown("Llama2-13B", llama_result, llama_rows, csv);
+
+  sim::DitScenario dit;
+  dit.model = models::dit_xl_2();
+  dit.geometry = models::dit_geometry_512();
+  dit.batch = 1;
+  const sim::BreakdownResult dit_result =
+      sim::run_dit_breakdown(simulator, dit);
+  const char* dit_rows[3][3] = {
+      {"Pre-Process", "1.18 ms", "0.35%"},
+      {"DiT Blocks", "338.10 ms", "99.31%"},
+      {"Post-Process", "1.15 ms", "0.34%"},
+  };
+  print_breakdown("DiT-XL/2", dit_result, dit_rows, csv);
+
+  return bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,113 @@
+// Reproduces Fig. 6: per-layer latency and normalized MXU energy of
+// generative-model inference on the baseline TPUv4i vs the CIM-based TPU.
+//
+// Three panels:
+//   * GPT3-30B Prefilling  (batch 8, 1024-token prompt)     — paper: +2.43% latency, 9.21x energy
+//   * GPT3-30B Decoding    (batch 8, 256th output token)    — paper: -29.9% latency, 13.4x energy
+//   * DiT-XL/2 block       (512x512, batch 8)               — paper: -6.67% latency, 10.4x energy
+
+#include <vector>
+
+#include "arch/chip.h"
+#include "arch/tpu_config.h"
+#include "bench/bench_util.h"
+#include "sim/workload_runner.h"
+
+using namespace cimtpu;
+
+namespace {
+
+struct Panel {
+  std::string name;
+  sim::GraphResult base;
+  sim::GraphResult cim;
+  std::string paper_latency;
+  std::string paper_energy;
+};
+
+void print_panel(const Panel& panel, CsvWriter& csv) {
+  AsciiTable table("Fig. 6 — " + panel.name + " (baseline vs CIM-based TPU)");
+  table.set_header({"Layer", "Base latency", "CIM latency", "Base norm.E",
+                    "CIM norm.E"});
+  // Normalized energy: each group's MXU energy relative to the baseline
+  // total (the paper's "Norm. Energy" axis).
+  const Joules norm = panel.base.mxu_energy();
+  for (const auto& [group, summary] : panel.base.groups) {
+    const auto it = panel.cim.groups.find(group);
+    const Joules cim_energy =
+        it != panel.cim.groups.end() ? it->second.mxu_energy : 0.0;
+    const Seconds cim_latency =
+        it != panel.cim.groups.end() ? it->second.latency : 0.0;
+    table.add_row({group, format_time(summary.latency),
+                   format_time(cim_latency),
+                   cell_f(summary.mxu_energy / norm, 4),
+                   cell_f(cim_energy / norm, 4)});
+    csv.write_row({panel.name, group, cell_f(summary.latency, 9),
+                   cell_f(cim_latency, 9), cell_f(summary.mxu_energy / norm, 6),
+                   cell_f(cim_energy / norm, 6)});
+  }
+  table.add_separator();
+  const double dlat = panel.cim.latency / panel.base.latency - 1.0;
+  const double denergy = panel.base.mxu_energy() / panel.cim.mxu_energy();
+  table.add_row({"TOTAL", format_time(panel.base.latency),
+                 format_time(panel.cim.latency), "1.0000",
+                 cell_f(panel.cim.mxu_energy() / norm, 4)});
+  table.add_row({"delta latency",
+                 bench::paper_vs(panel.paper_latency,
+                                 format_percent_delta(dlat)),
+                 "", "", ""});
+  table.add_row({"MXU energy reduction",
+                 bench::paper_vs(panel.paper_energy, format_ratio(denergy)),
+                 "", "", ""});
+  table.print();
+  std::printf("\n");
+}
+
+void BM_fig6_decode_layer(benchmark::State& state) {
+  arch::TpuChip chip(arch::cim_tpu_default());
+  sim::Simulator simulator(chip);
+  const auto gpt3 = models::gpt3_30b();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::run_decode_layer(simulator, gpt3, 8, 1024 + 256));
+  }
+}
+BENCHMARK(BM_fig6_decode_layer);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Fig. 6",
+                "per-layer latency & normalized MXU energy, baseline vs CIM");
+
+  arch::TpuChip baseline(arch::tpu_v4i_baseline());
+  arch::TpuChip cim(arch::cim_tpu_default());
+  sim::Simulator base_sim(baseline);
+  sim::Simulator cim_sim(cim);
+
+  const auto gpt3 = models::gpt3_30b();
+  const auto dit = models::dit_xl_2();
+  const auto geometry = models::dit_geometry_512();
+  const std::int64_t batch = 8;
+
+  std::vector<Panel> panels;
+  panels.push_back({"LLM Prefilling (GPT3-30B layer, L=1024)",
+                    sim::run_prefill_layer(base_sim, gpt3, batch, 1024),
+                    sim::run_prefill_layer(cim_sim, gpt3, batch, 1024),
+                    "+2.43%", "9.21x"});
+  panels.push_back({"LLM Decoding (GPT3-30B layer, 256th token)",
+                    sim::run_decode_layer(base_sim, gpt3, batch, 1024 + 256),
+                    sim::run_decode_layer(cim_sim, gpt3, batch, 1024 + 256),
+                    "-29.9%", "13.4x"});
+  panels.push_back({"DiT Block (DiT-XL/2, 512x512)",
+                    sim::run_dit_block(base_sim, dit, geometry, batch),
+                    sim::run_dit_block(cim_sim, dit, geometry, batch),
+                    "-6.67%", "10.4x"});
+
+  CsvWriter csv(bench::output_dir() + "/fig6_layer_breakdown.csv");
+  csv.write_header({"panel", "group", "base_latency_s", "cim_latency_s",
+                    "base_norm_energy", "cim_norm_energy"});
+  for (const Panel& panel : panels) print_panel(panel, csv);
+
+  return bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,159 @@
+// Reproduces Fig. 7: architecture exploration of CIM-MXU design choices
+// (Table IV: array dimension {8x8, 16x8, 16x16} x MXU count {2, 4, 8})
+// for GPT3-30B inference (1024 in / 512 out, batch 8) and a DiT-XL/2
+// forward pass, against the TPUv4i baseline.
+//
+// Paper callouts reproduced at the bottom of each panel:
+//   LLM: 2x(8x8) -> +38% latency, 27.3x MXU-energy savings;
+//        8x(16x16) vs 8x(16x8) -> +2.5% perf, +95% energy;
+//        Design A = 4x(8x8).
+//   DiT: 8x(16x16) -> -33.8% latency, 3.56x less power;
+//        4x(16x16) -> -25.3% latency; 2x(8x8) -> +100% latency, 20x power;
+//        Design B = 8x(16x8).
+
+#include <array>
+#include <vector>
+
+#include "arch/chip.h"
+#include "arch/tpu_config.h"
+#include "bench/bench_util.h"
+#include "sim/workload_runner.h"
+
+using namespace cimtpu;
+
+namespace {
+
+struct DesignPoint {
+  std::string label;
+  arch::TpuChipConfig config;
+};
+
+std::vector<DesignPoint> design_points() {
+  std::vector<DesignPoint> points;
+  points.push_back({"baseline 4x(128x128)", arch::tpu_v4i_baseline()});
+  const std::array<std::pair<int, int>, 3> dims{{{8, 8}, {16, 8}, {16, 16}}};
+  for (int count : {2, 4, 8}) {
+    for (const auto& [rows, cols] : dims) {
+      std::string label = std::to_string(count) + "x(" +
+                          std::to_string(rows) + "x" + std::to_string(cols) +
+                          ")";
+      if (count == 4 && rows == 8 && cols == 8) label += "  [Design A]";
+      if (count == 8 && rows == 16 && cols == 8) label += "  [Design B]";
+      points.push_back({label, arch::cim_tpu(count, rows, cols)});
+    }
+  }
+  return points;
+}
+
+struct Row {
+  std::string label;
+  Seconds latency;
+  Joules mxu_energy;
+  Watts mxu_power;
+};
+
+void print_panel(const std::string& panel, const std::vector<Row>& rows,
+                 CsvWriter& csv) {
+  AsciiTable table("Fig. 7 — " + panel);
+  table.set_header({"Design", "Latency", "vs base", "MXU energy", "vs base",
+                    "MXU power", "power ratio"});
+  const Row& base = rows.front();
+  for (const Row& row : rows) {
+    table.add_row({row.label, format_time(row.latency),
+                   format_percent_delta(row.latency / base.latency - 1.0),
+                   format_energy(row.mxu_energy),
+                   format_ratio(base.mxu_energy / row.mxu_energy),
+                   format_power(row.mxu_power),
+                   format_ratio(base.mxu_power / row.mxu_power)});
+    csv.write_row({panel, row.label, cell_f(row.latency, 9),
+                   cell_f(row.mxu_energy, 9), cell_f(row.mxu_power, 6)});
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Fig. 7", "CIM-MXU design-space exploration (Table IV)");
+
+  const auto points = design_points();
+  CsvWriter csv(bench::output_dir() + "/fig7_arch_explore.csv");
+  csv.write_header(
+      {"panel", "design", "latency_s", "mxu_energy_j", "mxu_power_w"});
+
+  // --- LLM panel --------------------------------------------------------------
+  sim::LlmScenario llm;
+  llm.model = models::gpt3_30b();
+  llm.batch = 8;
+  llm.input_len = 1024;
+  llm.output_len = 512;
+
+  std::vector<Row> llm_rows;
+  for (const DesignPoint& point : points) {
+    arch::TpuChip chip(point.config);
+    sim::Simulator simulator(chip);
+    const sim::LlmRunResult run = sim::run_llm_inference(simulator, llm);
+    llm_rows.push_back({point.label, run.total.latency,
+                        run.total.mxu_energy(), run.total.mxu_power()});
+  }
+  print_panel("GPT3-30B inference (1024 in / 512 out, batch 8)", llm_rows,
+              csv);
+  {
+    const Row& base = llm_rows[0];
+    const Row& small = llm_rows[1];   // 2x(8x8)
+    const Row& design_a = llm_rows[4];  // 4x(8x8)
+    const Row& d16x8_8 = llm_rows[8];   // 8x(16x8)
+    const Row& d16x16_8 = llm_rows[9];  // 8x(16x16)
+    std::printf("  paper callouts (LLM):\n");
+    std::printf("    2x(8x8) latency  : %s   [paper +38%%]\n",
+                format_percent_delta(small.latency / base.latency - 1.0).c_str());
+    std::printf("    2x(8x8) energy   : %s   [paper 27.3x]\n",
+                format_ratio(base.mxu_energy / small.mxu_energy).c_str());
+    std::printf("    8x(16x16) vs 8x(16x8) perf  : %s   [paper ~2.5%% better]\n",
+                format_percent_delta(1.0 - d16x16_8.latency / d16x8_8.latency).c_str());
+    std::printf("    8x(16x16) vs 8x(16x8) energy: %s   [paper +95%%]\n",
+                format_percent_delta(d16x16_8.mxu_energy / d16x8_8.mxu_energy - 1.0).c_str());
+    std::printf("    Design A latency : %s, energy %s\n\n",
+                format_percent_delta(design_a.latency / base.latency - 1.0).c_str(),
+                format_ratio(base.mxu_energy / design_a.mxu_energy).c_str());
+  }
+
+  // --- DiT panel --------------------------------------------------------------
+  sim::DitScenario dit;
+  dit.model = models::dit_xl_2();
+  dit.geometry = models::dit_geometry_512();
+  dit.batch = 8;
+
+  std::vector<Row> dit_rows;
+  for (const DesignPoint& point : points) {
+    arch::TpuChip chip(point.config);
+    sim::Simulator simulator(chip);
+    const sim::GraphResult run = sim::run_dit_inference(simulator, dit);
+    dit_rows.push_back(
+        {point.label, run.latency, run.mxu_energy(), run.mxu_power()});
+  }
+  print_panel("DiT-XL/2 forward pass (512x512, batch 8)", dit_rows, csv);
+  {
+    const Row& base = dit_rows[0];
+    const Row& small = dit_rows[1];     // 2x(8x8)
+    const Row& d16x16_4 = dit_rows[6];  // 4x(16x16)
+    const Row& design_b = dit_rows[8];  // 8x(16x8)
+    const Row& d16x16_8 = dit_rows[9];  // 8x(16x16)
+    std::printf("  paper callouts (DiT):\n");
+    std::printf("    8x(16x16) latency: %s   [paper -33.8%%]\n",
+                format_percent_delta(d16x16_8.latency / base.latency - 1.0).c_str());
+    std::printf("    4x(16x16) latency: %s   [paper -25.3%%]\n",
+                format_percent_delta(d16x16_4.latency / base.latency - 1.0).c_str());
+    std::printf("    8x(16x16) power  : %s less   [paper 3.56x]\n",
+                format_ratio(base.mxu_power / d16x16_8.mxu_power).c_str());
+    std::printf("    2x(8x8) latency  : %s   [paper +100%%]\n",
+                format_percent_delta(small.latency / base.latency - 1.0).c_str());
+    std::printf("    2x(8x8) power    : %s less   [paper 20x]\n",
+                format_ratio(base.mxu_power / small.mxu_power).c_str());
+    std::printf("    Design B latency : %s, energy %s\n\n",
+                format_percent_delta(design_b.latency / base.latency - 1.0).c_str(),
+                format_ratio(base.mxu_energy / design_b.mxu_energy).c_str());
+  }
+  return bench::run_microbenchmarks(argc, argv);
+}

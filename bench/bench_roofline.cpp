@@ -1,0 +1,89 @@
+// Roofline analysis of the paper's three workload panels: which resource
+// binds each operator on the baseline vs the CIM-based TPU.  This is the
+// analytical backbone of the paper's observations (prefill compute-bound,
+// decode memory-bound, DiT softmax-bound).
+
+#include <cmath>
+
+#include "arch/chip.h"
+#include "arch/tpu_config.h"
+#include "bench/bench_util.h"
+#include "sim/roofline.h"
+#include "sim/workload_runner.h"
+
+using namespace cimtpu;
+
+namespace {
+
+void print_graph_roofline(const char* title, const sim::Simulator& simulator,
+                          const ir::Graph& graph, CsvWriter& csv) {
+  AsciiTable table(title);
+  table.set_header({"op", "group", "OI (flop/HBM B)", "attained", "roof",
+                    "bound", "roof util"});
+  for (const auto& point : sim::analyze_graph(simulator, graph)) {
+    const double roof = std::min(point.compute_roof, point.memory_roof);
+    table.add_row(
+        {point.op, point.group,
+         std::isinf(point.operational_intensity)
+             ? std::string("inf")
+             : cell_f(point.operational_intensity, 1),
+         format_ops_rate(point.attained_flops_per_s), format_ops_rate(roof),
+         sim::bound_resource_name(point.bound),
+         cell_f(100.0 * point.roof_utilization(), 1) + "%"});
+    csv.write_row({title, point.op, sim::bound_resource_name(point.bound),
+                   cell_f(point.roof_utilization(), 4)});
+  }
+  table.print();
+
+  const sim::BoundBreakdown breakdown =
+      sim::bound_breakdown(simulator, graph);
+  std::printf("  time bound by: compute %.1f%%  HBM %.1f%%  OCI %.1f%%  "
+              "VMEM %.1f%%\n\n",
+              100.0 * breakdown.compute_bound / breakdown.total(),
+              100.0 * breakdown.hbm_bound / breakdown.total(),
+              100.0 * breakdown.oci_bound / breakdown.total(),
+              100.0 * breakdown.vmem_bound / breakdown.total());
+}
+
+void BM_roofline_analysis(benchmark::State& state) {
+  arch::TpuChip chip(arch::tpu_v4i_baseline());
+  sim::Simulator simulator(chip);
+  const auto graph = models::build_decode_layer(
+      models::gpt3_30b(), 8, 1280, ir::Residency::kCmem);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::bound_breakdown(simulator, graph));
+  }
+}
+BENCHMARK(BM_roofline_analysis);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Roofline", "binding-resource analysis per workload panel");
+
+  arch::TpuChip base_chip(arch::tpu_v4i_baseline());
+  arch::TpuChip cim_chip(arch::cim_tpu_default());
+  sim::Simulator base_sim(base_chip);
+  sim::Simulator cim_sim(cim_chip);
+  const auto gpt3 = models::gpt3_30b();
+
+  CsvWriter csv(bench::output_dir() + "/roofline.csv");
+  csv.write_header({"panel", "op", "bound", "roof_utilization"});
+
+  const auto kv =
+      sim::kv_residency_for(base_chip, gpt3, 8, 1280);
+  print_graph_roofline("LLM decode on baseline TPUv4i", base_sim,
+                       models::build_decode_layer(gpt3, 8, 1280, kv), csv);
+  print_graph_roofline("LLM decode on CIM-based TPU", cim_sim,
+                       models::build_decode_layer(gpt3, 8, 1280, kv), csv);
+  print_graph_roofline(
+      "LLM prefill on baseline TPUv4i", base_sim,
+      models::build_prefill_layer(gpt3, 8, 1024, kv), csv);
+  print_graph_roofline(
+      "DiT block on baseline TPUv4i", base_sim,
+      models::build_dit_block(models::dit_xl_2(), models::dit_geometry_512(),
+                              8),
+      csv);
+
+  return bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,73 @@
+// Reproduces Table I: architecture parameters of the baseline TPUv4i and
+// the CIM-based TPU, printed from the live configuration objects (so the
+// table cannot drift from what the simulator actually models).
+
+#include "arch/chip.h"
+#include "arch/tpu_config.h"
+#include "bench/bench_util.h"
+
+using namespace cimtpu;
+
+
+namespace {
+void BM_chip_construction(benchmark::State& state) {
+  for (auto _ : state) {
+    arch::TpuChip chip(arch::cim_tpu_default());
+    benchmark::DoNotOptimize(chip.peak_ops_per_second());
+  }
+}
+BENCHMARK(BM_chip_construction);
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Table I", "architecture parameters for the CIM-based TPU");
+
+  const arch::TpuChipConfig base = arch::tpu_v4i_baseline();
+  const arch::TpuChipConfig cim = arch::cim_tpu_default();
+
+  AsciiTable table("Table I — Architecture parameters");
+  table.set_header({"Key parameters", "TPUv4i", "CIM-based TPU"});
+  table.add_row({"Tensor Core count", "1", "1"});
+  table.add_row({"MXU count", cell_i(base.mxu_count), cell_i(cim.mxu_count)});
+  table.add_row({"MXU dimension",
+                 std::to_string(base.systolic.rows) + "x" +
+                     std::to_string(base.systolic.cols) + " MACs",
+                 std::to_string(cim.cim.grid_rows) + "x" +
+                     std::to_string(cim.cim.grid_cols) + " CIMs"});
+  table.add_row({"CIM core dimension", "N/A",
+                 std::to_string(cim.cim.core_rows) + " x " +
+                     std::to_string(cim.cim.core_cols)});
+  table.add_row({"Vector width",
+                 std::to_string(base.vpu.sublanes) + " x " +
+                     std::to_string(base.vpu.lanes),
+                 std::to_string(cim.vpu.sublanes) + " x " +
+                     std::to_string(cim.vpu.lanes)});
+  table.add_row({"Vector memory size", format_bytes(base.memory.vmem.capacity),
+                 format_bytes(cim.memory.vmem.capacity)});
+  table.add_row({"Common memory size", format_bytes(base.memory.cmem.capacity),
+                 format_bytes(cim.memory.cmem.capacity)});
+  table.add_row({"Main memory size", format_bytes(base.memory.hbm.capacity),
+                 format_bytes(cim.memory.hbm.capacity)});
+  table.add_row({"Main memory bandwidth",
+                 cell_f(base.memory.hbm.bandwidth / GBps, 0) + " GB/s",
+                 cell_f(cim.memory.hbm.bandwidth / GBps, 0) + " GB/s"});
+  table.add_row({"ICI link bandwidth",
+                 cell_f(base.ici.bandwidth_per_link / GBps, 0) + " GB/s",
+                 cell_f(cim.ici.bandwidth_per_link / GBps, 0) + " GB/s"});
+  table.print();
+
+  // Derived figures (not in the paper's table but implied by it).
+  arch::TpuChip base_chip(base);
+  arch::TpuChip cim_chip(cim);
+  AsciiTable derived("Derived chip figures (7nm)");
+  derived.set_header({"figure", "TPUv4i", "CIM-based TPU"});
+  derived.add_row({"Peak throughput",
+                   format_ops_rate(base_chip.peak_ops_per_second()),
+                   format_ops_rate(cim_chip.peak_ops_per_second())});
+  derived.add_row({"Total MXU area",
+                   cell_f(base_chip.area_report().mxus, 1) + " mm2",
+                   cell_f(cim_chip.area_report().mxus, 1) + " mm2"});
+  derived.print();
+
+  return bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,92 @@
+// Reproduces Table II: standalone comparison between the 128x128 digital
+// MXU and the 16x8 CIM-MXU at TSMC 22 nm — MACs/cycle, energy efficiency
+// (TOPS/W) and area efficiency (TOPS/mm^2).
+
+#include "arch/chip.h"
+#include "arch/tpu_config.h"
+#include "bench/bench_util.h"
+#include "ir/dtype.h"
+
+using namespace cimtpu;
+
+namespace {
+
+void print_table2() {
+  // Both designs are evaluated at the 22 nm calibration node, as in the
+  // paper's post-P&R flow.
+  arch::TpuChipConfig base_cfg = arch::tpu_v4i_baseline();
+  base_cfg.technology = "22nm";
+  arch::TpuChipConfig cim_cfg = arch::cim_tpu_default();
+  cim_cfg.technology = "22nm";
+  arch::TpuChip baseline(base_cfg);
+  arch::TpuChip cim(cim_cfg);
+
+  const Hertz clock = baseline.clock();
+  const auto& dmxu = baseline.mxu();
+  const auto& cmxu = cim.mxu();
+  const ir::DType dtype = ir::DType::kInt8;
+
+  const double d_tw = dmxu.tops_per_watt(dtype, clock);
+  const double c_tw = cmxu.tops_per_watt(dtype, clock);
+  const double d_tm = dmxu.tops_per_mm2(clock);
+  const double c_tm = cmxu.tops_per_mm2(clock);
+
+  AsciiTable table("Table II — CIM-MXU vs digital MXU (TSMC 22nm, INT8)");
+  table.set_header({"Evaluation Metrics", "Digital MXU", "CIM-MXU",
+                    "Speedup (ours)", "Speedup (paper)"});
+  table.add_row({"MACs per cycle", cell_i((long long)dmxu.macs_per_cycle()),
+                 cell_i((long long)cmxu.macs_per_cycle()),
+                 format_ratio(cmxu.macs_per_cycle() / dmxu.macs_per_cycle()),
+                 "1x"});
+  table.add_row({"Energy Efficiency", cell_f(d_tw, 3) + " TOPS/W",
+                 cell_f(c_tw, 2) + " TOPS/W", format_ratio(c_tw / d_tw),
+                 "9.43x"});
+  table.add_row({"Area Efficiency", cell_f(d_tm, 3) + " TOPS/mm2",
+                 cell_f(c_tm, 2) + " TOPS/mm2", format_ratio(c_tm / d_tm),
+                 "2.02x"});
+  table.add_row({"Area (derived)", cell_f(dmxu.area(), 1) + " mm2",
+                 cell_f(cmxu.area(), 1) + " mm2",
+                 format_ratio(dmxu.area() / cmxu.area()), "~2x"});
+  table.print();
+
+  CsvWriter csv(bench::output_dir() + "/table2_mxu.csv");
+  csv.write_header({"metric", "digital", "cim", "ratio"});
+  csv.write_row({"macs_per_cycle", cell_f(dmxu.macs_per_cycle(), 0),
+                 cell_f(cmxu.macs_per_cycle(), 0), "1.0"});
+  csv.write_row({"tops_per_watt", cell_f(d_tw, 4), cell_f(c_tw, 4),
+                 cell_f(c_tw / d_tw, 3)});
+  csv.write_row({"tops_per_mm2", cell_f(d_tm, 4), cell_f(c_tm, 4),
+                 cell_f(c_tm / d_tm, 3)});
+}
+
+void BM_digital_mxu_evaluate(benchmark::State& state) {
+  arch::TpuChipConfig cfg = arch::tpu_v4i_baseline();
+  cfg.technology = "22nm";
+  arch::TpuChip chip(cfg);
+  systolic::GemmWorkload w{/*m=*/1024, /*k=*/7168, /*n=*/7168,
+                           /*instances=*/1, ir::DType::kInt8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chip.mxu().evaluate(w));
+  }
+}
+BENCHMARK(BM_digital_mxu_evaluate);
+
+void BM_cim_mxu_evaluate(benchmark::State& state) {
+  arch::TpuChipConfig cfg = arch::cim_tpu_default();
+  cfg.technology = "22nm";
+  arch::TpuChip chip(cfg);
+  systolic::GemmWorkload w{/*m=*/1024, /*k=*/7168, /*n=*/7168,
+                           /*instances=*/1, ir::DType::kInt8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chip.mxu().evaluate(w));
+  }
+}
+BENCHMARK(BM_cim_mxu_evaluate);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Table II", "standalone digital MXU vs CIM-MXU at 22 nm");
+  print_table2();
+  return bench::run_microbenchmarks(argc, argv);
+}

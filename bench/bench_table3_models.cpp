@@ -1,0 +1,50 @@
+// Reproduces Table III: configurations of the evaluated generative models,
+// printed from the model zoo plus derived workload figures (weight bytes,
+// KV-cache footprint) the experiments depend on.
+
+#include "bench/bench_util.h"
+#include "models/model_zoo.h"
+
+using namespace cimtpu;
+
+
+namespace {
+void BM_model_zoo_lookup(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(models::model_by_name("gpt3-30b"));
+  }
+}
+BENCHMARK(BM_model_zoo_lookup);
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Table III", "configurations of evaluated generative models");
+
+  AsciiTable table("Table III — Evaluated generative models");
+  table.set_header({"Generative model", "# Layers", "# Heads", "d_model",
+                    "d_ff", "params (stack)"});
+  for (const char* name : {"gpt3-30b", "dit-xl/2"}) {
+    const models::TransformerConfig config = models::model_by_name(name);
+    table.add_row({config.name, cell_i(config.num_layers),
+                   cell_i(config.num_heads), cell_i(config.d_model),
+                   cell_i(config.d_ff),
+                   cell_f(config.stack_parameters() / 1e9, 2) + " B"});
+  }
+  table.print();
+  std::printf("  paper: GPT3-30B = 48 layers / 56 heads / 7168;"
+              " DiT-XL/2 = 28 / 16 / 1152\n\n");
+
+  AsciiTable derived("Derived workload footprints (INT8, batch 8)");
+  derived.set_header(
+      {"model", "layer weights", "stack weights", "KV/layer @1280"});
+  for (const std::string& name : models::model_names()) {
+    const models::TransformerConfig config = models::model_by_name(name);
+    derived.add_row({config.name, format_bytes(config.layer_weight_bytes()),
+                     format_bytes(config.stack_weight_bytes()),
+                     format_bytes(models::kv_cache_bytes_per_layer(config, 8,
+                                                                   1280))});
+  }
+  derived.print();
+
+  return bench::run_microbenchmarks(argc, argv);
+}

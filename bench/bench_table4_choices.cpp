@@ -1,0 +1,53 @@
+// Reproduces Table IV: the CIM-MXU architecture design choices explored in
+// Sec. V, with the derived per-chip peak throughput and area of every
+// combination (the quantities that drive Fig. 7).
+
+#include "arch/chip.h"
+#include "arch/tpu_config.h"
+#include "bench/bench_util.h"
+
+using namespace cimtpu;
+
+
+namespace {
+void BM_design_point_area(benchmark::State& state) {
+  for (auto _ : state) {
+    arch::TpuChip chip(arch::cim_tpu(8, 16, 16));
+    benchmark::DoNotOptimize(chip.area_report().total());
+  }
+}
+BENCHMARK(BM_design_point_area);
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Table IV", "architecture design choices of CIM-MXU");
+
+  AsciiTable table("Table IV — CIM-MXU design choices");
+  table.set_header({"Parameters", "Choice 1", "Choice 2", "Choice 3"});
+  table.add_row({"Array dimension", "8 x 8", "16 x 8", "16 x 16"});
+  table.add_row({"CIM-MXU count", "2", "4", "8"});
+  table.print();
+  std::printf("\n");
+
+  AsciiTable derived("Derived design points (vs baseline 4x 128x128)");
+  derived.set_header({"config", "MACs/cycle", "peak (vs base)", "MXU area",
+                      "area (vs base)"});
+  arch::TpuChip baseline(arch::tpu_v4i_baseline());
+  const double base_macs = baseline.config().total_macs_per_cycle();
+  const double base_area = baseline.area_report().mxus;
+  for (int count : {2, 4, 8}) {
+    for (const auto& [rows, cols] :
+         std::initializer_list<std::pair<int, int>>{{8, 8}, {16, 8}, {16, 16}}) {
+      arch::TpuChip chip(arch::cim_tpu(count, rows, cols));
+      const double macs = chip.config().total_macs_per_cycle();
+      const double area = chip.area_report().mxus;
+      derived.add_row({chip.config().name, cell_i((long long)macs),
+                       cell_f(macs / base_macs, 2) + "x",
+                       cell_f(area, 1) + " mm2",
+                       cell_f(area / base_area, 2) + "x"});
+    }
+  }
+  derived.print();
+
+  return bench::run_microbenchmarks(argc, argv);
+}

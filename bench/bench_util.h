@@ -1,0 +1,53 @@
+#pragma once
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every bench prints the rows/series its paper table or figure reports,
+// together with the paper's published value where one exists, and writes a
+// machine-readable CSV next to the ASCII table.  Microbenchmark timings of
+// the simulator itself run through google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <sys/stat.h>
+
+#include "common/csv.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace cimtpu::bench {
+
+/// Directory CSV series land in (created on demand).
+inline std::string output_dir() {
+  static const std::string dir = [] {
+    ::mkdir("bench_out", 0755);
+    return std::string("bench_out");
+  }();
+  return dir;
+}
+
+/// "paper vs measured" cell: e.g. "-29.9% (paper) / -28.2% (ours)".
+inline std::string paper_vs(const std::string& paper,
+                            const std::string& measured) {
+  return paper + " (paper) / " + measured + " (ours)";
+}
+
+/// Banner printed at the top of each bench.
+inline void banner(const char* experiment, const char* description) {
+  std::printf("\n################################################################\n");
+  std::printf("## %s\n## %s\n", experiment, description);
+  std::printf("################################################################\n\n");
+}
+
+/// Runs google-benchmark with default settings (called at the end of each
+/// bench main after the reproduction tables are printed).
+inline int run_microbenchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace cimtpu::bench

@@ -1,0 +1,121 @@
+// Design-space explorer: sweep user-defined CIM-MXU configurations (or a
+// config file) over an LLM and a DiT workload and print the
+// latency/energy/area Pareto view the paper's Sec. V builds Designs A and B
+// from.
+//
+// Usage:
+//   ./design_space_explorer                 # sweep the Table IV grid
+//   ./design_space_explorer my_chip.conf    # evaluate one custom config
+//
+// Config file keys (all optional; defaults are the paper's CIM-based TPU):
+//   mxu.count      = 4
+//   cim.grid_rows  = 16
+//   cim.grid_cols  = 8
+//   cim.core_rows  = 128
+//   cim.core_cols  = 256
+//   technology     = 7nm
+//   clock_ghz      = 1.05
+//   mem.hbm_gbps   = 614
+
+#include <cstdio>
+#include <vector>
+
+#include "arch/chip.h"
+#include "arch/tpu_config.h"
+#include "common/config.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "sim/workload_runner.h"
+
+using namespace cimtpu;
+
+namespace {
+
+arch::TpuChipConfig config_from_file(const std::string& path) {
+  const ConfigMap file = ConfigMap::load_file(path);
+  arch::TpuChipConfig config = arch::cim_tpu_default();
+  config.name = file.get_string("name", "custom-cim-tpu");
+  config.mxu_count = static_cast<int>(file.get_int("mxu.count", 4));
+  config.cim.grid_rows = static_cast<int>(file.get_int("cim.grid_rows", 16));
+  config.cim.grid_cols = static_cast<int>(file.get_int("cim.grid_cols", 8));
+  config.cim.core_rows = static_cast<int>(file.get_int("cim.core_rows", 128));
+  config.cim.core_cols = static_cast<int>(file.get_int("cim.core_cols", 256));
+  config.technology = file.get_string("technology", "7nm");
+  const double clock_ghz = file.get_double("clock_ghz", 0.0);
+  if (clock_ghz > 0) config.clock = clock_ghz * GHz;
+  config.memory.hbm.bandwidth = file.get_double("mem.hbm_gbps", 614) * GBps;
+  config.validate();
+  return config;
+}
+
+struct Evaluation {
+  std::string name;
+  double peak_tops;
+  SquareMm mxu_area;
+  Seconds llm_latency;
+  Joules llm_energy;
+  Seconds dit_latency;
+  Joules dit_energy;
+};
+
+Evaluation evaluate(const arch::TpuChipConfig& config) {
+  arch::TpuChip chip(config);
+  sim::Simulator simulator(chip);
+
+  sim::LlmScenario llm;
+  llm.model = models::gpt3_30b();
+  llm.model.num_layers = 4;  // representative slice; ratios are invariant
+  llm.batch = 8;
+  llm.input_len = 1024;
+  llm.output_len = 512;
+
+  sim::DitScenario dit;
+  dit.model = models::dit_xl_2();
+  dit.geometry = models::dit_geometry_512();
+  dit.batch = 8;
+
+  const auto llm_run = sim::run_llm_inference(simulator, llm);
+  const auto dit_run = sim::run_dit_inference(simulator, dit);
+  return {config.name,
+          chip.peak_ops_per_second() / 1e12,
+          chip.area_report().mxus,
+          llm_run.total.latency,
+          llm_run.total.mxu_energy(),
+          dit_run.latency,
+          dit_run.mxu_energy()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<arch::TpuChipConfig> configs;
+  configs.push_back(arch::tpu_v4i_baseline());
+  if (argc > 1) {
+    configs.push_back(config_from_file(argv[1]));
+  } else {
+    for (int count : {2, 4, 8}) {
+      for (const auto& [rows, cols] : std::initializer_list<std::pair<int, int>>{
+               {8, 8}, {16, 8}, {16, 16}}) {
+        configs.push_back(arch::cim_tpu(count, rows, cols));
+      }
+    }
+  }
+
+  const Evaluation base = evaluate(configs.front());
+  AsciiTable table("Design-space exploration (GPT3-30B 4-layer slice + DiT-XL/2)");
+  table.set_header({"Design", "Peak TOPS", "MXU mm2", "LLM latency",
+                    "LLM E ratio", "DiT latency", "DiT E ratio"});
+  for (const auto& config : configs) {
+    const Evaluation e = evaluate(config);
+    table.add_row({e.name, cell_f(e.peak_tops, 0), cell_f(e.mxu_area, 1),
+                   format_time(e.llm_latency),
+                   format_ratio(base.llm_energy / e.llm_energy),
+                   format_time(e.dit_latency),
+                   format_ratio(base.dit_energy / e.dit_energy)});
+  }
+  table.print();
+  std::printf(
+      "\nPick the LLM sweet spot (Design A: 4x 8x8) for energy-bound serving\n"
+      "and the DiT point (Design B: 8x 16x8) for throughput-bound sampling.\n");
+  return 0;
+}

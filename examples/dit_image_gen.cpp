@@ -1,0 +1,78 @@
+// Diffusion-transformer image generation example: cost a DiT-XL/2 sampling
+// run (multiple denoising steps) at several image resolutions on the
+// baseline TPU and the CIM designs — the second workload class the paper
+// evaluates.
+//
+// Usage:
+//   ./dit_image_gen [batch] [steps]
+//   ./dit_image_gen 8 50
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "arch/chip.h"
+#include "arch/tpu_config.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "sim/workload_runner.h"
+
+using namespace cimtpu;
+
+int main(int argc, char** argv) {
+  const std::int64_t batch = argc > 1 ? std::atoll(argv[1]) : 8;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 50;
+
+  std::printf("DiT-XL/2 image generation: batch %lld, %d sampling steps\n\n",
+              static_cast<long long>(batch), steps);
+
+  const struct {
+    const char* label;
+    arch::TpuChipConfig config;
+  } designs[] = {
+      {"TPUv4i baseline", arch::tpu_v4i_baseline()},
+      {"CIM-based TPU", arch::cim_tpu_default()},
+      {"Design B (8x 16x8)", arch::design_b()},
+  };
+
+  for (std::int64_t image_size : {256, 512}) {
+    sim::DitScenario scenario;
+    scenario.model = models::dit_xl_2();
+    scenario.geometry = models::dit_geometry_512();
+    scenario.geometry.image_size = image_size;
+    scenario.batch = batch;
+    scenario.sampling_steps = steps;
+
+    AsciiTable table("DiT-XL/2 @ " + std::to_string(image_size) + "x" +
+                     std::to_string(image_size) + " (" +
+                     std::to_string(scenario.geometry.tokens()) + " tokens)");
+    table.set_header({"Design", "Latency/run", "ms/step", "images/s",
+                      "MXU energy", "MXU J/image"});
+    for (const auto& design : designs) {
+      arch::TpuChip chip(design.config);
+      sim::Simulator simulator(chip);
+      const sim::GraphResult run = sim::run_dit_inference(simulator, scenario);
+      table.add_row(
+          {design.label, format_time(run.latency),
+           cell_f(run.latency / steps / ms, 2),
+           cell_f(batch / run.latency, 2), format_energy(run.mxu_energy()),
+           format_energy(run.mxu_energy() / batch)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  // Per-group view of one block on the CIM design: where a DiT block's
+  // time goes (the paper's Softmax-bottleneck observation).
+  arch::TpuChip chip(arch::cim_tpu_default());
+  sim::Simulator simulator(chip);
+  const auto block = sim::run_dit_block(simulator, models::dit_xl_2(),
+                                        models::dit_geometry_512(), batch);
+  AsciiTable split("CIM-TPU DiT block latency split");
+  split.set_header({"group", "latency", "share"});
+  for (const auto& [group, summary] : block.groups) {
+    split.add_row({group, format_time(summary.latency),
+                   cell_f(100.0 * summary.latency / block.latency, 1) + "%"});
+  }
+  split.print();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// LLM serving example: evaluate a GPT3-30B serving deployment end to end —
+// prefill + autoregressive decode with a growing KV cache — on the baseline
+// TPUv4i, the CIM-based TPU, and Design A, then scale out to a 4-chip
+// pipeline.  This is the workload the paper's Sec. V targets.
+//
+// Usage:
+//   ./llm_serving [model] [batch] [input_len] [output_len]
+//   ./llm_serving gpt3-30b 8 1024 512
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "arch/chip.h"
+#include "arch/tpu_config.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "parallel/multi_chip.h"
+#include "sim/workload_runner.h"
+
+using namespace cimtpu;
+
+int main(int argc, char** argv) {
+  sim::LlmScenario scenario;
+  scenario.model =
+      models::model_by_name(argc > 1 ? argv[1] : "gpt3-30b");
+  scenario.batch = argc > 2 ? std::atoll(argv[2]) : 8;
+  scenario.input_len = argc > 3 ? std::atoll(argv[3]) : 1024;
+  scenario.output_len = argc > 4 ? std::atoll(argv[4]) : 512;
+
+  std::printf("LLM serving: %s, batch %lld, %lld in / %lld out, INT8\n\n",
+              scenario.model.name.c_str(),
+              static_cast<long long>(scenario.batch),
+              static_cast<long long>(scenario.input_len),
+              static_cast<long long>(scenario.output_len));
+
+  const struct {
+    const char* label;
+    arch::TpuChipConfig config;
+  } designs[] = {
+      {"TPUv4i baseline", arch::tpu_v4i_baseline()},
+      {"CIM-based TPU", arch::cim_tpu_default()},
+      {"Design A (4x 8x8)", arch::design_a()},
+      {"Design B (8x 16x8)", arch::design_b()},
+  };
+
+  AsciiTable table("Single-chip inference");
+  table.set_header({"Design", "Prefill", "Decode", "Total", "ms/token",
+                    "MXU energy", "avg MXU power"});
+  for (const auto& design : designs) {
+    arch::TpuChip chip(design.config);
+    sim::Simulator simulator(chip);
+    const sim::LlmRunResult run = sim::run_llm_inference(simulator, scenario);
+    table.add_row({design.label, format_time(run.prefill.latency),
+                   format_time(run.decode.latency),
+                   format_time(run.total.latency),
+                   cell_f(run.decode_latency_per_token / ms, 3),
+                   format_energy(run.total.mxu_energy()),
+                   format_power(run.total.mxu_power())});
+  }
+  table.print();
+
+  // Multi-chip pipeline serving (ring topology, as in the paper's Fig. 8).
+  AsciiTable pipeline("4-chip pipeline serving");
+  pipeline.set_header({"Design", "tokens/s", "requests/s", "req latency",
+                       "MXU J/request", "ICI J/request"});
+  for (const auto& design : designs) {
+    const auto result =
+        parallel::evaluate_llm_pipeline(design.config, scenario, 4);
+    pipeline.add_row({design.label, cell_f(result.tokens_per_second, 1),
+                      cell_f(result.requests_per_second, 3),
+                      format_time(result.request_latency),
+                      format_energy(result.mxu_energy_per_request),
+                      format_energy(result.ici_energy_per_request)});
+  }
+  pipeline.print();
+
+  // Where does decode time go?  Print the per-group split on the baseline,
+  // mid-generation.
+  arch::TpuChip base_chip(arch::tpu_v4i_baseline());
+  sim::Simulator base_sim(base_chip);
+  const auto decode = sim::run_decode_layer(
+      base_sim, scenario.model, scenario.batch,
+      scenario.input_len + scenario.output_len / 2);
+  AsciiTable split("Baseline decode latency split (per layer, mid-generation)");
+  split.set_header({"group", "latency", "share"});
+  for (const auto& [group, summary] : decode.groups) {
+    split.add_row({group, format_time(summary.latency),
+                   cell_f(100.0 * summary.latency / decode.latency, 1) + "%"});
+  }
+  split.print();
+  return 0;
+}

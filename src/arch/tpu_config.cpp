@@ -1,0 +1,81 @@
+#include "arch/tpu_config.h"
+
+#include "common/status.h"
+
+namespace cimtpu::arch {
+
+std::string mxu_kind_name(MxuKind kind) {
+  switch (kind) {
+    case MxuKind::kDigitalSystolic:
+      return "digital-systolic";
+    case MxuKind::kCim:
+      return "cim";
+  }
+  return "?";
+}
+
+double TpuChipConfig::total_macs_per_cycle() const {
+  if (mxu_kind == MxuKind::kDigitalSystolic) {
+    return static_cast<double>(mxu_count) * systolic.rows * systolic.cols;
+  }
+  return static_cast<double>(mxu_count) * cim.cores() * cim.core_macs_per_cycle;
+}
+
+Hertz TpuChipConfig::effective_clock() const {
+  if (clock > 0) return clock;
+  return tech::node_by_name(technology).nominal_clock;
+}
+
+void TpuChipConfig::validate() const {
+  CIMTPU_CONFIG_CHECK(mxu_count > 0, "chip '" << name << "': mxu_count");
+  tech::node_by_name(technology);  // throws for unknown nodes
+  if (mxu_kind == MxuKind::kDigitalSystolic) {
+    systolic.validate();
+  } else {
+    cim.validate();
+  }
+  vpu.validate();
+  memory.validate();
+}
+
+TpuChipConfig tpu_v4i_baseline() {
+  TpuChipConfig config;
+  config.name = "tpuv4i-baseline";
+  config.mxu_kind = MxuKind::kDigitalSystolic;
+  config.mxu_count = 4;
+  config.systolic.rows = 128;
+  config.systolic.cols = 128;
+  return config;
+}
+
+TpuChipConfig cim_tpu(int mxu_count, int grid_rows, int grid_cols) {
+  TpuChipConfig config;
+  config.name = "cim-tpu-" + std::to_string(mxu_count) + "x(" +
+                std::to_string(grid_rows) + "x" + std::to_string(grid_cols) +
+                ")";
+  config.mxu_kind = MxuKind::kCim;
+  config.mxu_count = mxu_count;
+  config.cim.grid_rows = grid_rows;
+  config.cim.grid_cols = grid_cols;
+  return config;
+}
+
+TpuChipConfig cim_tpu_default() {
+  TpuChipConfig config = cim_tpu(4, 16, 8);
+  config.name = "cim-tpu";
+  return config;
+}
+
+TpuChipConfig design_a() {
+  TpuChipConfig config = cim_tpu(4, 8, 8);
+  config.name = "design-a";
+  return config;
+}
+
+TpuChipConfig design_b() {
+  TpuChipConfig config = cim_tpu(8, 16, 8);
+  config.name = "design-b";
+  return config;
+}
+
+}  // namespace cimtpu::arch

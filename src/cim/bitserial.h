@@ -1,0 +1,45 @@
+#pragma once
+// Functional model of digital-CIM bit-serial INT8 arithmetic.
+//
+// A digital SRAM CIM macro broadcasts the input vector one bit-plane at a
+// time; each bank ANDs the broadcast bit with its stored weight column,
+// reduces through an adder tree, and a shift-accumulator recombines the
+// bit-planes (paper Fig. 4; refs [7], [8]).  This file implements that
+// datapath bit-exactly so tests can prove the CIM compute path is
+// numerically identical to a reference integer GEMM — the property that
+// lets the performance model treat CIM INT8 results as exact.
+
+#include <cstdint>
+#include <vector>
+
+namespace cimtpu::cim {
+
+/// Extracts bit `bit` (0 = LSB) of a two's-complement int8 as 0/1.
+inline int bit_of(std::int8_t value, int bit) {
+  return (static_cast<std::uint8_t>(value) >> bit) & 1;
+}
+
+/// Reference dot product in plain integer arithmetic.
+std::int32_t reference_dot(const std::vector<std::int8_t>& x,
+                           const std::vector<std::int8_t>& w);
+
+/// Bit-serial dot product: processes the input LSB-first, one bit-plane per
+/// "cycle", accumulating through a shift-accumulator.  The MSB plane is
+/// weighted negatively (two's complement).  Bit-exact vs reference_dot.
+std::int32_t bit_serial_dot(const std::vector<std::int8_t>& x,
+                            const std::vector<std::int8_t>& w);
+
+/// Sums `values` through a balanced binary adder tree (models the bank's
+/// reduction network; integer addition is associative so the result matches
+/// a sequential sum — the tree is modeled to mirror the hardware and to
+/// expose intermediate bit-widths for overflow checks).
+std::int64_t adder_tree_sum(const std::vector<std::int32_t>& values);
+
+/// Number of adder-tree levels needed to reduce `inputs` operands.
+int adder_tree_depth(int inputs);
+
+/// Minimum accumulator width (bits) that cannot overflow for a dot product
+/// of `k` INT8 * INT8 terms.
+int required_accumulator_bits(int k);
+
+}  // namespace cimtpu::cim

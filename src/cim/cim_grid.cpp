@@ -1,0 +1,104 @@
+#include "cim/cim_grid.h"
+
+#include "common/math_util.h"
+#include "common/status.h"
+
+namespace cimtpu::cim {
+
+CimGrid::CimGrid(int grid_rows, int grid_cols, CimMacroSpec macro_spec)
+    : grid_rows_(grid_rows), grid_cols_(grid_cols), macro_spec_(macro_spec) {
+  CIMTPU_CONFIG_CHECK(grid_rows > 0 && grid_cols > 0,
+                      "CIM grid dims must be positive");
+  macro_spec_.validate();
+  macros_.assign(static_cast<std::size_t>(cores()), CimMacro(macro_spec_));
+}
+
+std::vector<std::int32_t> CimGrid::reference(const std::vector<std::int8_t>& a,
+                                             const std::vector<std::int8_t>& w,
+                                             int m, int k, int n) {
+  std::vector<std::int32_t> out(static_cast<std::size_t>(m) * n, 0);
+  for (int i = 0; i < m; ++i) {
+    for (int c = 0; c < n; ++c) {
+      std::int32_t acc = 0;
+      for (int r = 0; r < k; ++r) {
+        acc += static_cast<std::int32_t>(a[static_cast<std::size_t>(i) * k + r]) *
+               static_cast<std::int32_t>(w[static_cast<std::size_t>(r) * n + c]);
+      }
+      out[static_cast<std::size_t>(i) * n + c] = acc;
+    }
+  }
+  return out;
+}
+
+std::vector<std::int32_t> CimGrid::gemm(const std::vector<std::int8_t>& a,
+                                        const std::vector<std::int8_t>& w,
+                                        int m, int k, int n, RunStats* stats) {
+  CIMTPU_CHECK_MSG(m > 0 && k > 0 && n > 0, "gemm dims must be positive");
+  CIMTPU_CHECK_MSG(a.size() == static_cast<std::size_t>(m) * k,
+                   "A size mismatch");
+  CIMTPU_CHECK_MSG(w.size() == static_cast<std::size_t>(k) * n,
+                   "W size mismatch");
+
+  const int core_k = macro_spec_.input_channels;
+  const int core_n = macro_spec_.output_channels;
+  const int k_tiles = static_cast<int>(ceil_div(k, core_k));
+  const int n_tiles = static_cast<int>(ceil_div(n, core_n));
+
+  // PSUM accumulators (output-stationary across K-rounds).
+  std::vector<std::int64_t> psum(static_cast<std::size_t>(m) * n, 0);
+
+  RunStats local;
+  local.tasks = static_cast<long long>(k_tiles) * n_tiles;
+
+  // Tasks are scheduled round-robin over the cores; each task writes its
+  // weight tile through the weight I/O, streams all m input rows, and
+  // accumulates into the PSUM buffer for its (kt, nt) region.
+  int next_core = 0;
+  std::vector<std::int8_t> tile(static_cast<std::size_t>(core_k) * core_n);
+  std::vector<std::int8_t> input(core_k);
+  for (int kt = 0; kt < k_tiles; ++kt) {
+    for (int nt = 0; nt < n_tiles; ++nt) {
+      // Gather the (zero-padded) weight tile.
+      for (int r = 0; r < core_k; ++r) {
+        for (int c = 0; c < core_n; ++c) {
+          const int gr = kt * core_k + r;
+          const int gc = nt * core_n + c;
+          tile[static_cast<std::size_t>(r) * core_n + c] =
+              (gr < k && gc < n)
+                  ? w[static_cast<std::size_t>(gr) * n + gc]
+                  : 0;
+        }
+      }
+      CimMacro& core = macros_[next_core];
+      next_core = (next_core + 1) % cores();
+      if (next_core == 0) ++local.rounds;
+      core.load_weights(tile);
+      local.weight_bytes_written +=
+          static_cast<long long>(core_k) * core_n;
+
+      for (int i = 0; i < m; ++i) {
+        for (int r = 0; r < core_k; ++r) {
+          const int gr = kt * core_k + r;
+          input[r] = gr < k ? a[static_cast<std::size_t>(i) * k + gr] : 0;
+        }
+        const std::vector<std::int32_t> partial = core.matvec(input);
+        for (int c = 0; c < core_n; ++c) {
+          const int gc = nt * core_n + c;
+          if (gc < n) {
+            psum[static_cast<std::size_t>(i) * n + gc] += partial[c];
+          }
+        }
+      }
+    }
+  }
+  if (local.rounds == 0 || next_core != 0) ++local.rounds;
+  if (stats != nullptr) *stats = local;
+
+  std::vector<std::int32_t> out(psum.size());
+  for (std::size_t i = 0; i < psum.size(); ++i) {
+    out[i] = static_cast<std::int32_t>(psum[i]);
+  }
+  return out;
+}
+
+}  // namespace cimtpu::cim

@@ -1,0 +1,54 @@
+#pragma once
+// Functional model of a CIM-MXU core grid executing a tiled GEMM.
+//
+// Maps an [m, k] x [k, n] INT8 GEMM onto a grid of CimMacro cores the same
+// way the cost model assumes: the stationary operand is tiled into
+// core-sized (core_rows x core_cols) tiles; K-tiles accumulate through the
+// per-core PSUM buffers (output-stationary), and cores are reloaded through
+// their weight I/O between rounds.  Results are bit-exact INT32.
+//
+// The cost model in cim_mxu.h is validated against this functional path:
+// same tiling (tasks = instances * Kt * Nt), same weight traffic, and
+// bit-exact outputs vs a reference GEMM.
+
+#include <cstdint>
+#include <vector>
+
+#include "cim/cim_macro.h"
+
+namespace cimtpu::cim {
+
+class CimGrid {
+ public:
+  /// A grid of `grid_rows * grid_cols` cores with the given macro spec.
+  CimGrid(int grid_rows, int grid_cols, CimMacroSpec macro_spec = {});
+
+  int cores() const { return grid_rows_ * grid_cols_; }
+  const CimMacroSpec& macro_spec() const { return macro_spec_; }
+
+  struct RunStats {
+    long long rounds = 0;              ///< weight-reload rounds executed
+    long long weight_bytes_written = 0;///< total bytes through weight I/O
+    long long tasks = 0;               ///< core-sized tiles processed
+  };
+
+  /// Executes C = A x W with A [m, k] and W [k, n], both row-major INT8;
+  /// returns C [m, n] INT32 and fills `stats` when non-null.
+  std::vector<std::int32_t> gemm(const std::vector<std::int8_t>& a,
+                                 const std::vector<std::int8_t>& w, int m,
+                                 int k, int n,
+                                 RunStats* stats = nullptr);
+
+  /// Reference GEMM.
+  static std::vector<std::int32_t> reference(
+      const std::vector<std::int8_t>& a, const std::vector<std::int8_t>& w,
+      int m, int k, int n);
+
+ private:
+  int grid_rows_;
+  int grid_cols_;
+  CimMacroSpec macro_spec_;
+  std::vector<CimMacro> macros_;
+};
+
+}  // namespace cimtpu::cim

@@ -1,0 +1,109 @@
+#include "cim/cim_macro.h"
+
+namespace cimtpu::cim {
+
+void CimMacroSpec::validate() const {
+  CIMTPU_CONFIG_CHECK(input_channels > 0 && output_channels > 0,
+                      "CIM macro dims must be positive");
+  CIMTPU_CONFIG_CHECK(banks > 0 && output_channels % banks == 0,
+                      "output_channels (" << output_channels
+                                          << ") must divide evenly into banks ("
+                                          << banks << ")");
+  CIMTPU_CONFIG_CHECK(weight_io_bits > 0 && weight_io_bits % 8 == 0,
+                      "weight_io_bits must be a positive multiple of 8");
+  CIMTPU_CONFIG_CHECK(input_io_bits > 0 && input_io_bits % 8 == 0,
+                      "input_io_bits must be a positive multiple of 8");
+}
+
+CimMacro::CimMacro(CimMacroSpec spec) : spec_(spec) {
+  spec_.validate();
+  weights_.assign(
+      static_cast<std::size_t>(spec_.input_channels) * spec_.output_channels,
+      0);
+}
+
+void CimMacro::load_weights(const std::vector<std::int8_t>& weights) {
+  CIMTPU_CHECK_MSG(weights.size() == weights_.size(),
+                   "weight tile size " << weights.size() << " != "
+                                       << weights_.size());
+  weights_ = weights;
+}
+
+void CimMacro::write_column(int output_channel,
+                            const std::vector<std::int8_t>& column) {
+  CIMTPU_CHECK_MSG(output_channel >= 0 &&
+                       output_channel < spec_.output_channels,
+                   "output channel " << output_channel << " out of range");
+  CIMTPU_CHECK_MSG(column.size() ==
+                       static_cast<std::size_t>(spec_.input_channels),
+                   "column length " << column.size() << " != input channels "
+                                    << spec_.input_channels);
+  for (int k = 0; k < spec_.input_channels; ++k) {
+    weights_[static_cast<std::size_t>(k) * spec_.output_channels +
+             output_channel] = column[k];
+  }
+}
+
+std::int8_t CimMacro::weight(int input_channel, int output_channel) const {
+  CIMTPU_DCHECK(input_channel >= 0 && input_channel < spec_.input_channels);
+  CIMTPU_DCHECK(output_channel >= 0 && output_channel < spec_.output_channels);
+  return weights_[static_cast<std::size_t>(input_channel) *
+                      spec_.output_channels +
+                  output_channel];
+}
+
+int CimMacro::bank_of(int output_channel) const {
+  CIMTPU_DCHECK(output_channel >= 0 && output_channel < spec_.output_channels);
+  return output_channel / spec_.columns_per_bank();
+}
+
+std::vector<std::int32_t> CimMacro::matvec(
+    const std::vector<std::int8_t>& input) const {
+  CIMTPU_CHECK_MSG(input.size() ==
+                       static_cast<std::size_t>(spec_.input_channels),
+                   "input length " << input.size() << " != input channels "
+                                   << spec_.input_channels);
+  std::vector<std::int32_t> result(spec_.output_channels, 0);
+  std::vector<std::int8_t> column(spec_.input_channels);
+  for (int n = 0; n < spec_.output_channels; ++n) {
+    for (int k = 0; k < spec_.input_channels; ++k) {
+      column[k] = weight(k, n);
+    }
+    result[n] = bit_serial_dot(input, column);
+  }
+  return result;
+}
+
+std::vector<std::int32_t> CimMacro::reference_matvec(
+    const std::vector<std::int8_t>& input) const {
+  CIMTPU_CHECK_MSG(input.size() ==
+                       static_cast<std::size_t>(spec_.input_channels),
+                   "input length mismatch");
+  std::vector<std::int32_t> result(spec_.output_channels, 0);
+  for (int n = 0; n < spec_.output_channels; ++n) {
+    std::int32_t acc = 0;
+    for (int k = 0; k < spec_.input_channels; ++k) {
+      acc += static_cast<std::int32_t>(input[k]) * weight(k, n);
+    }
+    result[n] = acc;
+  }
+  return result;
+}
+
+double CimMacro::cycles_per_input_vector() const {
+  // 8 bit-planes broadcast per input vector; each plane needs the whole
+  // vector injected through the input port, input_io_bits inputs per wave
+  // are pipelined into the banks.  The paper abstracts this to a per-core
+  // throughput of kCimCoreMacsPerCycle MACs/cycle:
+  //   cycles = (input_channels * output_channels) / macs_per_cycle.
+  return static_cast<double>(spec_.input_channels) * spec_.output_channels /
+         128.0;
+}
+
+double CimMacro::cycles_per_weight_tile() const {
+  const double bytes =
+      static_cast<double>(spec_.input_channels) * spec_.output_channels;
+  return bytes / (spec_.weight_io_bits / 8.0);
+}
+
+}  // namespace cimtpu::cim

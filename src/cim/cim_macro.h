@@ -1,0 +1,73 @@
+#pragma once
+// Structural + functional model of one digital CIM macro ("CIM core").
+//
+// Organization (paper Fig. 4, Table I): a 128 x 256 bitcell array arranged
+// as 32 banks; each bank owns 8 output columns and is fed by 32 sub-arrays
+// of local readout/compute circuits.  The input vector arrives bit-serially
+// on a 32-bit systolic input port; weights are written through a dedicated
+// 256-bit weight I/O that operates concurrently with computation
+// (simultaneous MAC and weight update, as in Mori et al. ISSCC'23 [24]).
+//
+// The functional path is bit-exact INT8 (see bitserial.h); tests use it to
+// prove CIM results equal a reference GEMV.
+
+#include <cstdint>
+#include <vector>
+
+#include "cim/bitserial.h"
+#include "common/status.h"
+
+namespace cimtpu::cim {
+
+struct CimMacroSpec {
+  int input_channels = 128;   ///< rows of the stored weight tile (K extent)
+  int output_channels = 256;  ///< columns of the stored weight tile (N extent)
+  int banks = 32;             ///< independent output groups
+  int weight_io_bits = 256;   ///< dedicated weight port width
+  int input_io_bits = 32;     ///< systolic input port width
+
+  int columns_per_bank() const { return output_channels / banks; }
+  void validate() const;
+};
+
+/// One CIM core with resident weights.  Row-major weight layout:
+/// weight(k, n) multiplies input element k into output channel n.
+class CimMacro {
+ public:
+  explicit CimMacro(CimMacroSpec spec = CimMacroSpec{});
+
+  const CimMacroSpec& spec() const { return spec_; }
+
+  /// Writes a full weight tile; dimensions must match the spec.
+  void load_weights(const std::vector<std::int8_t>& weights);
+
+  /// Writes one weight column (output channel) through the weight I/O.
+  /// Models the incremental update path used while other banks compute.
+  void write_column(int output_channel, const std::vector<std::int8_t>& column);
+
+  std::int8_t weight(int input_channel, int output_channel) const;
+
+  /// Bank index that owns `output_channel`.
+  int bank_of(int output_channel) const;
+
+  /// Bit-serial matrix-vector product: input length == input_channels,
+  /// result length == output_channels.  Bit-exact vs reference integer math.
+  std::vector<std::int32_t> matvec(const std::vector<std::int8_t>& input) const;
+
+  /// Reference GEMV for validation.
+  std::vector<std::int32_t> reference_matvec(
+      const std::vector<std::int8_t>& input) const;
+
+  /// Cycles to process one input vector bit-serially (8 bit-planes, one
+  /// injection wave per input_io-width slice).
+  double cycles_per_input_vector() const;
+
+  /// Cycles to replace the full weight tile through the weight I/O.
+  double cycles_per_weight_tile() const;
+
+ private:
+  CimMacroSpec spec_;
+  std::vector<std::int8_t> weights_;  // [input_channels * output_channels]
+};
+
+}  // namespace cimtpu::cim

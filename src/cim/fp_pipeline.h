@@ -1,0 +1,56 @@
+#pragma once
+// Functional model of the CIM-MXU's BF16 floating-point pipeline.
+//
+// In FP mode the CIM array stores weight mantissas and performs integer
+// MACs; a pre-processing unit aligns input exponents and shifts mantissas,
+// and a post-processing unit performs the remaining shift-accumulation and
+// rounding (paper Sec. III-B; refs [9], [20]).  This block-floating-point
+// scheme trades a bounded amount of precision for keeping the array purely
+// integer — the functional model here lets tests quantify that error
+// against an FP32 reference.
+
+#include <cstdint>
+#include <vector>
+
+namespace cimtpu::cim {
+
+/// BF16 <-> float conversions (round-to-nearest-even on encode).
+std::uint16_t bf16_from_float(float value);
+float float_from_bf16(std::uint16_t bits);
+
+/// Decoded BF16 operand ready for the integer array: signed mantissa with
+/// the implicit leading one (9 significant bits incl. sign) plus the
+/// unbiased exponent.
+struct DecodedBf16 {
+  std::int32_t mantissa = 0;  ///< signed, |mantissa| < 2^8 (1.7 fixed point)
+  int exponent = 0;           ///< unbiased; mantissa * 2^(exponent-7)
+  bool is_zero = true;
+};
+
+DecodedBf16 decode_bf16(std::uint16_t bits);
+
+/// Result of the pre-processing unit for a block of products: each product
+/// term's integer mantissa aligned to the block's maximum exponent.
+struct AlignedBlock {
+  std::vector<std::int64_t> terms;  ///< aligned signed integer mantissas
+  int block_exponent = 0;           ///< shared exponent of all terms
+};
+
+/// Pre-processing: computes per-term product exponents (ex + ew), finds the
+/// block maximum and right-shifts each product mantissa into alignment.
+/// `guard_bits` extra low-order bits are kept to bound rounding error
+/// (hardware keeps a few guard positions in the shift-accumulator).
+AlignedBlock align_products(const std::vector<std::uint16_t>& x,
+                            const std::vector<std::uint16_t>& w,
+                            int guard_bits = 4);
+
+/// Full CIM BF16 dot product: pre-process, integer-sum in the array,
+/// post-process (normalize + round) back to a float result.
+float cim_bf16_dot(const std::vector<std::uint16_t>& x,
+                   const std::vector<std::uint16_t>& w, int guard_bits = 4);
+
+/// FP32 reference dot product of BF16 operands.
+float reference_bf16_dot(const std::vector<std::uint16_t>& x,
+                         const std::vector<std::uint16_t>& w);
+
+}  // namespace cimtpu::cim

@@ -1,0 +1,140 @@
+#include "common/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/status.h"
+
+namespace cimtpu {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+}  // namespace
+
+ConfigMap ConfigMap::parse(const std::string& text) {
+  ConfigMap config;
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::size_t comment = line.find('#');
+    if (comment != std::string::npos) line.erase(comment);
+    const std::string trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const std::size_t eq = trimmed.find('=');
+    CIMTPU_CONFIG_CHECK(eq != std::string::npos,
+                        "config line " << line_number << " has no '=': "
+                                       << trimmed);
+    const std::string key = trim(trimmed.substr(0, eq));
+    const std::string value = trim(trimmed.substr(eq + 1));
+    CIMTPU_CONFIG_CHECK(!key.empty(),
+                        "config line " << line_number << " has empty key");
+    config.set(key, value);
+  }
+  return config;
+}
+
+ConfigMap ConfigMap::load_file(const std::string& path) {
+  std::ifstream in(path);
+  CIMTPU_CONFIG_CHECK(in.good(), "cannot open config file: " << path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+void ConfigMap::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool ConfigMap::contains(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::optional<std::string> ConfigMap::find(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ConfigMap::get_string(const std::string& key,
+                                  const std::string& fallback) const {
+  return find(key).value_or(fallback);
+}
+
+long long ConfigMap::get_int(const std::string& key, long long fallback) const {
+  const auto value = find(key);
+  if (!value) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value->c_str(), &end, 0);
+  CIMTPU_CONFIG_CHECK(end != value->c_str() && *end == '\0',
+                      "config key '" << key << "' is not an integer: "
+                                     << *value);
+  return parsed;
+}
+
+double ConfigMap::get_double(const std::string& key, double fallback) const {
+  const auto value = find(key);
+  if (!value) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  CIMTPU_CONFIG_CHECK(end != value->c_str() && *end == '\0',
+                      "config key '" << key << "' is not a number: " << *value);
+  return parsed;
+}
+
+bool ConfigMap::get_bool(const std::string& key, bool fallback) const {
+  const auto value = find(key);
+  if (!value) return fallback;
+  std::string lowered = *value;
+  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lowered == "true" || lowered == "1" || lowered == "yes" ||
+      lowered == "on") {
+    return true;
+  }
+  if (lowered == "false" || lowered == "0" || lowered == "no" ||
+      lowered == "off") {
+    return false;
+  }
+  throw ConfigError("config key '" + key + "' is not a boolean: " + *value);
+}
+
+std::string ConfigMap::require_string(const std::string& key) const {
+  const auto value = find(key);
+  CIMTPU_CONFIG_CHECK(value.has_value(), "missing required config key: " << key);
+  return *value;
+}
+
+long long ConfigMap::require_int(const std::string& key) const {
+  CIMTPU_CONFIG_CHECK(contains(key), "missing required config key: " << key);
+  return get_int(key, 0);
+}
+
+double ConfigMap::require_double(const std::string& key) const {
+  CIMTPU_CONFIG_CHECK(contains(key), "missing required config key: " << key);
+  return get_double(key, 0.0);
+}
+
+std::vector<std::string> ConfigMap::keys() const {
+  std::vector<std::string> result;
+  result.reserve(values_.size());
+  for (const auto& [key, value] : values_) result.push_back(key);
+  return result;
+}
+
+}  // namespace cimtpu

@@ -1,0 +1,56 @@
+#pragma once
+// Key=value configuration files.  Examples load architecture overrides from
+// small text files:
+//
+//   # comment
+//   mxu.count = 4
+//   cim.rows = 128
+//   mem.hbm_bandwidth_gbps = 614
+//
+// Sections are spelled with dotted keys; values are parsed on demand with
+// typed getters that validate and report the offending key on error.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cimtpu {
+
+class ConfigMap {
+ public:
+  ConfigMap() = default;
+
+  /// Parses the given text; throws ConfigError on malformed lines.
+  static ConfigMap parse(const std::string& text);
+
+  /// Loads and parses a file; throws ConfigError if unreadable.
+  static ConfigMap load_file(const std::string& path);
+
+  void set(const std::string& key, const std::string& value);
+
+  bool contains(const std::string& key) const;
+
+  /// Typed getters with defaults.  Throw ConfigError when the stored value
+  /// cannot be parsed as the requested type.
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  long long get_int(const std::string& key, long long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Required-key variants; throw ConfigError when missing.
+  std::string require_string(const std::string& key) const;
+  long long require_int(const std::string& key) const;
+  double require_double(const std::string& key) const;
+
+  /// All keys, sorted (deterministic iteration for reports).
+  std::vector<std::string> keys() const;
+
+ private:
+  std::optional<std::string> find(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace cimtpu

@@ -1,0 +1,48 @@
+#include "common/csv.h"
+
+#include "common/status.h"
+
+namespace cimtpu {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string escaped = "\"";
+  for (char c : field) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  CIMTPU_CONFIG_CHECK(out_.good(), "cannot open CSV output file: " << path);
+}
+
+void CsvWriter::write_header(const std::vector<std::string>& columns) {
+  CIMTPU_CHECK_MSG(!header_written_, "CSV header already written");
+  write_line(columns);
+  header_written_ = true;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  write_line(fields);
+}
+
+void CsvWriter::write_line(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << csv_escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+CsvWriter::~CsvWriter() { close(); }
+
+}  // namespace cimtpu

@@ -1,0 +1,40 @@
+#pragma once
+// CSV writer used by benches to dump machine-readable series next to the
+// human-readable ASCII tables (one CSV per figure for external plotting).
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace cimtpu {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws ConfigError if the file cannot be
+  /// created.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes the header row (once, before any data rows).
+  void write_header(const std::vector<std::string>& columns);
+
+  /// Writes one data row; fields containing commas/quotes are quoted.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Flushes and closes; called automatically by the destructor.
+  void close();
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+ private:
+  void write_line(const std::vector<std::string>& fields);
+
+  std::ofstream out_;
+  bool header_written_ = false;
+};
+
+/// Escapes one CSV field (RFC 4180 quoting).
+std::string csv_escape(const std::string& field);
+
+}  // namespace cimtpu

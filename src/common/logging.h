@@ -1,0 +1,43 @@
+#pragma once
+// Minimal leveled logger.  Simulation libraries should be quiet by default;
+// benches and examples raise the level for progress reporting.
+
+#include <sstream>
+#include <string>
+
+namespace cimtpu {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+
+/// Returns the current global minimum level.
+LogLevel log_level();
+
+namespace detail {
+
+void emit_log(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { emit_log(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace cimtpu
+
+#define CIMTPU_LOG(level) ::cimtpu::detail::LogLine(::cimtpu::LogLevel::level)

@@ -1,0 +1,15 @@
+#include "common/status.h"
+
+namespace cimtpu::detail {
+
+void throw_check_failure(const char* kind, const char* expr, const char* file,
+                         int line, const std::string& message) {
+  std::ostringstream out;
+  out << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) {
+    out << " — " << message;
+  }
+  throw InternalError(out.str());
+}
+
+}  // namespace cimtpu::detail

@@ -1,0 +1,83 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/status.h"
+
+namespace cimtpu {
+
+void AsciiTable::set_header(std::vector<std::string> header) {
+  CIMTPU_CHECK_MSG(rows_.empty(), "set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  CIMTPU_CHECK_MSG(header_.empty() || row.size() == header_.size(),
+                   "row width " << row.size() << " != header width "
+                                << header_.size());
+  rows_.push_back(Row{std::move(row), /*separator=*/false});
+}
+
+void AsciiTable::add_separator() { rows_.push_back(Row{{}, /*separator=*/true}); }
+
+std::string AsciiTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const Row& row : rows_) {
+    if (!row.separator) widen(row.cells);
+  }
+
+  std::size_t total = 1;
+  for (std::size_t w : widths) total += w + 3;
+
+  std::ostringstream out;
+  auto rule = [&out, total]() { out << std::string(total, '-') << "\n"; };
+  auto emit = [&out, &widths](const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      out << " " << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  rule();
+  if (!header_.empty()) {
+    emit(header_);
+    rule();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      rule();
+    } else {
+      emit(row.cells);
+    }
+  }
+  rule();
+  return out.str();
+}
+
+void AsciiTable::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string cell_f(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string cell_i(long long value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%lld", value);
+  return buffer;
+}
+
+}  // namespace cimtpu

@@ -1,0 +1,63 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cimtpu {
+namespace {
+
+std::string scaled(double value, const char* const* suffixes, int count,
+                   double step) {
+  int index = 0;
+  double magnitude = std::fabs(value);
+  while (index + 1 < count && magnitude >= step) {
+    magnitude /= step;
+    value /= step;
+    ++index;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3g %s", value, suffixes[index]);
+  return buffer;
+}
+
+}  // namespace
+
+std::string format_time(Seconds s) {
+  static const char* const kSuffixes[] = {"ps", "ns", "us", "ms", "s"};
+  return scaled(s * 1e12, kSuffixes, 5, 1000.0);
+}
+
+std::string format_energy(Joules j) {
+  static const char* const kSuffixes[] = {"fJ", "pJ", "nJ", "uJ", "mJ", "J"};
+  return scaled(j * 1e15, kSuffixes, 6, 1000.0);
+}
+
+std::string format_bytes(Bytes b) {
+  static const char* const kSuffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  return scaled(b, kSuffixes, 5, 1024.0);
+}
+
+std::string format_ops_rate(double ops_per_second) {
+  static const char* const kSuffixes[] = {"OPS", "KOPS", "MOPS", "GOPS",
+                                          "TOPS", "POPS"};
+  return scaled(ops_per_second, kSuffixes, 6, 1000.0);
+}
+
+std::string format_power(Watts w) {
+  static const char* const kSuffixes[] = {"uW", "mW", "W", "kW"};
+  return scaled(w * 1e6, kSuffixes, 4, 1000.0);
+}
+
+std::string format_ratio(double ratio) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3gx", ratio);
+  return buffer;
+}
+
+std::string format_percent_delta(double fraction) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%+.1f%%", fraction * 100.0);
+  return buffer;
+}
+
+}  // namespace cimtpu

@@ -1,0 +1,54 @@
+#pragma once
+// Numeric datatypes supported by the modeled hardware.  TPUv4i's MXU and our
+// CIM-MXU both execute INT8 and BF16 (paper Sec. III-B); FP32 appears only
+// in VPU accumulation paths.  INT4 is an extension point: digital CIM
+// macros are natively efficient at INT4 (e.g. 351 TOPS/W in the 7nm macro
+// the paper cites [8]), so the library models it for what-if studies.
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace cimtpu::ir {
+
+enum class DType : std::uint8_t { kInt4, kInt8, kBf16, kFp32 };
+
+/// Storage size of one element.
+constexpr double dtype_bytes(DType dtype) {
+  switch (dtype) {
+    case DType::kInt4:
+      return 0.5;
+    case DType::kInt8:
+      return 1.0;
+    case DType::kBf16:
+      return 2.0;
+    case DType::kFp32:
+      return 4.0;
+  }
+  return 0.0;  // unreachable
+}
+
+inline std::string dtype_name(DType dtype) {
+  switch (dtype) {
+    case DType::kInt4:
+      return "INT4";
+    case DType::kInt8:
+      return "INT8";
+    case DType::kBf16:
+      return "BF16";
+    case DType::kFp32:
+      return "FP32";
+  }
+  return "?";
+}
+
+inline DType dtype_from_name(const std::string& name) {
+  if (name == "INT4" || name == "int4") return DType::kInt4;
+  if (name == "INT8" || name == "int8") return DType::kInt8;
+  if (name == "BF16" || name == "bf16") return DType::kBf16;
+  if (name == "FP32" || name == "fp32") return DType::kFp32;
+  throw ConfigError("unknown dtype: " + name);
+}
+
+}  // namespace cimtpu::ir

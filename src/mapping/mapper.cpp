@@ -1,0 +1,153 @@
+#include "mapping/mapper.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+#include "common/status.h"
+
+namespace cimtpu::mapping {
+
+Seconds StreamingPlan::memory_time(const mem::MemorySystemSpec& spec) const {
+  // Channels run concurrently (memory coalescing + double buffering); the
+  // slowest channel bounds streaming throughput.
+  const Seconds hbm = hbm_bytes / spec.hbm.bandwidth;
+  const Seconds cmem = cmem_bytes / spec.cmem.bandwidth;
+  const Seconds vmem = vmem_bytes / spec.vmem.bandwidth;
+  return std::max({hbm, cmem, vmem});
+}
+
+Joules StreamingPlan::memory_energy(const mem::MemorySystem& memory) const {
+  return memory.hbm_energy(hbm_bytes) + memory.cmem_energy(cmem_bytes) +
+         memory.vmem_energy(vmem_bytes);
+}
+
+Mapper::Mapper(const systolic::MatrixUnit& unit, int unit_count)
+    : unit_(&unit), unit_count_(unit_count) {
+  CIMTPU_CONFIG_CHECK(unit_count > 0, "mapper needs >= 1 unit");
+}
+
+GemmMapping Mapper::evaluate_candidate(const ir::Op& op,
+                                       const std::string& strategy,
+                                       const systolic::GemmWorkload& per_unit,
+                                       int units_used) const {
+  GemmMapping mapping;
+  mapping.strategy = strategy;
+  mapping.units_used = units_used;
+  mapping.per_unit = per_unit;
+  mapping.unit_cost = unit_->evaluate(per_unit);
+  mapping.busy_cycles = mapping.unit_cost.busy_cycles;
+  mapping.busy_energy = mapping.unit_cost.busy_energy * units_used;
+  mapping.stationary_bytes_loaded =
+      mapping.unit_cost.stationary_bytes_loaded * units_used;
+  // Useful MACs are a property of the op, not of the (padded) partitioning.
+  mapping.useful_macs = op.macs();
+  return mapping;
+}
+
+std::vector<GemmMapping> Mapper::enumerate(const ir::Op& op) const {
+  CIMTPU_CHECK_MSG(op.is_matmul(), "mapping non-matmul op '" << op.name << "'");
+  std::vector<GemmMapping> candidates;
+  const int u = unit_count_;
+
+  systolic::GemmWorkload base;
+  base.m = op.m;
+  base.k = op.k;
+  base.n = op.n;
+  base.instances = op.instances;
+  base.dtype = op.dtype;
+
+  // Instance split: independent GEMMs round-robin across units.
+  if (op.instances > 1) {
+    systolic::GemmWorkload w = base;
+    const int units = static_cast<int>(
+        std::min<std::int64_t>(u, op.instances));
+    w.instances = ceil_div<std::int64_t>(op.instances, units);
+    candidates.push_back(evaluate_candidate(op, "instance-split", w, units));
+  }
+  // N split: each unit owns a column slab of every instance.
+  if (op.n > 1) {
+    systolic::GemmWorkload w = base;
+    const int units = static_cast<int>(std::min<std::int64_t>(u, op.n));
+    w.n = ceil_div<std::int64_t>(op.n, units);
+    candidates.push_back(evaluate_candidate(op, "n-split", w, units));
+  }
+  // M split: each unit owns a row slab (weights replicated).
+  if (op.m > 1) {
+    systolic::GemmWorkload w = base;
+    const int units = static_cast<int>(std::min<std::int64_t>(u, op.m));
+    w.m = ceil_div<std::int64_t>(op.m, units);
+    candidates.push_back(evaluate_candidate(op, "m-split", w, units));
+  }
+  // Single unit (fallback; also the best choice for tiny ops).
+  candidates.push_back(evaluate_candidate(op, "single-unit", base, 1));
+  return candidates;
+}
+
+GemmMapping Mapper::best_mapping(const ir::Op& op) const {
+  const std::vector<GemmMapping> candidates = enumerate(op);
+  CIMTPU_CHECK(!candidates.empty());
+  const auto best = std::min_element(
+      candidates.begin(), candidates.end(),
+      [](const GemmMapping& a, const GemmMapping& b) {
+        return a.busy_cycles < b.busy_cycles;
+      });
+  return *best;
+}
+
+StreamingPlan Mapper::plan_streaming(const ir::Op& op,
+                                     const mem::MemorySystemSpec& spec) {
+  StreamingPlan plan;
+  const Bytes vmem_working_set = spec.vmem.capacity / 2;  // double buffer
+
+  // Effective residency: tensors declared VMEM-resident but larger than the
+  // double-buffered working set spill to CMEM.
+  auto effective = [&](ir::Residency declared, Bytes bytes) {
+    if (declared == ir::Residency::kVmem && bytes > vmem_working_set) {
+      return ir::Residency::kCmem;
+    }
+    return declared;
+  };
+  // Accumulate per-channel traffic for one tensor stream.
+  auto add_stream = [&](ir::Residency residency, Bytes bytes) {
+    switch (residency) {
+      case ir::Residency::kHbm:
+        plan.hbm_bytes += bytes;
+        plan.cmem_bytes += bytes;
+        plan.vmem_bytes += bytes;
+        break;
+      case ir::Residency::kCmem:
+        plan.cmem_bytes += bytes;
+        plan.vmem_bytes += bytes;
+        break;
+      case ir::Residency::kVmem:
+        plan.vmem_bytes += bytes;
+        break;
+    }
+  };
+
+  if (op.is_matmul()) {
+    add_stream(effective(op.stationary_residency, op.stationary_bytes()),
+               op.stationary_bytes());
+    add_stream(effective(op.moving_residency, op.moving_bytes()),
+               op.moving_bytes());
+    add_stream(effective(op.output_residency, op.output_bytes()),
+               op.output_bytes());
+  } else {
+    // Vector ops stream input and output through VMEM (from CMEM when
+    // large); embedding tables gather from HBM.
+    const ir::Residency in_res =
+        op.kind == ir::OpKind::kEmbeddingLookup
+            ? ir::Residency::kHbm
+            : effective(ir::Residency::kVmem, op.moving_bytes());
+    add_stream(in_res, op.moving_bytes());
+    add_stream(effective(ir::Residency::kVmem, op.output_bytes()),
+               op.output_bytes());
+  }
+
+  const Bytes dominant = std::max(plan.hbm_bytes, plan.cmem_bytes);
+  plan.tiles = std::max(1.0, dominant / (vmem_working_set / 2));
+  plan.double_buffered = true;
+  return plan;
+}
+
+}  // namespace cimtpu::mapping

@@ -1,0 +1,75 @@
+#pragma once
+// Mapping engine: decides how a matmul operator is partitioned across the
+// TensorCore's MXUs and how its tensors stream through the CMEM/VMEM
+// hierarchy (paper Sec. III-C, Fig. 5).
+//
+// The mapspace is pruned with the heuristics of LLMCompass/Timeloop-style
+// mappers: only whole-dimension splits across units are considered
+// (instance-, n-, and m-splits), each costed exactly with the unit's
+// analytic model, and the latency-optimal candidate is kept.
+
+#include <string>
+#include <vector>
+
+#include "ir/op.h"
+#include "mem/memory.h"
+#include "systolic/matrix_unit.h"
+
+namespace cimtpu::mapping {
+
+/// One evaluated mapping candidate for a matmul op.
+struct GemmMapping {
+  std::string strategy;              ///< "instance-split" / "n-split" / "m-split"
+  int units_used = 1;                ///< MXUs participating
+  systolic::GemmWorkload per_unit;   ///< workload of the busiest unit
+  systolic::MxuCost unit_cost;       ///< cost of the busiest unit
+  Cycles busy_cycles = 0;            ///< makespan across units
+  Joules busy_energy = 0;            ///< summed over all units
+  Bytes stationary_bytes_loaded = 0; ///< summed over all units
+  double useful_macs = 0;
+};
+
+/// Streaming plan for an op's tensors through the memory hierarchy.
+struct StreamingPlan {
+  Bytes hbm_bytes = 0;    ///< bytes crossing the HBM interface
+  Bytes cmem_bytes = 0;   ///< bytes crossing the OCI/CMEM port
+  Bytes vmem_bytes = 0;   ///< bytes crossing VMEM
+  double tiles = 1;       ///< double-buffer granularity (exposure = 1/tiles)
+  bool double_buffered = true;
+
+  /// Slowest-channel streaming time.
+  Seconds memory_time(const mem::MemorySystemSpec& spec) const;
+  /// Total access energy over all channels.
+  Joules memory_energy(const mem::MemorySystem& memory) const;
+};
+
+class Mapper {
+ public:
+  /// `unit` is the prototype MXU (all identical); `unit_count` how many the
+  /// TensorCore has.
+  Mapper(const systolic::MatrixUnit& unit, int unit_count);
+
+  /// Enumerates the pruned mapspace for `op` and returns the
+  /// latency-optimal mapping.
+  GemmMapping best_mapping(const ir::Op& op) const;
+
+  /// All evaluated candidates (for tests and mapspace inspection).
+  std::vector<GemmMapping> enumerate(const ir::Op& op) const;
+
+  /// Builds the memory streaming plan for `op` on the given hierarchy.
+  /// Tensors declared VMEM-resident that exceed half of VMEM are spilled
+  /// to CMEM (the engine tiles them); the KV residency encoded in the op
+  /// decides whether attention operands touch HBM.
+  static StreamingPlan plan_streaming(const ir::Op& op,
+                                      const mem::MemorySystemSpec& spec);
+
+ private:
+  GemmMapping evaluate_candidate(const ir::Op& op, const std::string& strategy,
+                                 const systolic::GemmWorkload& per_unit,
+                                 int units_used) const;
+
+  const systolic::MatrixUnit* unit_;
+  int unit_count_;
+};
+
+}  // namespace cimtpu::mapping

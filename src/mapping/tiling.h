@@ -1,0 +1,63 @@
+#pragma once
+// Two-level GEMM tiling search (paper Fig. 5): a [L, D] x [D, D] operator
+// is partitioned into [LtileM, DtileK] x [DtileK, DtileN] sub-tiles that
+// fit the double-buffered VMEM working set, and the mapping engine picks
+// the tiling that minimizes data movement.
+//
+// The classic tiled-GEMM traffic model: with tiles (Tm, Tk, Tn),
+//   * the moving operand A [m, k] is re-read once per N-tile column,
+//   * the stationary operand W [k, n] is re-read once per M-tile row,
+//   * the output C [m, n] is revisited once per K-tile (partial sums),
+// and the working set Tm*Tk + Tk*Tn + Tm*Tn must fit half of VMEM
+// (the other half holds the incoming double buffer).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "ir/op.h"
+
+namespace cimtpu::mapping {
+
+struct TileChoice {
+  std::int64_t tm = 0;
+  std::int64_t tk = 0;
+  std::int64_t tn = 0;
+
+  Bytes working_set = 0;   ///< bytes resident in VMEM at once
+  Bytes vmem_traffic = 0;  ///< total bytes through VMEM incl. re-reads
+  double reuse_factor = 0; ///< compulsory bytes / vmem_traffic (<= 1)
+
+  std::int64_t m_tiles = 0;
+  std::int64_t k_tiles = 0;
+  std::int64_t n_tiles = 0;
+  std::int64_t total_tiles() const { return m_tiles * k_tiles * n_tiles; }
+};
+
+/// Search knobs.
+struct TilingOptions {
+  Bytes vmem_capacity = 16 * MiB;
+  double buffer_fraction = 0.5;  ///< double buffering reserves the rest
+  std::int64_t quantum_m = 8;    ///< tile-size granularity per dimension
+  std::int64_t quantum_k = 128;  ///< MXU contraction extent
+  std::int64_t quantum_n = 128;  ///< MXU output extent
+};
+
+/// Compulsory (minimum possible) VMEM traffic for a GEMM: every operand
+/// byte moves exactly once.
+Bytes compulsory_traffic(const ir::Op& matmul);
+
+/// Evaluates one candidate tiling (no search).
+TileChoice evaluate_tiling(const ir::Op& matmul, std::int64_t tm,
+                           std::int64_t tk, std::int64_t tn,
+                           const TilingOptions& options);
+
+/// Searches the quantized tile space and returns the traffic-minimal legal
+/// tiling.  Throws ConfigError when even the smallest tile cannot fit.
+TileChoice best_tiling(const ir::Op& matmul, const TilingOptions& options);
+
+/// All candidates evaluated by the search, for inspection/tests.
+std::vector<TileChoice> enumerate_tilings(const ir::Op& matmul,
+                                          const TilingOptions& options);
+
+}  // namespace cimtpu::mapping

@@ -1,0 +1,120 @@
+#include "models/dit.h"
+
+#include "common/status.h"
+
+namespace cimtpu::models {
+
+void DitGeometry::validate() const {
+  CIMTPU_CONFIG_CHECK(image_size > 0 && vae_factor > 0 && patch_size > 0,
+                      "DiT geometry must be positive");
+  CIMTPU_CONFIG_CHECK(image_size % vae_factor == 0,
+                      "image_size must divide by vae_factor");
+  CIMTPU_CONFIG_CHECK(latent_size() % patch_size == 0,
+                      "latent must divide by patch_size");
+}
+
+ir::Graph build_dit_block(const TransformerConfig& config,
+                          const DitGeometry& geometry, std::int64_t batch) {
+  config.validate();
+  geometry.validate();
+  CIMTPU_CONFIG_CHECK(batch > 0, "DiT batch must be positive");
+  ir::Graph graph(config.name + "-block");
+  const std::int64_t tokens = geometry.tokens();
+  const std::int64_t rows = batch * tokens;
+  const std::int64_t instances = batch * config.num_heads;
+  const ir::DType dtype = config.dtype;
+
+  // adaLN conditioning MLP: conditioning vector -> 6 modulation vectors
+  // (shift/scale/gate for attention and MLP branches).
+  graph.add(ir::make_weight_gemm("adaln_mlp", "Conditioning", batch,
+                                 config.d_model, 6 * config.d_model, dtype));
+
+  graph.add(ir::make_layer_norm("ln1", "LayerNorm", rows, config.d_model,
+                                dtype));
+  // x * (1 + scale) + shift: two ops per element.
+  graph.add(ir::make_elementwise("modulate1", "Conditioning",
+                                 rows * config.d_model, 2.0, dtype));
+  graph.add(ir::make_weight_gemm("qkv_proj", "QKV Gen", rows, config.d_model,
+                                 3 * config.d_model, dtype));
+  // Attention K/V are fresh activations; they live in CMEM.
+  graph.add(ir::make_attention_gemm("attn_qk", "Attention", instances, tokens,
+                                    config.d_head(), tokens, dtype,
+                                    ir::Residency::kCmem));
+  graph.add(ir::make_softmax("attn_softmax", "Attention", instances * tokens,
+                             tokens, dtype));
+  graph.add(ir::make_attention_gemm("attn_sv", "Attention", instances, tokens,
+                                    tokens, config.d_head(), dtype,
+                                    ir::Residency::kCmem));
+  graph.add(ir::make_weight_gemm("out_proj", "Proj.", rows, config.d_model,
+                                 config.d_model, dtype));
+  // gate * branch + residual.
+  graph.add(ir::make_elementwise("gate1", "Conditioning", rows * config.d_model,
+                                 2.0, dtype));
+
+  graph.add(ir::make_layer_norm("ln2", "LayerNorm", rows, config.d_model,
+                                dtype));
+  graph.add(ir::make_elementwise("modulate2", "Conditioning",
+                                 rows * config.d_model, 2.0, dtype));
+  graph.add(ir::make_weight_gemm("ffn1", "FFN1", rows, config.d_model,
+                                 config.d_ff, dtype));
+  graph.add(ir::make_gelu("gelu", "GeLU", rows * config.d_ff, dtype));
+  graph.add(ir::make_weight_gemm("ffn2", "FFN2", rows, config.d_ff,
+                                 config.d_model, dtype));
+  graph.add(ir::make_elementwise("gate2", "Conditioning", rows * config.d_model,
+                                 2.0, dtype));
+  return graph;
+}
+
+ir::Graph build_dit_preprocess(const TransformerConfig& config,
+                               const DitGeometry& geometry,
+                               std::int64_t batch) {
+  config.validate();
+  geometry.validate();
+  ir::Graph graph(config.name + "-preprocess");
+  const std::int64_t tokens = geometry.tokens();
+  const std::int64_t patch_dim = geometry.patch_size * geometry.patch_size *
+                                 geometry.latent_channels;
+  const ir::DType dtype = config.dtype;
+
+  // Patchify: rearrange the latent into token rows.
+  graph.add(ir::make_data_movement("patchify", "Pre-Process",
+                                   batch * tokens * patch_dim, dtype));
+  // Linear patch embedding.
+  graph.add(ir::make_weight_gemm("patch_embed", "Pre-Process", batch * tokens,
+                                 patch_dim, config.d_model, dtype));
+  // Positional embedding add.
+  graph.add(ir::make_elementwise("pos_embed", "Pre-Process",
+                                 batch * tokens * config.d_model, 1.0, dtype));
+  // Timestep embedding MLP (sinusoidal -> 2-layer MLP) + label embedding.
+  graph.add(ir::make_weight_gemm("t_embed_fc1", "Pre-Process", batch, 256,
+                                 config.d_model, dtype));
+  graph.add(ir::make_weight_gemm("t_embed_fc2", "Pre-Process", batch,
+                                 config.d_model, config.d_model, dtype));
+  graph.add(ir::make_embedding_lookup("label_embed", "Pre-Process", batch,
+                                      config.d_model, dtype));
+  return graph;
+}
+
+ir::Graph build_dit_postprocess(const TransformerConfig& config,
+                                const DitGeometry& geometry,
+                                std::int64_t batch) {
+  config.validate();
+  geometry.validate();
+  ir::Graph graph(config.name + "-postprocess");
+  const std::int64_t tokens = geometry.tokens();
+  // Output projects to patch_size^2 * 2 * channels (noise + variance).
+  const std::int64_t out_dim = geometry.patch_size * geometry.patch_size * 2 *
+                               geometry.latent_channels;
+  const ir::DType dtype = config.dtype;
+
+  graph.add(ir::make_layer_norm("final_ln", "Post-Process", batch * tokens,
+                                config.d_model, dtype));
+  graph.add(ir::make_weight_gemm("final_linear", "Post-Process",
+                                 batch * tokens, config.d_model, out_dim,
+                                 dtype));
+  graph.add(ir::make_data_movement("unpatchify", "Post-Process",
+                                   batch * tokens * out_dim, dtype));
+  return graph;
+}
+
+}  // namespace cimtpu::models

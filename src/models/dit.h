@@ -1,0 +1,46 @@
+#pragma once
+// Diffusion Transformer (DiT) workload builders (Peebles & Xie, 2023).
+//
+// A DiT block is a Transformer layer augmented with adaLN conditioning:
+// an MLP on the (timestep, label) conditioning vector produces per-block
+// shift/scale/gate parameters applied around attention and the MLP
+// ("Shift & Scale" / "Scale" boxes in the paper's Fig. 2(c)).
+
+#include <cstdint>
+
+#include "ir/graph.h"
+#include "models/transformer.h"
+
+namespace cimtpu::models {
+
+/// Geometry of a DiT invocation.
+struct DitGeometry {
+  std::int64_t image_size = 512;   ///< pixels (square)
+  std::int64_t vae_factor = 8;     ///< latent downsampling (SD-style VAE)
+  std::int64_t patch_size = 2;     ///< DiT-XL/2 -> "/2"
+  std::int64_t latent_channels = 4;
+
+  std::int64_t latent_size() const { return image_size / vae_factor; }
+  /// Sequence length: (latent/patch)^2.  512x512 -> 64x64 latent -> 1024.
+  std::int64_t tokens() const {
+    const std::int64_t side = latent_size() / patch_size;
+    return side * side;
+  }
+  void validate() const;
+};
+
+/// One DiT block (Transformer layer + conditioning + modulation).
+ir::Graph build_dit_block(const TransformerConfig& config,
+                          const DitGeometry& geometry, std::int64_t batch);
+
+/// Pre-processing: patchify + linear embedding + timestep/label MLPs.
+ir::Graph build_dit_preprocess(const TransformerConfig& config,
+                               const DitGeometry& geometry,
+                               std::int64_t batch);
+
+/// Post-processing: final LayerNorm + linear + unpatchify reshape.
+ir::Graph build_dit_postprocess(const TransformerConfig& config,
+                                const DitGeometry& geometry,
+                                std::int64_t batch);
+
+}  // namespace cimtpu::models

@@ -1,0 +1,76 @@
+#include "models/model_zoo.h"
+
+#include "common/status.h"
+
+namespace cimtpu::models {
+
+TransformerConfig gpt3_30b() {
+  TransformerConfig config;
+  config.name = "gpt3-30b";
+  config.num_layers = 48;
+  config.num_heads = 56;
+  config.d_model = 7168;
+  config.d_ff = 4 * 7168;
+  config.vocab_size = 50257;
+  config.ffn = FfnKind::kGelu;
+  return config;
+}
+
+TransformerConfig gpt3_175b() {
+  TransformerConfig config;
+  config.name = "gpt3-175b";
+  config.num_layers = 96;
+  config.num_heads = 96;
+  config.d_model = 12288;
+  config.d_ff = 4 * 12288;
+  config.vocab_size = 50257;
+  config.ffn = FfnKind::kGelu;
+  return config;
+}
+
+TransformerConfig llama2_13b() {
+  TransformerConfig config;
+  config.name = "llama2-13b";
+  config.num_layers = 40;
+  config.num_heads = 40;
+  config.d_model = 5120;
+  config.d_ff = 13824;
+  config.vocab_size = 32000;
+  config.ffn = FfnKind::kSwiGlu;
+  return config;
+}
+
+TransformerConfig dit_xl_2() {
+  TransformerConfig config;
+  config.name = "dit-xl/2";
+  config.num_layers = 28;
+  config.num_heads = 16;
+  config.d_model = 1152;
+  config.d_ff = 4 * 1152;
+  config.vocab_size = 0;
+  config.ffn = FfnKind::kGelu;
+  return config;
+}
+
+DitGeometry dit_geometry_512() {
+  DitGeometry geometry;
+  geometry.image_size = 512;
+  geometry.vae_factor = 8;
+  geometry.patch_size = 2;
+  geometry.latent_channels = 4;
+  return geometry;
+}
+
+TransformerConfig model_by_name(const std::string& name) {
+  if (name == "gpt3-30b") return gpt3_30b();
+  if (name == "gpt3-175b") return gpt3_175b();
+  if (name == "llama2-13b") return llama2_13b();
+  if (name == "dit-xl/2") return dit_xl_2();
+  throw ConfigError("unknown model: " + name);
+}
+
+std::vector<std::string> model_names() {
+  return {"gpt3-30b", "gpt3-175b", "llama2-13b", "dit-xl/2"};
+}
+
+}  // namespace cimtpu::models

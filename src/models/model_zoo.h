@@ -1,0 +1,37 @@
+#pragma once
+// Named model configurations used by the paper (Table III and Fig. 2)
+// plus extras for scaling studies.
+
+#include <string>
+#include <vector>
+
+#include "models/dit.h"
+#include "models/transformer.h"
+
+namespace cimtpu::models {
+
+/// GPT3-30B: 48 layers, 56 heads, d_model 7168 (paper Table III).
+TransformerConfig gpt3_30b();
+
+/// GPT-3 175B (Brown et al., 2020): 96 layers, 96 heads, d_model 12288.
+TransformerConfig gpt3_175b();
+
+/// Llama2-13B (Touvron et al., 2023): 40 layers, 40 heads, d_model 5120,
+/// SwiGLU FFN with hidden 13824, vocab 32000.  Used in the paper's Fig. 2
+/// runtime-breakdown analysis.
+TransformerConfig llama2_13b();
+
+/// DiT-XL/2: 28 blocks, 16 heads, d_model 1152 (paper Table III).
+TransformerConfig dit_xl_2();
+
+/// Standard DiT-XL/2 geometry at 512x512 (1024 tokens).
+DitGeometry dit_geometry_512();
+
+/// Looks a config up by name ("gpt3-30b", "gpt3-175b", "llama2-13b",
+/// "dit-xl/2"); throws ConfigError for unknown names.
+TransformerConfig model_by_name(const std::string& name);
+
+/// All registered model names.
+std::vector<std::string> model_names();
+
+}  // namespace cimtpu::models

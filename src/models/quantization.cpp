@@ -1,0 +1,96 @@
+#include "models/quantization.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace cimtpu::models {
+
+QuantParams choose_scale(const std::vector<float>& values) {
+  CIMTPU_CHECK_MSG(!values.empty(), "cannot scale an empty tensor");
+  float max_abs = 0.0f;
+  for (float v : values) max_abs = std::max(max_abs, std::fabs(v));
+  QuantParams params;
+  params.scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+  return params;
+}
+
+std::vector<std::int8_t> quantize(const std::vector<float>& values,
+                                  const QuantParams& params) {
+  CIMTPU_CHECK_MSG(params.scale > 0.0f, "scale must be positive");
+  std::vector<std::int8_t> result(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const float scaled = values[i] / params.scale;
+    const float clamped = std::min(127.0f, std::max(-127.0f, scaled));
+    result[i] = static_cast<std::int8_t>(std::lround(clamped));
+  }
+  return result;
+}
+
+std::vector<float> dequantize(const std::vector<std::int8_t>& values,
+                              const QuantParams& params) {
+  std::vector<float> result(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    result[i] = params.dequantize(values[i]);
+  }
+  return result;
+}
+
+std::vector<float> quantized_gemm(const std::vector<std::int8_t>& a,
+                                  const QuantParams& a_params,
+                                  const std::vector<std::int8_t>& w,
+                                  const QuantParams& w_params, int m, int k,
+                                  int n) {
+  CIMTPU_CHECK_MSG(a.size() == static_cast<std::size_t>(m) * k,
+                   "A size mismatch");
+  CIMTPU_CHECK_MSG(w.size() == static_cast<std::size_t>(k) * n,
+                   "W size mismatch");
+  const float scale = a_params.scale * w_params.scale;
+  std::vector<float> out(static_cast<std::size_t>(m) * n, 0.0f);
+  for (int i = 0; i < m; ++i) {
+    for (int c = 0; c < n; ++c) {
+      std::int32_t acc = 0;
+      for (int r = 0; r < k; ++r) {
+        acc += static_cast<std::int32_t>(a[static_cast<std::size_t>(i) * k + r]) *
+               static_cast<std::int32_t>(w[static_cast<std::size_t>(r) * n + c]);
+      }
+      out[static_cast<std::size_t>(i) * n + c] =
+          scale * static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+std::vector<float> float_gemm(const std::vector<float>& a,
+                              const std::vector<float>& w, int m, int k,
+                              int n) {
+  CIMTPU_CHECK_MSG(a.size() == static_cast<std::size_t>(m) * k,
+                   "A size mismatch");
+  CIMTPU_CHECK_MSG(w.size() == static_cast<std::size_t>(k) * n,
+                   "W size mismatch");
+  std::vector<float> out(static_cast<std::size_t>(m) * n, 0.0f);
+  for (int i = 0; i < m; ++i) {
+    for (int c = 0; c < n; ++c) {
+      double acc = 0;
+      for (int r = 0; r < k; ++r) {
+        acc += static_cast<double>(a[static_cast<std::size_t>(i) * k + r]) *
+               w[static_cast<std::size_t>(r) * n + c];
+      }
+      out[static_cast<std::size_t>(i) * n + c] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+float quantized_gemm_error_bound(const QuantParams& a_params,
+                                 const QuantParams& w_params, int k) {
+  const float eps_a = a_params.scale * 0.5f;
+  const float eps_w = w_params.scale * 0.5f;
+  const float max_a = a_params.scale * 127.0f;
+  const float max_w = w_params.scale * 127.0f;
+  return static_cast<float>(k) *
+         (eps_a * max_w + eps_w * max_a + eps_a * eps_w);
+}
+
+}  // namespace cimtpu::models

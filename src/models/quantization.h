@@ -1,0 +1,56 @@
+#pragma once
+// INT8 quantization utilities.
+//
+// The paper evaluates all workloads "using INT8 data precision"
+// (Sec. IV-B).  This module provides the functional counterpart: symmetric
+// per-tensor quantization of float matrices, a quantized GEMM that runs on
+// the bit-exact CIM/systolic integer paths, and the dequantization that
+// bounds end-to-end numeric error.  Property tests verify the quantized
+// pipeline tracks the float reference within the expected error bound.
+
+#include <cstdint>
+#include <vector>
+
+namespace cimtpu::models {
+
+/// Symmetric per-tensor INT8 quantization parameters: real = scale * q.
+struct QuantParams {
+  float scale = 1.0f;
+
+  float dequantize(std::int32_t q) const {
+    return scale * static_cast<float>(q);
+  }
+};
+
+/// Chooses the symmetric scale covering max|x| at 127.
+QuantParams choose_scale(const std::vector<float>& values);
+
+/// Quantizes with round-to-nearest, saturating to [-127, 127] (symmetric;
+/// -128 is unused to keep negation exact).
+std::vector<std::int8_t> quantize(const std::vector<float>& values,
+                                  const QuantParams& params);
+
+/// Dequantizes an INT8 tensor.
+std::vector<float> dequantize(const std::vector<std::int8_t>& values,
+                              const QuantParams& params);
+
+/// Quantized GEMM: C_real ~= (scale_a * scale_w) * (A_q x W_q).
+/// A is [m, k], W is [k, n], both row-major.
+std::vector<float> quantized_gemm(const std::vector<std::int8_t>& a,
+                                  const QuantParams& a_params,
+                                  const std::vector<std::int8_t>& w,
+                                  const QuantParams& w_params, int m, int k,
+                                  int n);
+
+/// Float reference GEMM.
+std::vector<float> float_gemm(const std::vector<float>& a,
+                              const std::vector<float>& w, int m, int k,
+                              int n);
+
+/// Worst-case absolute error bound of the quantized GEMM for operands
+/// bounded by the chosen scales: k * (eps_a * max_w + eps_w * max_a +
+/// eps_a * eps_w) with eps = scale / 2 (round-to-nearest).
+float quantized_gemm_error_bound(const QuantParams& a_params,
+                                 const QuantParams& w_params, int k);
+
+}  // namespace cimtpu::models

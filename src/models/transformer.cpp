@@ -1,0 +1,39 @@
+#include "models/transformer.h"
+
+#include "common/status.h"
+
+namespace cimtpu::models {
+
+void TransformerConfig::validate() const {
+  CIMTPU_CONFIG_CHECK(num_layers > 0, "model '" << name << "': num_layers");
+  CIMTPU_CONFIG_CHECK(num_heads > 0, "model '" << name << "': num_heads");
+  CIMTPU_CONFIG_CHECK(d_model > 0 && d_model % num_heads == 0,
+                      "model '" << name << "': d_model (" << d_model
+                                << ") must be divisible by heads ("
+                                << num_heads << ")");
+  CIMTPU_CONFIG_CHECK(d_ff > 0, "model '" << name << "': d_ff");
+}
+
+Bytes TransformerConfig::layer_weight_bytes() const {
+  const double elem = ir::dtype_bytes(dtype);
+  const double d = static_cast<double>(d_model);
+  const double f = static_cast<double>(d_ff);
+  // QKV (d x 3d) + output projection (d x d).
+  double weights = 3.0 * d * d + d * d;
+  // FFN matrices.
+  weights += ffn == FfnKind::kSwiGlu ? 3.0 * d * f : 2.0 * d * f;
+  return weights * elem;
+}
+
+double TransformerConfig::stack_parameters() const {
+  return layer_weight_bytes() / ir::dtype_bytes(dtype) * num_layers;
+}
+
+Bytes kv_cache_bytes_per_layer(const TransformerConfig& config,
+                               std::int64_t batch, std::int64_t kv_len) {
+  // K and V, [batch, kv_len, d_model] each.
+  return 2.0 * static_cast<double>(batch) * kv_len * config.d_model *
+         ir::dtype_bytes(config.dtype);
+}
+
+}  // namespace cimtpu::models

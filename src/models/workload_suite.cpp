@@ -1,0 +1,114 @@
+#include "models/workload_suite.h"
+
+#include "common/status.h"
+
+namespace cimtpu::models {
+
+std::string workload_kind_name(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kLlmPrefillLayer:
+      return "llm-prefill-layer";
+    case WorkloadKind::kLlmDecodeLayer:
+      return "llm-decode-layer";
+    case WorkloadKind::kLlmInference:
+      return "llm-inference";
+    case WorkloadKind::kDitBlock:
+      return "dit-block";
+    case WorkloadKind::kDitForward:
+      return "dit-forward";
+  }
+  return "?";
+}
+
+std::vector<WorkloadCase> paper_workloads() {
+  std::vector<WorkloadCase> cases;
+
+  {
+    WorkloadCase c;
+    c.id = "fig6-llm-prefill";
+    c.description = "Fig. 6 left: GPT3-30B prefill layer, batch 8, L=1024";
+    c.kind = WorkloadKind::kLlmPrefillLayer;
+    c.model = gpt3_30b();
+    c.batch = 8;
+    c.input_len = 1024;
+    cases.push_back(c);
+  }
+  {
+    WorkloadCase c;
+    c.id = "fig6-llm-decode";
+    c.description = "Fig. 6 middle: GPT3-30B decode layer, 256th token";
+    c.kind = WorkloadKind::kLlmDecodeLayer;
+    c.model = gpt3_30b();
+    c.batch = 8;
+    c.kv_len = 1024 + 256;
+    cases.push_back(c);
+  }
+  {
+    WorkloadCase c;
+    c.id = "fig6-dit-block";
+    c.description = "Fig. 6 right: DiT-XL/2 block, 512x512, batch 8";
+    c.kind = WorkloadKind::kDitBlock;
+    c.model = dit_xl_2();
+    c.geometry = dit_geometry_512();
+    c.batch = 8;
+    cases.push_back(c);
+  }
+  {
+    WorkloadCase c;
+    c.id = "fig7-llm";
+    c.description = "Fig. 7 LLM panel: GPT3-30B, 1024 in / 512 out, batch 8";
+    c.kind = WorkloadKind::kLlmInference;
+    c.model = gpt3_30b();
+    c.batch = 8;
+    c.input_len = 1024;
+    c.output_len = 512;
+    cases.push_back(c);
+  }
+  {
+    WorkloadCase c;
+    c.id = "fig7-dit";
+    c.description = "Fig. 7 DiT panel: DiT-XL/2 forward pass, batch 8";
+    c.kind = WorkloadKind::kDitForward;
+    c.model = dit_xl_2();
+    c.geometry = dit_geometry_512();
+    c.batch = 8;
+    cases.push_back(c);
+  }
+  {
+    WorkloadCase c;
+    c.id = "fig2-llama";
+    c.description = "Fig. 2(d): Llama2-13B breakdown (Alpaca-style shapes)";
+    c.kind = WorkloadKind::kLlmInference;
+    c.model = llama2_13b();
+    c.batch = 1;
+    c.input_len = 128;
+    c.output_len = 256;
+    cases.push_back(c);
+  }
+  {
+    WorkloadCase c;
+    c.id = "fig2-dit";
+    c.description = "Fig. 2(d): DiT-XL/2 breakdown, batch 1";
+    c.kind = WorkloadKind::kDitForward;
+    c.model = dit_xl_2();
+    c.geometry = dit_geometry_512();
+    c.batch = 1;
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+WorkloadCase workload_by_id(const std::string& id) {
+  for (const WorkloadCase& c : paper_workloads()) {
+    if (c.id == id) return c;
+  }
+  throw ConfigError("unknown workload id: " + id);
+}
+
+std::vector<std::string> workload_ids() {
+  std::vector<std::string> ids;
+  for (const WorkloadCase& c : paper_workloads()) ids.push_back(c.id);
+  return ids;
+}
+
+}  // namespace cimtpu::models

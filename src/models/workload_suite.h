@@ -1,0 +1,49 @@
+#pragma once
+// Named experiment registry: the exact workload points the paper's
+// evaluation uses, addressable by id.  Benches, examples and tests pull
+// scenarios from here so the definitions cannot drift apart.
+
+#include <string>
+#include <vector>
+
+#include "models/dit.h"
+#include "models/model_zoo.h"
+#include "models/transformer.h"
+
+namespace cimtpu::models {
+
+/// What kind of measurement a suite entry drives.
+enum class WorkloadKind {
+  kLlmPrefillLayer,  ///< one Transformer layer, prompt processing
+  kLlmDecodeLayer,   ///< one Transformer layer, one decode step
+  kLlmInference,     ///< prefill + full generation, all layers
+  kDitBlock,         ///< one DiT block
+  kDitForward,       ///< full DiT forward pass
+};
+
+std::string workload_kind_name(WorkloadKind kind);
+
+/// One registered experiment point.
+struct WorkloadCase {
+  std::string id;           ///< e.g. "fig6-llm-decode"
+  std::string description;  ///< where it appears in the paper
+  WorkloadKind kind;
+  TransformerConfig model;
+  DitGeometry geometry;     ///< DiT kinds only
+  std::int64_t batch = 8;
+  std::int64_t input_len = 1024;   ///< prefill length / decode context
+  std::int64_t output_len = 512;   ///< kLlmInference only
+  std::int64_t kv_len = 1280;      ///< kLlmDecodeLayer only
+};
+
+/// The paper's evaluation points (Fig. 6 panels, Fig. 7 scenarios,
+/// Fig. 2 breakdown inputs).
+std::vector<WorkloadCase> paper_workloads();
+
+/// Looks a case up by id; throws ConfigError for unknown ids.
+WorkloadCase workload_by_id(const std::string& id);
+
+/// All registered ids.
+std::vector<std::string> workload_ids();
+
+}  // namespace cimtpu::models

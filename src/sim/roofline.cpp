@@ -1,0 +1,108 @@
+#include "sim/roofline.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "mapping/mapper.h"
+
+namespace cimtpu::sim {
+
+std::string bound_resource_name(BoundResource resource) {
+  switch (resource) {
+    case BoundResource::kCompute:
+      return "compute";
+    case BoundResource::kHbm:
+      return "HBM";
+    case BoundResource::kOci:
+      return "OCI";
+    case BoundResource::kVmem:
+      return "VMEM";
+  }
+  return "?";
+}
+
+RooflinePoint analyze_op(const Simulator& simulator, const ir::Op& op) {
+  const arch::TpuChip& chip = simulator.chip();
+  const OpResult result = simulator.run_op(op);
+  const mapping::StreamingPlan plan =
+      mapping::Mapper::plan_streaming(op, chip.memory().spec());
+
+  RooflinePoint point;
+  point.op = op.name;
+  point.group = op.group;
+  point.flops = op.flops();
+  point.attained_flops_per_s =
+      result.latency > 0 ? point.flops / result.latency : 0;
+
+  // Compute roof: MXU peak for matmuls, VPU peak otherwise.
+  point.compute_roof = op.is_matmul()
+                           ? chip.peak_ops_per_second()
+                           : chip.vpu().ops_per_cycle() * chip.clock();
+
+  // Memory roofs per channel; the binding channel is the slowest.
+  const auto& spec = chip.memory().spec();
+  struct Channel {
+    BoundResource resource;
+    Seconds time;
+  };
+  const Channel channels[] = {
+      {BoundResource::kHbm, plan.hbm_bytes / spec.hbm.bandwidth},
+      {BoundResource::kOci, plan.cmem_bytes / spec.cmem.bandwidth},
+      {BoundResource::kVmem, plan.vmem_bytes / spec.vmem.bandwidth},
+  };
+  const Channel* slowest = &channels[0];
+  for (const Channel& channel : channels) {
+    if (channel.time > slowest->time) slowest = &channel;
+  }
+  point.memory_roof = slowest->time > 0
+                          ? point.flops / slowest->time
+                          : std::numeric_limits<double>::infinity();
+  point.operational_intensity =
+      plan.hbm_bytes > 0 ? point.flops / plan.hbm_bytes
+                         : std::numeric_limits<double>::infinity();
+
+  // Binding resource: whichever of compute vs the slowest memory channel
+  // dominates the overlapped latency.
+  if (result.compute_time >= slowest->time) {
+    point.bound = BoundResource::kCompute;
+  } else {
+    point.bound = slowest->resource;
+  }
+  return point;
+}
+
+std::vector<RooflinePoint> analyze_graph(const Simulator& simulator,
+                                         const ir::Graph& graph) {
+  std::vector<RooflinePoint> points;
+  points.reserve(graph.size());
+  for (const ir::Op& op : graph.ops()) {
+    points.push_back(analyze_op(simulator, op));
+  }
+  return points;
+}
+
+BoundBreakdown bound_breakdown(const Simulator& simulator,
+                               const ir::Graph& graph) {
+  BoundBreakdown breakdown;
+  for (const ir::Op& op : graph.ops()) {
+    const RooflinePoint point = analyze_op(simulator, op);
+    const OpResult result = simulator.run_op(op);
+    switch (point.bound) {
+      case BoundResource::kCompute:
+        breakdown.compute_bound += result.latency;
+        break;
+      case BoundResource::kHbm:
+        breakdown.hbm_bound += result.latency;
+        break;
+      case BoundResource::kOci:
+        breakdown.oci_bound += result.latency;
+        break;
+      case BoundResource::kVmem:
+        breakdown.vmem_bound += result.latency;
+        break;
+    }
+  }
+  return breakdown;
+}
+
+}  // namespace cimtpu::sim

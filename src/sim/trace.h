@@ -1,0 +1,26 @@
+#pragma once
+// Machine-readable result export: serializes GraphResults to JSON so
+// external tooling (plotting scripts, regression dashboards) can consume
+// simulation output without parsing ASCII tables.
+
+#include <string>
+
+#include "sim/report.h"
+
+namespace cimtpu::sim {
+
+/// JSON string escaping (control characters, quotes, backslash).
+std::string json_escape(const std::string& text);
+
+/// Serializes one op result as a JSON object.
+std::string to_json(const OpResult& op);
+
+/// Serializes a graph result — totals, group summaries and (optionally)
+/// the per-op detail — as a JSON object.
+std::string to_json(const GraphResult& result, bool include_ops = true);
+
+/// Writes `json` to `path`; throws ConfigError when the file cannot be
+/// created.
+void write_json_file(const std::string& path, const std::string& json);
+
+}  // namespace cimtpu::sim

@@ -1,0 +1,142 @@
+#include "systolic/functional_array.h"
+
+#include "common/status.h"
+
+namespace cimtpu::systolic {
+namespace {
+
+struct InputToken {
+  std::int8_t value = 0;
+  std::int32_t id = -1;  ///< input-row index; -1 = bubble
+};
+
+struct PsumToken {
+  std::int64_t value = 0;
+  std::int32_t id = -1;
+};
+
+}  // namespace
+
+FunctionalSystolicArray::FunctionalSystolicArray(int rows, int cols)
+    : rows_(rows), cols_(cols) {
+  CIMTPU_CONFIG_CHECK(rows > 0 && cols > 0,
+                      "functional array dims must be positive");
+}
+
+std::vector<std::int32_t> FunctionalSystolicArray::reference(
+    const std::vector<std::int8_t>& a, const std::vector<std::int8_t>& w,
+    int m, int k, int n) {
+  CIMTPU_CHECK(a.size() == static_cast<std::size_t>(m) * k);
+  CIMTPU_CHECK(w.size() == static_cast<std::size_t>(k) * n);
+  std::vector<std::int32_t> out(static_cast<std::size_t>(m) * n, 0);
+  for (int i = 0; i < m; ++i) {
+    for (int c = 0; c < n; ++c) {
+      std::int32_t acc = 0;
+      for (int r = 0; r < k; ++r) {
+        acc += static_cast<std::int32_t>(a[static_cast<std::size_t>(i) * k + r]) *
+               static_cast<std::int32_t>(w[static_cast<std::size_t>(r) * n + c]);
+      }
+      out[static_cast<std::size_t>(i) * n + c] = acc;
+    }
+  }
+  return out;
+}
+
+FunctionalSystolicArray::RunResult FunctionalSystolicArray::run(
+    const std::vector<std::int8_t>& a, const std::vector<std::int8_t>& w,
+    int m) const {
+  CIMTPU_CHECK_MSG(m > 0, "m must be positive");
+  CIMTPU_CHECK_MSG(a.size() == static_cast<std::size_t>(m) * rows_,
+                   "input size " << a.size() << " != m*rows");
+  CIMTPU_CHECK_MSG(w.size() == static_cast<std::size_t>(rows_) * cols_,
+                   "weight size " << w.size() << " != rows*cols");
+
+  RunResult result;
+  result.output.assign(static_cast<std::size_t>(m) * cols_, 0);
+
+  auto index = [this](int r, int c) {
+    return static_cast<std::size_t>(r) * cols_ + c;
+  };
+
+  // --- Phase 1: weight fill through the array (serialized; the vertical
+  // datapath is busy shifting weights, so no compute happens).
+  std::vector<std::int8_t> weight_reg(index(rows_ - 1, cols_ - 1) + 1, 0);
+  for (int t = 0; t < rows_; ++t) {
+    for (int r = rows_ - 1; r >= 1; --r) {
+      for (int c = 0; c < cols_; ++c) {
+        weight_reg[index(r, c)] = weight_reg[index(r - 1, c)];
+      }
+    }
+    // Bottom-most weight row enters first so it lands deepest.
+    const int source_row = rows_ - 1 - t;
+    for (int c = 0; c < cols_; ++c) {
+      weight_reg[index(0, c)] = w[index(source_row, c)];
+    }
+  }
+  result.weight_load_cycles = rows_;
+
+  // --- Phase 2: skewed input streaming with partial sums rippling down.
+  std::vector<InputToken> in_reg(weight_reg.size());
+  std::vector<PsumToken> ps_reg(weight_reg.size());
+  std::vector<InputToken> next_in(weight_reg.size());
+  std::vector<PsumToken> next_ps(weight_reg.size());
+
+  long long collected = 0;
+  const long long expected = static_cast<long long>(m) * cols_;
+  long long stream_cycles = 0;
+  // Upper bound guards against bugs hanging the loop.
+  const long long bound = 4LL * (rows_ + cols_ + m) + 16;
+
+  for (long long t = 0; collected < expected; ++t) {
+    CIMTPU_CHECK_MSG(t < bound, "functional array failed to drain");
+    for (int r = 0; r < rows_; ++r) {
+      for (int c = 0; c < cols_; ++c) {
+        // Input: injected at the left edge with skew (row r lags r cycles),
+        // otherwise shifted from the left neighbour.
+        InputToken input;
+        if (c == 0) {
+          const long long i = t - r;
+          if (i >= 0 && i < m) {
+            input.value = a[static_cast<std::size_t>(i) * rows_ + r];
+            input.id = static_cast<std::int32_t>(i);
+          }
+        } else {
+          input = in_reg[index(r, c - 1)];
+        }
+        next_in[index(r, c)] = input;
+
+        // Partial sum: zero enters the top row; otherwise the value the PE
+        // above produced last cycle.
+        PsumToken psum;
+        if (r == 0) {
+          psum.value = 0;
+          psum.id = input.id;
+        } else {
+          psum = ps_reg[index(r - 1, c)];
+        }
+        if (input.id >= 0) {
+          CIMTPU_DCHECK(psum.id == input.id);
+          psum.value += static_cast<std::int64_t>(weight_reg[index(r, c)]) *
+                        input.value;
+          psum.id = input.id;
+        }
+        next_ps[index(r, c)] = psum;
+
+        // Completed partial sums exit at the bottom row.
+        if (r == rows_ - 1 && psum.id >= 0) {
+          result.output[static_cast<std::size_t>(psum.id) * cols_ + c] =
+              static_cast<std::int32_t>(psum.value);
+          ++collected;
+        }
+      }
+    }
+    in_reg.swap(next_in);
+    ps_reg.swap(next_ps);
+    stream_cycles = t + 1;
+  }
+
+  result.total_cycles = result.weight_load_cycles + stream_cycles;
+  return result;
+}
+
+}  // namespace cimtpu::systolic

@@ -1,0 +1,52 @@
+#pragma once
+// Cycle-accurate functional model of a weight-stationary systolic array.
+//
+// This simulates the PE grid register-by-register, cycle-by-cycle: weights
+// shift in through the array (the vertical datapath is shared with partial
+// sums, so loading stalls compute), then skewed input rows stream through
+// while partial sums ripple down the columns.  It exists to validate the
+// analytic cost model: for a single-tile GEMM the observed cycle count must
+// equal SCALE-Sim's closed form
+//     2*R + C + m - 2
+// and the outputs must be bit-exact INT8 x INT8 -> INT32 GEMM results.
+// Tests cross-check both against SystolicMxu::evaluate.
+
+#include <cstdint>
+#include <vector>
+
+namespace cimtpu::systolic {
+
+class FunctionalSystolicArray {
+ public:
+  FunctionalSystolicArray(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  struct RunResult {
+    std::vector<std::int32_t> output;  ///< m x cols, row-major
+    long long total_cycles = 0;        ///< weight load + stream + drain
+    long long weight_load_cycles = 0;  ///< serialized weight-fill portion
+  };
+
+  /// Executes one [m, rows] x [rows, cols] weight-stationary GEMM.
+  /// `a` is m x rows row-major; `w` is rows x cols row-major.
+  RunResult run(const std::vector<std::int8_t>& a,
+                const std::vector<std::int8_t>& w, int m) const;
+
+  /// Reference GEMM for validation.
+  static std::vector<std::int32_t> reference(
+      const std::vector<std::int8_t>& a, const std::vector<std::int8_t>& w,
+      int m, int k, int n);
+
+  /// The closed-form cycle count the analytic model uses for one tile.
+  long long analytic_cycles(int m) const {
+    return 2LL * rows_ + cols_ + m - 2;
+  }
+
+ private:
+  int rows_;
+  int cols_;
+};
+
+}  // namespace cimtpu::systolic

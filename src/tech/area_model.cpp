@@ -1,0 +1,57 @@
+#include "tech/area_model.h"
+
+namespace cimtpu::tech {
+namespace {
+
+// Peak throughput of the Table II reference designs at the 22 nm reference
+// clock: 16384 MACs/cycle * 2 ops * 1 GHz.
+constexpr double kReferenceMacsPerCycle = 16384.0;
+constexpr double kReferenceTops =
+    kReferenceMacsPerCycle * cal::kOpsPerMac * (cal::kReferenceClock / 1e12);
+
+// Fraction of CIM-MXU area spent on the systolic grid interconnect and
+// per-core input FIFOs (excluded from the per-cell figure so that scaled
+// grids account for it proportionally).
+constexpr double kCimGridOverheadFraction = 0.03;
+
+}  // namespace
+
+SquareMm digital_mac_area_22nm() {
+  const SquareMm array = kReferenceTops / cal::kDigitalMxuTopsPerMm2;
+  return array / kReferenceMacsPerCycle;
+}
+
+SquareMm cim_cell_area_22nm() {
+  const SquareMm mxu = kReferenceTops / cal::kCimMxuTopsPerMm2;
+  const double reference_cores = 16.0 * 8.0;
+  const double cells_per_core = 128.0 * 256.0;
+  return mxu / (1.0 + kCimGridOverheadFraction) /
+         (reference_cores * cells_per_core);
+}
+
+AreaModel::AreaModel(const TechnologyNode& node) : node_(node) {}
+
+SquareMm AreaModel::digital_array(int rows, int cols) const {
+  return scaled(digital_mac_area_22nm() * rows * cols);
+}
+
+SquareMm AreaModel::cim_core(int cim_rows, int cim_cols) const {
+  return scaled(cim_cell_area_22nm() * cim_rows * cim_cols);
+}
+
+SquareMm AreaModel::cim_mxu(int grid_rows, int grid_cols, int cim_rows,
+                            int cim_cols) const {
+  const SquareMm cores =
+      cim_core(cim_rows, cim_cols) * grid_rows * grid_cols;
+  return cores * (1.0 + kCimGridOverheadFraction);
+}
+
+SquareMm AreaModel::sram(Bytes capacity) const {
+  return scaled(cal::kSramAreaPerMiB * (capacity / MiB));
+}
+
+SquareMm AreaModel::vpu(int lanes) const {
+  return scaled(cal::kVpuAreaPerLane * lanes);
+}
+
+}  // namespace cimtpu::tech

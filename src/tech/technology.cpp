@@ -1,0 +1,59 @@
+#include "tech/technology.h"
+
+#include "common/status.h"
+
+namespace cimtpu::tech {
+namespace {
+
+// First-order scaling of dynamic energy and area relative to 22 nm.
+// Sources: ITRS/IRDS logic roadmaps and the scaling summaries in
+// Jouppi et al. (TPUv4i, ISCA'21); numbers are representative, not
+// foundry-exact — only ratios between evaluated designs matter because
+// the paper scales baseline and CIM design to the same node.
+constexpr struct {
+  const char* name;
+  double feature_nm;
+  double energy_scale;
+  double area_scale;
+  double leakage_scale;
+  double clock_ghz;
+} kNodes[] = {
+    {"65nm", 65.0, 3.60, 6.10, 0.45, 0.50},
+    {"28nm", 28.0, 1.40, 1.55, 0.85, 0.90},
+    {"22nm", 22.0, 1.00, 1.00, 1.00, 1.00},
+    {"12nm", 12.0, 0.55, 0.45, 1.30, 1.30},
+    {"7nm", 7.0, 0.35, 0.22, 1.60, 1.05},
+};
+
+}  // namespace
+
+TechnologyNode node_by_name(const std::string& name) {
+  for (const auto& n : kNodes) {
+    if (name == n.name) {
+      return TechnologyNode{n.name,        n.feature_nm,   n.energy_scale,
+                            n.area_scale,  n.leakage_scale, n.clock_ghz * GHz};
+    }
+  }
+  throw ConfigError("unknown technology node: " + name +
+                    " (supported: 65nm, 28nm, 22nm, 12nm, 7nm)");
+}
+
+TechnologyNode calibration_node() { return node_by_name("22nm"); }
+
+TechnologyNode tpu_v4i_node() { return node_by_name("7nm"); }
+
+Joules scale_energy(Joules at_22nm, const TechnologyNode& node) {
+  return at_22nm * node.energy_scale;
+}
+
+SquareMm scale_area(SquareMm at_22nm, const TechnologyNode& node) {
+  return at_22nm * node.area_scale;
+}
+
+Watts scale_leakage_power(Watts at_22nm, const TechnologyNode& node) {
+  // Leakage power of a scaled block: per-area leakage density changes by
+  // leakage_scale while the block area shrinks by area_scale.
+  return at_22nm * node.leakage_scale * node.area_scale;
+}
+
+}  // namespace cimtpu::tech

@@ -1,0 +1,51 @@
+#include "vpu/activations.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace cimtpu::vpu {
+
+float gelu_exact(float x) {
+  return 0.5f * x * (1.0f + std::erf(x / std::sqrt(2.0f)));
+}
+
+float gelu_tanh(float x) {
+  constexpr float kSqrt2OverPi = 0.7978845608028654f;
+  const float inner = kSqrt2OverPi * (x + 0.044715f * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+std::vector<float> layer_norm(const std::vector<float>& x,
+                              const std::vector<float>& gamma,
+                              const std::vector<float>& beta, float eps) {
+  CIMTPU_CHECK_MSG(!x.empty(), "layer_norm of empty row");
+  CIMTPU_CHECK_MSG(x.size() == gamma.size() && x.size() == beta.size(),
+                   "layer_norm parameter size mismatch");
+  double mean = 0.0;
+  for (float value : x) mean += value;
+  mean /= static_cast<double>(x.size());
+  double var = 0.0;
+  for (float value : x) {
+    const double d = value - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(x.size());
+  const double inv_std = 1.0 / std::sqrt(var + eps);
+  std::vector<float> result(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    result[i] = static_cast<float>((x[i] - mean) * inv_std) * gamma[i] + beta[i];
+  }
+  return result;
+}
+
+std::vector<float> shift_scale(const std::vector<float>& x, float shift,
+                               float scale) {
+  std::vector<float> result(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    result[i] = x[i] * (1.0f + scale) + shift;
+  }
+  return result;
+}
+
+}  // namespace cimtpu::vpu

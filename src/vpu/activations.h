@@ -1,0 +1,26 @@
+#pragma once
+// Functional activation / normalization kernels backing the VPU cost model.
+
+#include <vector>
+
+namespace cimtpu::vpu {
+
+/// Exact GeLU: x * Phi(x) with the Gaussian CDF via erf.
+float gelu_exact(float x);
+
+/// Tanh-approximated GeLU, the variant DiT uses (paper Sec. III-C):
+///   0.5 * x * (1 + tanh(sqrt(2/pi) * (x + 0.044715 x^3))).
+float gelu_tanh(float x);
+
+/// LayerNorm over one row: (x - mean) / sqrt(var + eps) * gamma + beta.
+std::vector<float> layer_norm(const std::vector<float>& x,
+                              const std::vector<float>& gamma,
+                              const std::vector<float>& beta,
+                              float eps = 1e-5f);
+
+/// DiT adaptive modulation: x * (1 + scale) + shift (the "Shift & Scale"
+/// blocks conditioning injects around attention/MLP in each DiT block).
+std::vector<float> shift_scale(const std::vector<float>& x, float shift,
+                               float scale);
+
+}  // namespace cimtpu::vpu

@@ -1,0 +1,111 @@
+#include "vpu/attention.h"
+
+#include <cmath>
+
+#include "common/status.h"
+#include "vpu/softmax.h"
+
+namespace cimtpu::vpu {
+namespace {
+
+void validate(const std::vector<float>& q, const std::vector<float>& k,
+              const std::vector<float>& v, const AttentionShape& shape) {
+  CIMTPU_CHECK_MSG(shape.q_rows > 0 && shape.kv_rows > 0 && shape.head_dim > 0,
+                   "attention shape must be positive");
+  CIMTPU_CHECK_MSG(q.size() == static_cast<std::size_t>(shape.q_rows) *
+                                   shape.head_dim,
+                   "Q size mismatch");
+  CIMTPU_CHECK_MSG(k.size() == static_cast<std::size_t>(shape.kv_rows) *
+                                   shape.head_dim,
+                   "K size mismatch");
+  CIMTPU_CHECK_MSG(v.size() == static_cast<std::size_t>(shape.kv_rows) *
+                                   shape.head_dim,
+                   "V size mismatch");
+}
+
+}  // namespace
+
+std::vector<float> attention_reference(const std::vector<float>& q,
+                                       const std::vector<float>& k,
+                                       const std::vector<float>& v,
+                                       const AttentionShape& shape) {
+  validate(q, k, v, shape);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(shape.head_dim));
+  std::vector<float> output(
+      static_cast<std::size_t>(shape.q_rows) * shape.head_dim, 0.0f);
+
+  std::vector<float> scores(shape.kv_rows);
+  for (int i = 0; i < shape.q_rows; ++i) {
+    for (int j = 0; j < shape.kv_rows; ++j) {
+      double dot = 0;
+      for (int d = 0; d < shape.head_dim; ++d) {
+        dot += static_cast<double>(
+                   q[static_cast<std::size_t>(i) * shape.head_dim + d]) *
+               k[static_cast<std::size_t>(j) * shape.head_dim + d];
+      }
+      scores[j] = static_cast<float>(dot) * scale;
+    }
+    const std::vector<float> probs = softmax_reference(scores);
+    for (int j = 0; j < shape.kv_rows; ++j) {
+      for (int d = 0; d < shape.head_dim; ++d) {
+        output[static_cast<std::size_t>(i) * shape.head_dim + d] +=
+            probs[j] * v[static_cast<std::size_t>(j) * shape.head_dim + d];
+      }
+    }
+  }
+  return output;
+}
+
+std::vector<float> attention_streaming(const std::vector<float>& q,
+                                       const std::vector<float>& k,
+                                       const std::vector<float>& v,
+                                       const AttentionShape& shape,
+                                       int chunk_rows) {
+  validate(q, k, v, shape);
+  CIMTPU_CHECK_MSG(chunk_rows > 0, "chunk_rows must be positive");
+  const float scale = 1.0f / std::sqrt(static_cast<float>(shape.head_dim));
+  std::vector<float> output(
+      static_cast<std::size_t>(shape.q_rows) * shape.head_dim, 0.0f);
+
+  std::vector<float> accumulator(shape.head_dim);
+  for (int i = 0; i < shape.q_rows; ++i) {
+    OnlineSoftmaxState state;
+    std::fill(accumulator.begin(), accumulator.end(), 0.0f);
+
+    for (int chunk = 0; chunk < shape.kv_rows; chunk += chunk_rows) {
+      const int end = std::min(chunk + chunk_rows, shape.kv_rows);
+      for (int j = chunk; j < end; ++j) {
+        double dot = 0;
+        for (int d = 0; d < shape.head_dim; ++d) {
+          dot += static_cast<double>(
+                     q[static_cast<std::size_t>(i) * shape.head_dim + d]) *
+                 k[static_cast<std::size_t>(j) * shape.head_dim + d];
+        }
+        const float score = static_cast<float>(dot) * scale;
+
+        // Online update: when the running max moves, previously
+        // accumulated output rescales by exp(old_max - new_max).  On the
+        // first element old_max is -inf, the rescale factor is 0, and the
+        // (all-zero) accumulator is unaffected.
+        const float old_max = state.running_max;
+        state.update(score);
+        if (state.running_max != old_max) {
+          const float rescale = std::exp(old_max - state.running_max);
+          for (float& acc : accumulator) acc *= rescale;
+        }
+        const float weight = std::exp(score - state.running_max);
+        for (int d = 0; d < shape.head_dim; ++d) {
+          accumulator[d] +=
+              weight * v[static_cast<std::size_t>(j) * shape.head_dim + d];
+        }
+      }
+    }
+    for (int d = 0; d < shape.head_dim; ++d) {
+      output[static_cast<std::size_t>(i) * shape.head_dim + d] =
+          accumulator[d] / state.running_sum;
+    }
+  }
+  return output;
+}
+
+}  // namespace cimtpu::vpu

@@ -1,0 +1,39 @@
+#pragma once
+// Functional scaled-dot-product attention reference.
+//
+// Ties the pieces together numerically: Q*K^T scaling, the online-softmax
+// normalizer (the VPU algorithm the paper adopts [27]) applied in a
+// streaming/tiled fashion, and the S*V product.  The streaming variant
+// processes the KV sequence in chunks — exactly how a TPU walks a KV cache
+// that is larger than VMEM — and must match the naive reference, which is
+// what makes chunked attention legal for the performance model.
+
+#include <cstddef>
+#include <vector>
+
+namespace cimtpu::vpu {
+
+/// Row-major matrix view helpers are intentionally avoided; shapes are
+/// passed explicitly to keep the reference obvious.
+struct AttentionShape {
+  int q_rows = 1;    ///< query positions
+  int kv_rows = 1;   ///< cached positions
+  int head_dim = 1;  ///< d_head
+};
+
+/// Naive reference: softmax(Q K^T / sqrt(d)) V with full materialization.
+std::vector<float> attention_reference(const std::vector<float>& q,
+                                       const std::vector<float>& k,
+                                       const std::vector<float>& v,
+                                       const AttentionShape& shape);
+
+/// Streaming attention: walks the KV rows in chunks of `chunk_rows`,
+/// maintaining online-softmax state and a rescaled output accumulator per
+/// query row (flash-attention-style single pass).
+std::vector<float> attention_streaming(const std::vector<float>& q,
+                                       const std::vector<float>& k,
+                                       const std::vector<float>& v,
+                                       const AttentionShape& shape,
+                                       int chunk_rows);
+
+}  // namespace cimtpu::vpu

@@ -1,0 +1,55 @@
+#include "vpu/softmax.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace cimtpu::vpu {
+
+std::vector<float> softmax_reference(const std::vector<float>& x) {
+  CIMTPU_CHECK_MSG(!x.empty(), "softmax of empty vector");
+  const float max = *std::max_element(x.begin(), x.end());
+  std::vector<float> result(x.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    result[i] = std::exp(x[i] - max);
+    sum += result[i];
+  }
+  for (float& value : result) value = static_cast<float>(value / sum);
+  return result;
+}
+
+void OnlineSoftmaxState::update(float value) {
+  if (value > running_max) {
+    running_sum = running_sum * std::exp(running_max - value) + 1.0f;
+    running_max = value;
+  } else {
+    running_sum += std::exp(value - running_max);
+  }
+}
+
+void OnlineSoftmaxState::merge(const OnlineSoftmaxState& other) {
+  if (other.running_sum == 0.0f) return;
+  if (running_sum == 0.0f) {
+    *this = other;
+    return;
+  }
+  const float new_max = std::max(running_max, other.running_max);
+  running_sum = running_sum * std::exp(running_max - new_max) +
+                other.running_sum * std::exp(other.running_max - new_max);
+  running_max = new_max;
+}
+
+std::vector<float> softmax_online(const std::vector<float>& x) {
+  CIMTPU_CHECK_MSG(!x.empty(), "softmax of empty vector");
+  OnlineSoftmaxState state;
+  for (float value : x) state.update(value);
+  std::vector<float> result(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    result[i] = std::exp(x[i] - state.running_max) / state.running_sum;
+  }
+  return result;
+}
+
+}  // namespace cimtpu::vpu

@@ -1,0 +1,41 @@
+#pragma once
+// Softmax implementations.
+//
+// The simulator's VPU cost model assumes the online-normalizer algorithm of
+// Milakov & Gimelshein (2018) — the same algorithm the paper adopts [27].
+// The functional implementations here back the cost model's pass counts and
+// are property-tested for numerical equivalence with the naive algorithm.
+
+#include <cstddef>
+#include <vector>
+
+namespace cimtpu::vpu {
+
+/// Naive three-pass softmax (max, exp-sum, normalize); numerically stable
+/// reference.
+std::vector<float> softmax_reference(const std::vector<float>& x);
+
+/// Online-normalizer softmax: a single fused pass maintains the running
+/// maximum and a running sum rescaled on-the-fly, then one normalize pass.
+/// Two passes total instead of three.
+std::vector<float> softmax_online(const std::vector<float>& x);
+
+/// State of the online normalizer after consuming a prefix; exposed so the
+/// streaming property (merging partial results) can be tested — this is
+/// what lets the VPU process rows in VMEM-sized chunks.
+struct OnlineSoftmaxState {
+  float running_max = -__builtin_huge_valf();
+  float running_sum = 0.0f;
+
+  /// Consumes one element.
+  void update(float value);
+  /// Merges another partial state (associative combine).
+  void merge(const OnlineSoftmaxState& other);
+};
+
+/// Number of element-visits per row for the online algorithm (2) vs naive
+/// (3); used by the VPU cost model.
+constexpr double online_softmax_passes() { return 2.0; }
+constexpr double naive_softmax_passes() { return 3.0; }
+
+}  // namespace cimtpu::vpu

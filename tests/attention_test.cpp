@@ -1,0 +1,137 @@
+// Fused-attention reference tests: streaming (chunked, online-softmax)
+// attention must match the naive reference for every chunking — the
+// property that legalizes walking a VMEM-sized window over the KV cache.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "vpu/attention.h"
+
+namespace cimtpu::vpu {
+namespace {
+
+std::vector<float> random_matrix(Rng& rng, int rows, int cols,
+                                 double lo = -2.0, double hi = 2.0) {
+  std::vector<float> m(static_cast<std::size_t>(rows) * cols);
+  for (auto& x : m) x = static_cast<float>(rng.uniform(lo, hi));
+  return m;
+}
+
+TEST(AttentionTest, SingleKvRowIsIdentity) {
+  // One KV row: softmax over one score = 1, output = that V row.
+  AttentionShape shape{1, 1, 4};
+  const std::vector<float> q{1, 2, 3, 4};
+  const std::vector<float> k{0.5f, -1, 2, 0};
+  const std::vector<float> v{7, 8, 9, 10};
+  const auto out = attention_reference(q, k, v, shape);
+  for (int d = 0; d < 4; ++d) EXPECT_FLOAT_EQ(out[d], v[d]);
+}
+
+TEST(AttentionTest, UniformScoresAverageV) {
+  // Identical K rows -> uniform attention -> output = mean of V rows.
+  AttentionShape shape{1, 4, 2};
+  const std::vector<float> q{1, 1};
+  const std::vector<float> k{1, 1, 1, 1, 1, 1, 1, 1};
+  const std::vector<float> v{0, 0, 2, 2, 4, 4, 6, 6};
+  const auto out = attention_reference(q, k, v, shape);
+  EXPECT_NEAR(out[0], 3.0f, 1e-5);
+  EXPECT_NEAR(out[1], 3.0f, 1e-5);
+}
+
+TEST(AttentionTest, SharpSoftmaxPicksArgmax) {
+  // One KV row with a much larger score dominates.
+  AttentionShape shape{1, 2, 2};
+  const std::vector<float> q{10, 0};
+  const std::vector<float> k{5, 0, -5, 0};  // scores ~ +35.4, -35.4
+  const std::vector<float> v{1, 2, 100, 200};
+  const auto out = attention_reference(q, k, v, shape);
+  EXPECT_NEAR(out[0], 1.0f, 1e-3);
+  EXPECT_NEAR(out[1], 2.0f, 1e-3);
+}
+
+TEST(AttentionTest, StreamingMatchesReferenceChunk1) {
+  Rng rng(1);
+  AttentionShape shape{3, 17, 8};
+  const auto q = random_matrix(rng, 3, 8);
+  const auto k = random_matrix(rng, 17, 8);
+  const auto v = random_matrix(rng, 17, 8);
+  const auto ref = attention_reference(q, k, v, shape);
+  const auto stream = attention_streaming(q, k, v, shape, 1);
+  ASSERT_EQ(stream.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(stream[i], ref[i], 1e-4) << i;
+  }
+}
+
+class AttentionChunkTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AttentionChunkTest, StreamingInvariantToChunking) {
+  const int chunk = GetParam();
+  Rng rng(77 + chunk);
+  AttentionShape shape{4, 23, 16};
+  const auto q = random_matrix(rng, 4, 16);
+  const auto k = random_matrix(rng, 23, 16);
+  const auto v = random_matrix(rng, 23, 16);
+  const auto ref = attention_reference(q, k, v, shape);
+  const auto stream = attention_streaming(q, k, v, shape, chunk);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(stream[i], ref[i], 1e-4) << "chunk=" << chunk << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, AttentionChunkTest,
+                         ::testing::Values(1, 2, 3, 7, 8, 23, 64));
+
+TEST(AttentionTest, StableUnderExtremeScores) {
+  // Large-magnitude Q/K would overflow a naive exp-sum; the online
+  // normalizer must stay finite.
+  AttentionShape shape{1, 3, 2};
+  const std::vector<float> q{50, 50};
+  const std::vector<float> k{40, 40, -40, -40, 39, 39};
+  const std::vector<float> v{1, 0, 2, 0, 3, 0};
+  const auto out = attention_streaming(q, k, v, shape, 1);
+  EXPECT_TRUE(std::isfinite(out[0]));
+  EXPECT_NEAR(out[0], 1.0f, 1e-2);  // the +40 row dominates
+}
+
+TEST(AttentionTest, DecodeShapedCase) {
+  // Decode: one query row against a long cache (the paper's GEMV shape).
+  Rng rng(5);
+  AttentionShape shape{1, 256, 32};
+  const auto q = random_matrix(rng, 1, 32);
+  const auto k = random_matrix(rng, 256, 32);
+  const auto v = random_matrix(rng, 256, 32);
+  const auto ref = attention_reference(q, k, v, shape);
+  const auto stream = attention_streaming(q, k, v, shape, 32);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(stream[i], ref[i], 1e-4);
+  }
+}
+
+TEST(AttentionTest, OutputIsConvexCombinationOfV) {
+  Rng rng(9);
+  AttentionShape shape{2, 8, 4};
+  const auto q = random_matrix(rng, 2, 4);
+  const auto k = random_matrix(rng, 8, 4);
+  const auto v = random_matrix(rng, 8, 4, 0.0, 1.0);  // V in [0,1]
+  const auto out = attention_reference(q, k, v, shape);
+  for (float x : out) {
+    EXPECT_GE(x, 0.0f);
+    EXPECT_LE(x, 1.0f);
+  }
+}
+
+TEST(AttentionTest, ShapeValidation) {
+  AttentionShape shape{2, 2, 2};
+  EXPECT_THROW(attention_reference({1, 2}, {1, 2, 3, 4}, {1, 2, 3, 4}, shape),
+               InternalError);
+  EXPECT_THROW(
+      attention_streaming({1, 2, 3, 4}, {1, 2, 3, 4}, {1, 2, 3, 4}, shape, 0),
+      InternalError);
+}
+
+}  // namespace
+}  // namespace cimtpu::vpu

@@ -1,0 +1,141 @@
+// Bit-serial CIM arithmetic: the functional model must be bit-exact
+// against reference integer math for all inputs — the property that lets
+// the performance model treat CIM INT8 results as exact.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cim/bitserial.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace cimtpu::cim {
+namespace {
+
+std::vector<std::int8_t> random_vector(Rng& rng, int length) {
+  std::vector<std::int8_t> v(length);
+  for (auto& x : v) x = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  return v;
+}
+
+TEST(BitOfTest, ExtractsTwosComplementBits) {
+  EXPECT_EQ(bit_of(0, 0), 0);
+  EXPECT_EQ(bit_of(1, 0), 1);
+  EXPECT_EQ(bit_of(-1, 7), 1);  // 0xFF
+  EXPECT_EQ(bit_of(-1, 0), 1);
+  EXPECT_EQ(bit_of(-128, 7), 1);  // 0x80
+  EXPECT_EQ(bit_of(-128, 6), 0);
+  EXPECT_EQ(bit_of(127, 7), 0);
+}
+
+TEST(BitSerialDotTest, MatchesReferenceOnSimpleCases) {
+  EXPECT_EQ(bit_serial_dot({1}, {1}), 1);
+  EXPECT_EQ(bit_serial_dot({-1}, {1}), -1);
+  EXPECT_EQ(bit_serial_dot({-128}, {-128}), 16384);
+  EXPECT_EQ(bit_serial_dot({127}, {127}), 16129);
+  EXPECT_EQ(bit_serial_dot({0, 0, 0}, {5, 6, 7}), 0);
+  EXPECT_EQ(bit_serial_dot({1, 2, 3}, {4, 5, 6}), 32);
+}
+
+TEST(BitSerialDotTest, ExtremeValueCombinations) {
+  // Every pairing of the INT8 extreme values must be exact.
+  const std::int8_t extremes[] = {-128, -127, -1, 0, 1, 126, 127};
+  for (std::int8_t a : extremes) {
+    for (std::int8_t b : extremes) {
+      EXPECT_EQ(bit_serial_dot({a}, {b}),
+                static_cast<std::int32_t>(a) * static_cast<std::int32_t>(b))
+          << "a=" << int(a) << " b=" << int(b);
+    }
+  }
+}
+
+TEST(BitSerialDotTest, SizeMismatchThrows) {
+  EXPECT_THROW(bit_serial_dot({1, 2}, {1}), InternalError);
+}
+
+// Property: bit-exact equivalence over random vectors of many lengths.
+class BitSerialPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitSerialPropertyTest, BitExactVsReference) {
+  const int length = GetParam();
+  Rng rng(0xC1Eull * length);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto x = random_vector(rng, length);
+    const auto w = random_vector(rng, length);
+    EXPECT_EQ(bit_serial_dot(x, w), reference_dot(x, w))
+        << "length=" << length << " trial=" << trial;
+  }
+}
+
+TEST_P(BitSerialPropertyTest, WorstCaseMagnitudeNoOverflow) {
+  const int length = GetParam();
+  // All -128 x -128: the largest possible accumulation.
+  const std::vector<std::int8_t> x(length, -128);
+  const std::vector<std::int8_t> w(length, -128);
+  EXPECT_EQ(bit_serial_dot(x, w), 16384 * length);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, BitSerialPropertyTest,
+                         ::testing::Values(1, 2, 3, 7, 8, 16, 31, 32, 64, 127,
+                                           128));
+
+// --- Adder tree -----------------------------------------------------------------
+
+TEST(AdderTreeTest, SumsExactly) {
+  EXPECT_EQ(adder_tree_sum({}), 0);
+  EXPECT_EQ(adder_tree_sum({42}), 42);
+  EXPECT_EQ(adder_tree_sum({1, 2, 3, 4, 5}), 15);
+  EXPECT_EQ(adder_tree_sum({-1, 1, -2, 2}), 0);
+}
+
+TEST(AdderTreeTest, MatchesSequentialSumOnRandomData) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 200));
+    std::vector<std::int32_t> values(n);
+    std::int64_t expected = 0;
+    for (auto& v : values) {
+      v = static_cast<std::int32_t>(rng.uniform_int(-100000, 100000));
+      expected += v;
+    }
+    EXPECT_EQ(adder_tree_sum(values), expected);
+  }
+}
+
+TEST(AdderTreeTest, DepthIsCeilLog2) {
+  EXPECT_EQ(adder_tree_depth(1), 0);
+  EXPECT_EQ(adder_tree_depth(2), 1);
+  EXPECT_EQ(adder_tree_depth(3), 2);
+  EXPECT_EQ(adder_tree_depth(32), 5);  // one bank's sub-array count
+  EXPECT_EQ(adder_tree_depth(33), 6);
+}
+
+TEST(AdderTreeTest, DepthOfNonPositiveThrows) {
+  EXPECT_THROW(adder_tree_depth(0), InternalError);
+}
+
+// --- Accumulator sizing -----------------------------------------------------------
+
+TEST(AccumulatorBitsTest, KnownWidths) {
+  // k=1: |sum| <= 2^14 -> 15 bits + sign.
+  EXPECT_EQ(required_accumulator_bits(1), 15);
+  // k=128 (one CIM core column): 2^21 -> 22 bits.
+  EXPECT_EQ(required_accumulator_bits(128), 22);
+}
+
+TEST(AccumulatorBitsTest, WidthSufficientForWorstCase) {
+  for (int k : {1, 2, 16, 128, 1024}) {
+    const int bits = required_accumulator_bits(k);
+    const double worst = static_cast<double>(k) * 16384.0;
+    EXPECT_GE(std::pow(2.0, bits - 1), worst) << "k=" << k;
+  }
+}
+
+TEST(AccumulatorBitsTest, MonotonicInK) {
+  EXPECT_LE(required_accumulator_bits(16), required_accumulator_bits(128));
+  EXPECT_LE(required_accumulator_bits(128), required_accumulator_bits(4096));
+}
+
+}  // namespace
+}  // namespace cimtpu::cim

@@ -1,0 +1,176 @@
+// BF16 CIM floating-point pipeline: conversions, exponent alignment, and
+// bounded-error dot products against an FP32 reference.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cim/fp_pipeline.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace cimtpu::cim {
+namespace {
+
+TEST(Bf16Test, RoundTripExactValues) {
+  // Values exactly representable in BF16 survive a round trip.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -3.5f, 256.0f, 0x1.8p126f}) {
+    EXPECT_EQ(float_from_bf16(bf16_from_float(v)), v) << v;
+  }
+}
+
+TEST(Bf16Test, EncodingRoundsToNearestEven) {
+  // 1 + 2^-8 is exactly between 1.0 and the next BF16 (1 + 2^-7);
+  // round-to-nearest-even picks 1.0 (even mantissa).
+  EXPECT_EQ(float_from_bf16(bf16_from_float(1.0f + 0x1p-8f)), 1.0f);
+  // Slightly above the midpoint rounds up.
+  EXPECT_EQ(float_from_bf16(bf16_from_float(1.0f + 0x1p-8f + 0x1p-12f)),
+            1.0f + 0x1p-7f);
+}
+
+TEST(Bf16Test, RelativeErrorBounded) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = static_cast<float>(rng.uniform(-1e6, 1e6));
+    if (v == 0.0f) continue;
+    const float back = float_from_bf16(bf16_from_float(v));
+    // BF16 has 8 significand bits -> relative error <= 2^-8.
+    EXPECT_LE(std::fabs(back - v) / std::fabs(v), 0x1p-8f) << v;
+  }
+}
+
+TEST(DecodeBf16Test, DecodesMantissaAndExponent) {
+  // 1.0 = mantissa 128 (1.0 in 1.7), exponent 0.
+  const DecodedBf16 one = decode_bf16(bf16_from_float(1.0f));
+  EXPECT_FALSE(one.is_zero);
+  EXPECT_EQ(one.mantissa, 128);
+  EXPECT_EQ(one.exponent, 0);
+
+  const DecodedBf16 neg_two = decode_bf16(bf16_from_float(-2.0f));
+  EXPECT_EQ(neg_two.mantissa, -128);
+  EXPECT_EQ(neg_two.exponent, 1);
+
+  // 1.5 = 1.1b -> mantissa 192.
+  const DecodedBf16 one_and_half = decode_bf16(bf16_from_float(1.5f));
+  EXPECT_EQ(one_and_half.mantissa, 192);
+  EXPECT_EQ(one_and_half.exponent, 0);
+}
+
+TEST(DecodeBf16Test, ZeroAndSubnormalsFlush) {
+  EXPECT_TRUE(decode_bf16(bf16_from_float(0.0f)).is_zero);
+  EXPECT_TRUE(decode_bf16(bf16_from_float(-0.0f)).is_zero);
+  EXPECT_TRUE(decode_bf16(bf16_from_float(1e-40f)).is_zero);  // subnormal
+}
+
+TEST(DecodeBf16Test, ReconstructsValue) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const float v = static_cast<float>(rng.uniform(-100.0, 100.0));
+    const std::uint16_t bits = bf16_from_float(v);
+    const DecodedBf16 d = decode_bf16(bits);
+    if (d.is_zero) continue;
+    const double reconstructed = d.mantissa * std::ldexp(1.0, d.exponent - 7);
+    EXPECT_FLOAT_EQ(static_cast<float>(reconstructed), float_from_bf16(bits));
+  }
+}
+
+TEST(AlignProductsTest, AllZeroBlock) {
+  const AlignedBlock block =
+      align_products({bf16_from_float(0.0f)}, {bf16_from_float(0.0f)});
+  EXPECT_EQ(block.block_exponent, 0);
+  EXPECT_EQ(block.terms[0], 0);
+}
+
+TEST(AlignProductsTest, EqualExponentsNoShift) {
+  // 1.0 * 1.0 and 1.5 * 1.0: same product exponent, no alignment loss.
+  const AlignedBlock block = align_products(
+      {bf16_from_float(1.0f), bf16_from_float(1.5f)},
+      {bf16_from_float(1.0f), bf16_from_float(1.0f)}, /*guard_bits=*/0);
+  EXPECT_EQ(block.block_exponent, 0);
+  EXPECT_EQ(block.terms[0], 128 * 128);
+  EXPECT_EQ(block.terms[1], 192 * 128);
+}
+
+TEST(AlignProductsTest, SmallTermsShiftRight) {
+  // 2^-20 vs 1.0: the small product shifts 20 positions right.
+  const AlignedBlock block = align_products(
+      {bf16_from_float(1.0f), bf16_from_float(0x1p-20f)},
+      {bf16_from_float(1.0f), bf16_from_float(1.0f)}, /*guard_bits=*/4);
+  EXPECT_EQ(block.block_exponent, 0);
+  EXPECT_GT(block.terms[0], block.terms[1]);
+}
+
+TEST(AlignProductsTest, MismatchedSizesThrow) {
+  EXPECT_THROW(align_products({0}, {0, 0}), InternalError);
+}
+
+TEST(CimBf16DotTest, ExactOnUniformExponents) {
+  // All products share an exponent -> no alignment error at all.
+  const std::vector<std::uint16_t> x(16, bf16_from_float(1.5f));
+  const std::vector<std::uint16_t> w(16, bf16_from_float(-2.0f));
+  EXPECT_FLOAT_EQ(cim_bf16_dot(x, w), -48.0f);
+}
+
+TEST(CimBf16DotTest, HandlesZeros) {
+  EXPECT_FLOAT_EQ(
+      cim_bf16_dot({bf16_from_float(0.0f)}, {bf16_from_float(5.0f)}), 0.0f);
+}
+
+// Parameterized accuracy sweep: relative error vs FP32 reference bounded by
+// the block-floating-point alignment loss, improving with guard bits.
+class CimBf16AccuracyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CimBf16AccuracyTest, RelativeErrorBounded) {
+  const int length = std::get<0>(GetParam());
+  const int guard_bits = std::get<1>(GetParam());
+  Rng rng(0xBF16u + length * 31 + guard_bits);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<std::uint16_t> x(length), w(length);
+    for (int i = 0; i < length; ++i) {
+      x[i] = bf16_from_float(static_cast<float>(rng.uniform(-2.0, 2.0)));
+      w[i] = bf16_from_float(static_cast<float>(rng.uniform(-2.0, 2.0)));
+    }
+    const float reference = reference_bf16_dot(x, w);
+    const float cim = cim_bf16_dot(x, w, guard_bits);
+    // Error scale: one ULP of the largest aligned term per element, reduced
+    // by guard bits.  Use the sum of |terms| as the scale (cancellation can
+    // make the result arbitrarily small relative to the terms).
+    double magnitude = 0;
+    for (int i = 0; i < length; ++i) {
+      magnitude +=
+          std::fabs(float_from_bf16(x[i])) * std::fabs(float_from_bf16(w[i]));
+    }
+    const double bound =
+        magnitude * std::ldexp(1.0, -7 - guard_bits) + 1e-30;
+    EXPECT_NEAR(cim, reference, bound)
+        << "length=" << length << " guard=" << guard_bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CimBf16AccuracyTest,
+    ::testing::Combine(::testing::Values(1, 8, 32, 128),
+                       ::testing::Values(0, 2, 4, 8)));
+
+TEST(CimBf16DotTest, GuardBitsImproveAccuracy) {
+  // Construct a cancellation-prone case and verify more guard bits help.
+  Rng rng(555);
+  double err0 = 0, err8 = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::uint16_t> x(64), w(64);
+    for (int i = 0; i < 64; ++i) {
+      // Wide exponent spread stresses alignment.
+      const float scale = std::ldexp(1.0f, static_cast<int>(rng.uniform_int(-10, 10)));
+      x[i] = bf16_from_float(static_cast<float>(rng.uniform(-1.0, 1.0)) * scale);
+      w[i] = bf16_from_float(static_cast<float>(rng.uniform(-1.0, 1.0)));
+    }
+    const float reference = reference_bf16_dot(x, w);
+    err0 += std::fabs(cim_bf16_dot(x, w, 0) - reference);
+    err8 += std::fabs(cim_bf16_dot(x, w, 8) - reference);
+  }
+  EXPECT_LT(err8, err0);
+}
+
+}  // namespace
+}  // namespace cimtpu::cim

@@ -1,0 +1,41 @@
+// Logging tests: level gating and global state.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace cimtpu {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kWarning); }
+};
+
+TEST_F(LoggingTest, DefaultLevelIsWarning) {
+  EXPECT_EQ(log_level(), LogLevel::kWarning);
+}
+
+TEST_F(LoggingTest, SetAndGetRoundTrips) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarning,
+                         LogLevel::kError, LogLevel::kOff}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST_F(LoggingTest, EmittingBelowThresholdIsSafe) {
+  set_log_level(LogLevel::kOff);
+  // Nothing observable to assert beyond "does not crash / does not throw".
+  EXPECT_NO_THROW(CIMTPU_LOG(kDebug) << "suppressed " << 42);
+  EXPECT_NO_THROW(CIMTPU_LOG(kError) << "also suppressed at kOff");
+}
+
+TEST_F(LoggingTest, StreamingArbitraryTypes) {
+  set_log_level(LogLevel::kOff);
+  EXPECT_NO_THROW(CIMTPU_LOG(kInfo) << "mix " << 1 << ' ' << 2.5 << ' '
+                                    << std::string("str"));
+}
+
+}  // namespace
+}  // namespace cimtpu

@@ -1,0 +1,258 @@
+// Tests for the remaining common utilities: math helpers, tables, CSV,
+// config parsing and the deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/config.h"
+#include "common/csv.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+namespace cimtpu {
+namespace {
+
+// --- math_util ---------------------------------------------------------------
+
+TEST(MathUtilTest, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 128), 1);
+  EXPECT_EQ(ceil_div<std::int64_t>(7168, 128), 56);
+  EXPECT_EQ(ceil_div<std::int64_t>(1281, 256), 6);
+}
+
+TEST(MathUtilTest, RoundUp) {
+  EXPECT_EQ(round_up(7, 8), 8);
+  EXPECT_EQ(round_up(72, 8), 72);
+  EXPECT_EQ(round_up<std::int64_t>(1281, 8), 1288);
+  EXPECT_EQ(round_up(0, 8), 0);
+}
+
+TEST(MathUtilTest, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(128));
+  EXPECT_TRUE(is_pow2(1LL << 40));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(-4));
+  EXPECT_FALSE(is_pow2(72));
+}
+
+TEST(MathUtilTest, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(128), 7);
+  EXPECT_EQ(ilog2(129), 7);
+  EXPECT_EQ(ilog2(255), 7);
+  EXPECT_EQ(ilog2(256), 8);
+}
+
+TEST(MathUtilTest, RelativeDifference) {
+  EXPECT_DOUBLE_EQ(relative_difference(0.0, 0.0), 0.0);
+  EXPECT_NEAR(relative_difference(9.43, 9.21), 0.0233, 1e-3);
+  EXPECT_DOUBLE_EQ(relative_difference(-2.0, 2.0), 2.0);
+}
+
+TEST(MathUtilTest, WithinBand) {
+  EXPECT_TRUE(within_band(9.4, 8.0, 11.0));
+  EXPECT_FALSE(within_band(7.9, 8.0, 11.0));
+  EXPECT_TRUE(within_band(8.0, 8.0, 11.0));  // inclusive
+}
+
+// --- AsciiTable --------------------------------------------------------------
+
+TEST(TableTest, RendersHeaderAndRows) {
+  AsciiTable table("T");
+  table.set_header({"a", "bb"});
+  table.add_row({"1", "2"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("== T =="), std::string::npos);
+  EXPECT_NE(out.find("| a"), std::string::npos);
+  EXPECT_NE(out.find("| 1"), std::string::npos);
+}
+
+TEST(TableTest, RowWidthMismatchThrows) {
+  AsciiTable table;
+  table.set_header({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), InternalError);
+}
+
+TEST(TableTest, HeaderAfterRowsThrows) {
+  AsciiTable table;
+  table.add_row({"x"});
+  EXPECT_THROW(table.set_header({"a"}), InternalError);
+}
+
+TEST(TableTest, SeparatorAndAlignment) {
+  AsciiTable table;
+  table.set_header({"col", "value"});
+  table.add_row({"short", "1"});
+  table.add_separator();
+  table.add_row({"a-much-longer-cell", "2"});
+  const std::string out = table.to_string();
+  // All lines between rules have equal length.
+  std::size_t expected = out.find('\n');
+  EXPECT_GT(expected, 0u);
+}
+
+TEST(TableTest, CellFormatters) {
+  EXPECT_EQ(cell_f(3.14159, 2), "3.14");
+  EXPECT_EQ(cell_f(1.0, 0), "1");
+  EXPECT_EQ(cell_i(-42), "-42");
+}
+
+// --- CSV ----------------------------------------------------------------------
+
+TEST(CsvTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, WritesFile) {
+  const std::string path = testing::TempDir() + "/cimtpu_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.write_header({"a", "b"});
+    csv.write_row({"1", "x,y"});
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,b");
+  EXPECT_EQ(line2, "1,\"x,y\"");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), ConfigError);
+}
+
+TEST(CsvTest, DoubleHeaderThrows) {
+  const std::string path = testing::TempDir() + "/cimtpu_csv_test2.csv";
+  CsvWriter csv(path);
+  csv.write_header({"a"});
+  EXPECT_THROW(csv.write_header({"b"}), InternalError);
+  csv.close();
+  std::remove(path.c_str());
+}
+
+// --- ConfigMap ----------------------------------------------------------------
+
+TEST(ConfigTest, ParsesKeyValues) {
+  const ConfigMap config = ConfigMap::parse(
+      "# comment\n"
+      "mxu.count = 4\n"
+      "clock_ghz = 1.05   # trailing comment\n"
+      "name = design-a\n"
+      "flag = true\n"
+      "\n");
+  EXPECT_EQ(config.get_int("mxu.count", 0), 4);
+  EXPECT_DOUBLE_EQ(config.get_double("clock_ghz", 0), 1.05);
+  EXPECT_EQ(config.get_string("name", ""), "design-a");
+  EXPECT_TRUE(config.get_bool("flag", false));
+}
+
+TEST(ConfigTest, FallbacksForMissingKeys) {
+  const ConfigMap config = ConfigMap::parse("");
+  EXPECT_EQ(config.get_int("absent", 7), 7);
+  EXPECT_EQ(config.get_string("absent", "d"), "d");
+  EXPECT_FALSE(config.contains("absent"));
+}
+
+TEST(ConfigTest, MalformedLineThrows) {
+  EXPECT_THROW(ConfigMap::parse("no equals sign here"), ConfigError);
+  EXPECT_THROW(ConfigMap::parse("= value-without-key"), ConfigError);
+}
+
+TEST(ConfigTest, TypeErrorsThrow) {
+  const ConfigMap config = ConfigMap::parse("x = not-a-number\n");
+  EXPECT_THROW(config.get_int("x", 0), ConfigError);
+  EXPECT_THROW(config.get_double("x", 0), ConfigError);
+  EXPECT_THROW(config.get_bool("x", false), ConfigError);
+}
+
+TEST(ConfigTest, RequiredKeys) {
+  const ConfigMap config = ConfigMap::parse("present = 1\n");
+  EXPECT_EQ(config.require_int("present"), 1);
+  EXPECT_THROW(config.require_int("absent"), ConfigError);
+  EXPECT_THROW(config.require_string("absent"), ConfigError);
+}
+
+TEST(ConfigTest, BoolSpellings) {
+  const ConfigMap config = ConfigMap::parse(
+      "a = true\nb = ON\nc = 0\nd = No\n");
+  EXPECT_TRUE(config.get_bool("a", false));
+  EXPECT_TRUE(config.get_bool("b", false));
+  EXPECT_FALSE(config.get_bool("c", true));
+  EXPECT_FALSE(config.get_bool("d", true));
+}
+
+TEST(ConfigTest, KeysSorted) {
+  const ConfigMap config = ConfigMap::parse("b = 2\na = 1\n");
+  const auto keys = config.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+}
+
+TEST(ConfigTest, MissingFileThrows) {
+  EXPECT_THROW(ConfigMap::load_file("/no/such/file.conf"), ConfigError);
+}
+
+// --- Rng -----------------------------------------------------------------------
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformIntWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenRange) {
+  Rng rng(7);
+  double min = 1.0, max = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  // Coverage sanity: the sample should span most of [0, 1).
+  EXPECT_LT(min, 0.05);
+  EXPECT_GT(max, 0.95);
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(99);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace cimtpu

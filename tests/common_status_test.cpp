@@ -1,0 +1,69 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace cimtpu {
+namespace {
+
+TEST(StatusTest, CheckPassesOnTrue) {
+  EXPECT_NO_THROW(CIMTPU_CHECK(1 + 1 == 2));
+}
+
+TEST(StatusTest, CheckThrowsInternalErrorOnFalse) {
+  EXPECT_THROW(CIMTPU_CHECK(false), InternalError);
+}
+
+TEST(StatusTest, CheckMessageContainsExpressionAndLocation) {
+  try {
+    CIMTPU_CHECK(2 > 3);
+    FAIL() << "expected throw";
+  } catch (const InternalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("status_test"), std::string::npos);
+  }
+}
+
+TEST(StatusTest, CheckMsgStreamsValues) {
+  const int x = 42;
+  try {
+    CIMTPU_CHECK_MSG(x < 0, "x was " << x);
+    FAIL() << "expected throw";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("x was 42"), std::string::npos);
+  }
+}
+
+TEST(StatusTest, ConfigCheckThrowsConfigError) {
+  EXPECT_THROW(CIMTPU_CONFIG_CHECK(false, "bad config"), ConfigError);
+  EXPECT_NO_THROW(CIMTPU_CONFIG_CHECK(true, "fine"));
+}
+
+TEST(StatusTest, ConfigErrorMessagePreserved) {
+  try {
+    CIMTPU_CONFIG_CHECK(false, "mxu count " << 0 << " invalid");
+    FAIL() << "expected throw";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("mxu count 0 invalid"),
+              std::string::npos);
+  }
+}
+
+TEST(StatusTest, ErrorHierarchy) {
+  // All cimtpu errors are catchable as Error and as std::runtime_error.
+  EXPECT_THROW(throw ConfigError("x"), Error);
+  EXPECT_THROW(throw InternalError("x"), Error);
+  EXPECT_THROW(throw UnsupportedError("x"), Error);
+  EXPECT_THROW(throw Error("x"), std::runtime_error);
+}
+
+TEST(StatusTest, DcheckActiveMatchesBuildType) {
+#ifdef NDEBUG
+  EXPECT_NO_THROW(CIMTPU_DCHECK(false));
+#else
+  EXPECT_THROW(CIMTPU_DCHECK(false), InternalError);
+#endif
+}
+
+}  // namespace
+}  // namespace cimtpu

@@ -1,0 +1,164 @@
+// Cross-validation between the analytic cost models and the functional
+// models, plus randomized whole-simulator invariants ("fuzz" sweeps).
+
+#include <gtest/gtest.h>
+
+#include "cim/cim_grid.h"
+#include "cim/cim_mxu.h"
+#include "common/rng.h"
+#include "sim/simulator.h"
+#include "tech/technology.h"
+
+namespace cimtpu {
+namespace {
+
+// --- Analytic CIM-MXU vs functional CimGrid -------------------------------------
+
+TEST(CimCrossValidationTest, WeightTrafficMatchesFunctionalGrid) {
+  // For shapes with tasks >= cores (no replication), the analytic model's
+  // stationary_bytes_loaded must equal the functional grid's actual
+  // weight-I/O traffic, modulo the bank-granular N padding the analytic
+  // model applies (the functional grid pads to the full core).
+  tech::EnergyModel energy(tech::calibration_node());
+  tech::AreaModel area(tech::calibration_node());
+  cim::CimMxuSpec spec;
+  spec.grid_rows = 2;
+  spec.grid_cols = 2;
+  cim::CimMxu analytic(spec, energy, area);
+  cim::CimGrid functional(2, 2);  // full 128x256 cores
+
+  struct Shape {
+    int m, k, n;
+  };
+  for (const Shape& shape : {Shape{4, 512, 1024}, Shape{2, 256, 512},
+                             Shape{1, 384, 768}}) {
+    systolic::GemmWorkload w{shape.m, shape.k, shape.n, 1, ir::DType::kInt8};
+    const auto cost = analytic.evaluate(w);
+
+    Rng rng(shape.m * 7 + shape.k);
+    std::vector<std::int8_t> a(static_cast<std::size_t>(shape.m) * shape.k);
+    std::vector<std::int8_t> wm(static_cast<std::size_t>(shape.k) * shape.n);
+    for (auto& x : a) x = static_cast<std::int8_t>(rng.uniform_int(-8, 8));
+    for (auto& x : wm) x = static_cast<std::int8_t>(rng.uniform_int(-8, 8));
+    cim::CimGrid::RunStats stats;
+    functional.gemm(a, wm, shape.m, shape.k, shape.n, &stats);
+
+    // n is a multiple of 256 in these shapes, so both paddings agree.
+    EXPECT_DOUBLE_EQ(cost.stationary_bytes_loaded,
+                     static_cast<double>(stats.weight_bytes_written))
+        << shape.m << "x" << shape.k << "x" << shape.n;
+  }
+}
+
+TEST(CimCrossValidationTest, TaskCountMatchesFunctionalGrid) {
+  cim::CimGrid functional(2, 2);
+  cim::CimGrid::RunStats stats;
+  Rng rng(3);
+  const int m = 2, k = 300, n = 520;  // Kt = 3, Nt = 3
+  std::vector<std::int8_t> a(static_cast<std::size_t>(m) * k, 1);
+  std::vector<std::int8_t> w(static_cast<std::size_t>(k) * n, 1);
+  functional.gemm(a, w, m, k, n, &stats);
+  EXPECT_EQ(stats.tasks, 9);  // ceil(300/128) * ceil(520/256) = 3 * 3
+}
+
+// --- Randomized simulator invariants ----------------------------------------------
+
+ir::Graph random_graph(Rng& rng, int ops) {
+  ir::Graph graph("fuzz");
+  for (int i = 0; i < ops; ++i) {
+    const std::string name = "op" + std::to_string(i);
+    switch (rng.uniform_int(0, 4)) {
+      case 0:
+        graph.add(ir::make_weight_gemm(
+            name, "G", rng.uniform_int(1, 4096), rng.uniform_int(1, 4096),
+            rng.uniform_int(1, 4096), ir::DType::kInt8));
+        break;
+      case 1:
+        graph.add(ir::make_attention_gemm(
+            name, "A", rng.uniform_int(1, 64), rng.uniform_int(1, 512),
+            rng.uniform_int(1, 256), rng.uniform_int(1, 2048),
+            ir::DType::kInt8,
+            rng.uniform() < 0.5 ? ir::Residency::kCmem
+                                : ir::Residency::kHbm));
+        break;
+      case 2:
+        graph.add(ir::make_softmax(name, "A", rng.uniform_int(1, 4096),
+                                   rng.uniform_int(1, 2048),
+                                   ir::DType::kInt8));
+        break;
+      case 3:
+        graph.add(ir::make_layer_norm(name, "L", rng.uniform_int(1, 4096),
+                                      rng.uniform_int(1, 8192),
+                                      ir::DType::kInt8));
+        break;
+      default:
+        graph.add(ir::make_elementwise(name, "E",
+                                       rng.uniform_int(1, 1 << 20), 2.0,
+                                       ir::DType::kInt8));
+        break;
+    }
+  }
+  return graph;
+}
+
+class SimulatorFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimulatorFuzzTest, InvariantsHoldOnRandomGraphs) {
+  Rng rng(GetParam());
+  arch::TpuChip baseline(arch::tpu_v4i_baseline());
+  arch::TpuChip cim(arch::cim_tpu_default());
+  sim::Simulator base_sim(baseline);
+  sim::Simulator cim_sim(cim);
+
+  const ir::Graph graph = random_graph(rng, 12);
+  for (sim::Simulator* simulator : {&base_sim, &cim_sim}) {
+    const sim::GraphResult result = simulator->run(graph);
+    EXPECT_GT(result.latency, 0.0);
+    EXPECT_GE(result.mxu_busy_energy, 0.0);
+    EXPECT_GE(result.mxu_idle_energy, 0.0);
+    EXPECT_GT(result.mxu_leakage_energy, 0.0);
+    EXPECT_GE(result.vpu_energy, 0.0);
+    EXPECT_GE(result.memory_energy, 0.0);
+    EXPECT_EQ(result.ops.size(), graph.size());
+
+    Seconds latency_sum = 0;
+    for (const auto& op : result.ops) {
+      EXPECT_GE(op.latency,
+                std::max(op.compute_time, op.memory_time) * 0.999999)
+          << op.name;
+      EXPECT_GE(op.utilization, 0.0);
+      EXPECT_LE(op.utilization, 1.0 + 1e-9);
+      latency_sum += op.latency;
+    }
+    EXPECT_NEAR(latency_sum, result.latency, result.latency * 1e-9);
+  }
+}
+
+TEST_P(SimulatorFuzzTest, CimNeverBurnsMoreMxuEnergyOnMatmulGraphs) {
+  // For INT8 matmul-only graphs, the CIM chip's total MXU energy must be
+  // strictly below the baseline's (the macro is 9.43x better and idle
+  // power is lower; latency differences cannot overturn an order of
+  // magnitude).
+  Rng rng(GetParam() * 7919);
+  arch::TpuChip baseline(arch::tpu_v4i_baseline());
+  arch::TpuChip cim(arch::cim_tpu_default());
+  sim::Simulator base_sim(baseline);
+  sim::Simulator cim_sim(cim);
+
+  ir::Graph graph("matmuls");
+  for (int i = 0; i < 6; ++i) {
+    graph.add(ir::make_weight_gemm(
+        "g" + std::to_string(i), "G", rng.uniform_int(1, 8192),
+        rng.uniform_int(64, 8192), rng.uniform_int(64, 8192),
+        ir::DType::kInt8));
+  }
+  const sim::GraphResult base = base_sim.run(graph);
+  const sim::GraphResult ours = cim_sim.run(graph);
+  EXPECT_LT(ours.mxu_energy(), base.mxu_energy());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorFuzzTest,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace cimtpu

@@ -1,0 +1,142 @@
+// Memory system and ICI fabric tests.
+
+#include <gtest/gtest.h>
+
+#include "mem/link.h"
+#include "mem/memory.h"
+#include "tech/technology.h"
+
+namespace cimtpu::mem {
+namespace {
+
+class MemoryTest : public ::testing::Test {
+ protected:
+  MemoryTest()
+      : energy_(tech::calibration_node()), memory_(MemorySystemSpec{}, energy_) {}
+  tech::EnergyModel energy_;
+  MemorySystem memory_;
+};
+
+TEST_F(MemoryTest, DefaultSpecMatchesTableI) {
+  const MemorySystemSpec& spec = memory_.spec();
+  EXPECT_DOUBLE_EQ(spec.vmem.capacity, 16 * MiB);
+  EXPECT_DOUBLE_EQ(spec.cmem.capacity, 128 * MiB);
+  EXPECT_DOUBLE_EQ(spec.hbm.capacity, 8 * GiB);
+  EXPECT_DOUBLE_EQ(spec.hbm.bandwidth, 614 * GBps);
+}
+
+TEST_F(MemoryTest, TransferTimes) {
+  // 614 MB over 614 GB/s = 1 ms.
+  EXPECT_NEAR(memory_.hbm_time(614e6), 1e-3, 1e-9);
+  EXPECT_GT(memory_.cmem_time(1 * GiB), memory_.vmem_time(1 * GiB));
+}
+
+TEST_F(MemoryTest, StageInSlowuestLegDominates) {
+  const Bytes bytes = 1 * GiB;
+  // From HBM the HBM leg is slowest.
+  EXPECT_DOUBLE_EQ(memory_.stage_in_time(ir::Residency::kHbm, bytes),
+                   memory_.hbm_time(bytes));
+  // From CMEM the OCI leg is slowest.
+  EXPECT_DOUBLE_EQ(memory_.stage_in_time(ir::Residency::kCmem, bytes),
+                   memory_.cmem_time(bytes));
+  EXPECT_DOUBLE_EQ(memory_.stage_in_time(ir::Residency::kVmem, bytes),
+                   memory_.vmem_time(bytes));
+}
+
+TEST_F(MemoryTest, StageInEnergyAccumulatesLegs) {
+  const Bytes bytes = 1e6;
+  const Joules from_hbm = memory_.stage_in_energy(ir::Residency::kHbm, bytes);
+  const Joules from_cmem = memory_.stage_in_energy(ir::Residency::kCmem, bytes);
+  const Joules from_vmem = memory_.stage_in_energy(ir::Residency::kVmem, bytes);
+  EXPECT_GT(from_hbm, from_cmem);
+  EXPECT_GT(from_cmem, from_vmem);
+  EXPECT_NEAR(from_hbm - from_cmem, memory_.hbm_energy(bytes), 1e-12);
+}
+
+TEST_F(MemoryTest, FitsCmem) {
+  EXPECT_TRUE(memory_.fits_cmem(100 * MiB));
+  EXPECT_TRUE(memory_.fits_cmem(100 * MiB, 28 * MiB));
+  EXPECT_FALSE(memory_.fits_cmem(100 * MiB, 29 * MiB));
+  EXPECT_FALSE(memory_.fits_cmem(129 * MiB));
+}
+
+TEST(MemorySpecTest, ValidationCatchesNonsense) {
+  MemorySystemSpec spec;
+  spec.vmem.capacity = 0;
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  MemorySystemSpec swapped;
+  swapped.vmem.capacity = 256 * MiB;  // larger than CMEM
+  EXPECT_THROW(swapped.validate(), ConfigError);
+}
+
+TEST(OverlapTest, DoubleBufferedSteadyState) {
+  // Fully memory-bound: latency ~ memory + exposure.
+  EXPECT_NEAR(overlap_double_buffered(1e-3, 10e-3, 10.0), 11e-3, 1e-9);
+  // Fully compute-bound: memory hidden except first tile.
+  EXPECT_NEAR(overlap_double_buffered(10e-3, 1e-3, 10.0), 10.1e-3, 1e-9);
+}
+
+TEST(OverlapTest, SerialIsSum) {
+  EXPECT_DOUBLE_EQ(overlap_serial(2e-3, 3e-3), 5e-3);
+}
+
+TEST(OverlapTest, MoreTilesShrinkExposure) {
+  const Seconds few = overlap_double_buffered(5e-3, 5e-3, 2.0);
+  const Seconds many = overlap_double_buffered(5e-3, 5e-3, 100.0);
+  EXPECT_GT(few, many);
+}
+
+// --- ICI fabric -----------------------------------------------------------------
+
+class IciTest : public ::testing::Test {
+ protected:
+  IciTest() : energy_(tech::calibration_node()), fabric_(IciLinkSpec{}, energy_) {}
+  tech::EnergyModel energy_;
+  IciFabric fabric_;
+};
+
+TEST_F(IciTest, SingleChipAllReduceIsFree) {
+  EXPECT_DOUBLE_EQ(fabric_.all_reduce_time(1e9, 1), 0.0);
+  EXPECT_DOUBLE_EQ(fabric_.all_reduce_energy(1e9, 1), 0.0);
+}
+
+TEST_F(IciTest, RingAllReduceFormula) {
+  // 2(p-1)/p * bytes / effective_bw + 2(p-1) hops.
+  const Bytes bytes = 1e9;
+  const int chips = 4;
+  const double effective_bw = 2 * 100e9;  // two links used
+  const Seconds expected =
+      2.0 * 3.0 / 4.0 * bytes / effective_bw + 6.0 * 1e-6;
+  EXPECT_NEAR(fabric_.all_reduce_time(bytes, chips), expected, 1e-12);
+}
+
+TEST_F(IciTest, AllReduceTimeGrowsWithChips) {
+  const Bytes bytes = 1e8;
+  EXPECT_LT(fabric_.all_reduce_time(bytes, 2),
+            fabric_.all_reduce_time(bytes, 4));
+  EXPECT_LT(fabric_.all_reduce_time(bytes, 4),
+            fabric_.all_reduce_time(bytes, 8));
+}
+
+TEST_F(IciTest, P2pIncludesLatencyAndBandwidth) {
+  EXPECT_NEAR(fabric_.p2p_time(100e9 /* 1 s at link rate */), 1.0 + 1e-6,
+              1e-9);
+  EXPECT_DOUBLE_EQ(fabric_.p2p_time(0), 0.0);
+}
+
+TEST_F(IciTest, EnergyProportionalToTraffic) {
+  EXPECT_NEAR(fabric_.p2p_energy(2e6), 2 * fabric_.p2p_energy(1e6), 1e-12);
+  EXPECT_GT(fabric_.all_reduce_energy(1e6, 4),
+            fabric_.all_reduce_energy(1e6, 2));
+}
+
+TEST(IciSpecTest, InvalidSpecThrows) {
+  tech::EnergyModel energy(tech::calibration_node());
+  IciLinkSpec bad;
+  bad.links_per_chip = 0;
+  EXPECT_THROW(IciFabric(bad, energy), ConfigError);
+}
+
+}  // namespace
+}  // namespace cimtpu::mem

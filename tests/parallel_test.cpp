@@ -1,0 +1,144 @@
+// Multi-chip parallelism tests: pipeline throughput scaling, tensor
+// parallel sharding, and communication accounting.
+
+#include <gtest/gtest.h>
+
+#include "parallel/multi_chip.h"
+
+namespace cimtpu::parallel {
+namespace {
+
+sim::LlmScenario small_llm() {
+  sim::LlmScenario scenario;
+  scenario.model = models::gpt3_30b();
+  scenario.model.num_layers = 8;
+  scenario.batch = 8;
+  scenario.input_len = 128;
+  scenario.output_len = 16;
+  return scenario;
+}
+
+sim::DitScenario small_dit() {
+  sim::DitScenario scenario;
+  scenario.model = models::dit_xl_2();
+  scenario.geometry = models::dit_geometry_512();
+  scenario.batch = 8;
+  return scenario;
+}
+
+TEST(LlmPipelineTest, SingleChipBaseline) {
+  const auto result =
+      evaluate_llm_pipeline(arch::tpu_v4i_baseline(), small_llm(), 1);
+  EXPECT_EQ(result.chips, 1);
+  EXPECT_GT(result.requests_per_second, 0);
+  EXPECT_DOUBLE_EQ(result.ici_energy_per_request, 0);
+  EXPECT_NEAR(result.tokens_per_second,
+              result.requests_per_second * 8 * 16, 1e-6);
+}
+
+TEST(LlmPipelineTest, ThroughputScalesNearLinearly) {
+  const auto scenario = small_llm();
+  const auto one = evaluate_llm_pipeline(arch::tpu_v4i_baseline(), scenario, 1);
+  const auto two = evaluate_llm_pipeline(arch::tpu_v4i_baseline(), scenario, 2);
+  const auto four =
+      evaluate_llm_pipeline(arch::tpu_v4i_baseline(), scenario, 4);
+  EXPECT_GT(two.requests_per_second, one.requests_per_second * 1.7);
+  EXPECT_GT(four.requests_per_second, two.requests_per_second * 1.7);
+  EXPECT_LE(four.requests_per_second, one.requests_per_second * 4.001);
+}
+
+TEST(LlmPipelineTest, RequestLatencyIncludesTransfers) {
+  const auto scenario = small_llm();
+  const auto one = evaluate_llm_pipeline(arch::tpu_v4i_baseline(), scenario, 1);
+  const auto four =
+      evaluate_llm_pipeline(arch::tpu_v4i_baseline(), scenario, 4);
+  // Same total compute split across stages; transfers add a little.
+  EXPECT_GT(four.request_latency, one.request_latency);
+  EXPECT_LT(four.request_latency, one.request_latency * 1.1);
+  EXPECT_GT(four.ici_energy_per_request, 0);
+}
+
+TEST(LlmPipelineTest, EnergyPerRequestIndependentOfChipCount) {
+  const auto scenario = small_llm();
+  const auto one = evaluate_llm_pipeline(arch::tpu_v4i_baseline(), scenario, 1);
+  const auto four =
+      evaluate_llm_pipeline(arch::tpu_v4i_baseline(), scenario, 4);
+  // MXU energy is workload energy; splitting layers does not change it.
+  EXPECT_NEAR(four.mxu_energy_per_request / one.mxu_energy_per_request, 1.0,
+              0.01);
+}
+
+TEST(LlmPipelineTest, MoreStagesThanLayersRejected) {
+  auto scenario = small_llm();
+  scenario.model.num_layers = 2;
+  EXPECT_THROW(evaluate_llm_pipeline(arch::tpu_v4i_baseline(), scenario, 4),
+               ConfigError);
+}
+
+TEST(DitPipelineTest, ThroughputScalesAndEnergyStable) {
+  const auto scenario = small_dit();
+  const auto one = evaluate_dit_pipeline(arch::tpu_v4i_baseline(), scenario, 1);
+  const auto four =
+      evaluate_dit_pipeline(arch::tpu_v4i_baseline(), scenario, 4);
+  EXPECT_GT(four.images_per_second, one.images_per_second * 3.0);
+  EXPECT_NEAR(four.mxu_energy_per_image / one.mxu_energy_per_image, 1.0,
+              0.01);
+}
+
+TEST(DitPipelineTest, DesignBOutperformsBaseline) {
+  const auto scenario = small_dit();
+  const auto base = evaluate_dit_pipeline(arch::tpu_v4i_baseline(), scenario, 4);
+  const auto b = evaluate_dit_pipeline(arch::design_b(), scenario, 4);
+  EXPECT_GT(b.images_per_second, base.images_per_second);
+  EXPECT_LT(b.mxu_energy_per_image, base.mxu_energy_per_image);
+}
+
+// --- Tensor parallelism -----------------------------------------------------------
+
+TEST(TensorParallelTest, ShardingDividesHeadsAndFfn) {
+  const auto shard = shard_tensor_parallel(models::gpt3_30b(), 4);
+  EXPECT_EQ(shard.num_heads, 14);
+  EXPECT_EQ(shard.d_ff, 7168);
+  EXPECT_EQ(shard.d_model, 7168);  // row-parallel keeps full width
+  EXPECT_EQ(shard.num_layers, 48);
+}
+
+TEST(TensorParallelTest, IndivisibleShardingRejected) {
+  EXPECT_THROW(shard_tensor_parallel(models::gpt3_30b(), 3), ConfigError);
+  // DiT-XL/2 has 16 heads; 32-way is impossible.
+  EXPECT_THROW(shard_tensor_parallel(models::dit_xl_2(), 32), ConfigError);
+}
+
+TEST(TensorParallelTest, AllReduceBytes) {
+  // Two all-reduces of [rows, d_model] INT8.
+  EXPECT_DOUBLE_EQ(
+      tensor_parallel_allreduce_bytes(models::gpt3_30b(), 8192),
+      2.0 * 8192 * 7168);
+}
+
+TEST(TensorParallelTest, FourWayFasterThanOneDespiteComms) {
+  auto scenario = small_llm();
+  scenario.model.num_heads = 56;
+  const auto one =
+      evaluate_llm_tensor_parallel(arch::tpu_v4i_baseline(), scenario, 1);
+  const auto four =
+      evaluate_llm_tensor_parallel(arch::tpu_v4i_baseline(), scenario, 4);
+  EXPECT_LT(four.latency, one.latency);
+  EXPECT_GT(four.communication_time, 0);
+  EXPECT_DOUBLE_EQ(one.communication_time, 0);
+}
+
+TEST(TensorParallelTest, EnergyCountsAllChips) {
+  const auto scenario = small_llm();
+  const auto four =
+      evaluate_llm_tensor_parallel(arch::tpu_v4i_baseline(), scenario, 4);
+  const auto one =
+      evaluate_llm_tensor_parallel(arch::tpu_v4i_baseline(), scenario, 1);
+  // Four chips burn background power even with the workload split, so the
+  // total exceeds half of 1-chip energy but stays within ~4x.
+  EXPECT_GT(four.total_energy, one.total_energy * 0.5);
+  EXPECT_LT(four.total_energy, one.total_energy * 4.0);
+}
+
+}  // namespace
+}  // namespace cimtpu::parallel

@@ -1,0 +1,103 @@
+// Tile-pipeline event-simulation tests, including the cross-validation of
+// the analytic overlap formula used by the operator cost model.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "mem/memory.h"
+#include "sim/pipeline_sim.h"
+
+namespace cimtpu::sim {
+namespace {
+
+TEST(PipelineSimTest, SingleTileIsSerial) {
+  const PipelineSimResult result = simulate_tile_pipeline(3e-3, 2e-3, 1);
+  EXPECT_DOUBLE_EQ(result.total, 5e-3);
+  EXPECT_DOUBLE_EQ(result.compute_idle, 2e-3);
+}
+
+TEST(PipelineSimTest, ComputeBoundSteadyState) {
+  // compute >> memory: total = first load + all compute.
+  const int tiles = 10;
+  const PipelineSimResult result =
+      simulate_tile_pipeline(10e-3, 1e-3, tiles);
+  EXPECT_NEAR(result.total, 1e-3 / tiles + 10e-3, 1e-12);
+}
+
+TEST(PipelineSimTest, MemoryBoundSteadyState) {
+  // memory >> compute: total = all loads + last tile's compute.
+  const int tiles = 10;
+  const PipelineSimResult result =
+      simulate_tile_pipeline(1e-3, 10e-3, tiles);
+  EXPECT_NEAR(result.total, 10e-3 + 1e-3 / tiles, 1e-12);
+  EXPECT_NEAR(result.compute_idle, result.total - 1e-3, 1e-12);
+}
+
+TEST(PipelineSimTest, SingleBufferSerializes) {
+  // buffer_depth = 1: every tile's load waits for the previous compute.
+  const PipelineSimResult result =
+      simulate_tile_pipeline(5e-3, 5e-3, 10, /*buffer_depth=*/1);
+  EXPECT_NEAR(result.total, 10e-3, 1e-12);  // fully serial
+  const PipelineSimResult overlapped =
+      simulate_tile_pipeline(5e-3, 5e-3, 10, /*buffer_depth=*/2);
+  EXPECT_LT(overlapped.total, result.total);
+}
+
+TEST(PipelineSimTest, DeeperBuffersNeverHurt) {
+  for (int depth = 1; depth <= 4; ++depth) {
+    const Seconds shallow =
+        simulate_tile_pipeline(7e-3, 5e-3, 13, depth).total;
+    const Seconds deeper =
+        simulate_tile_pipeline(7e-3, 5e-3, 13, depth + 1).total;
+    EXPECT_LE(deeper, shallow + 1e-15) << "depth=" << depth;
+  }
+}
+
+TEST(PipelineSimTest, TotalBoundedBelowByBothResources) {
+  const PipelineSimResult result = simulate_tile_pipeline(4e-3, 6e-3, 7);
+  EXPECT_GE(result.total, 6e-3);
+  EXPECT_GE(result.total, 4e-3);
+  EXPECT_LE(result.total, 10e-3 + 1e-15);  // never worse than serial
+}
+
+TEST(PipelineSimTest, AnalyticFormulaWithinOneTileQuantum) {
+  // The analytic model uses max(C, M) + M/T; the event simulation is the
+  // ground truth.  They must agree within one tile quantum.
+  for (double compute : {1e-3, 5e-3, 20e-3}) {
+    for (double memory : {1e-3, 5e-3, 20e-3}) {
+      for (int tiles : {1, 4, 16, 64}) {
+        const Seconds analytic =
+            mem::overlap_double_buffered(compute, memory, tiles);
+        const Seconds event =
+            simulate_tile_pipeline(compute, memory, tiles).total;
+        const Seconds quantum = std::max(compute, memory) / tiles;
+        EXPECT_NEAR(analytic, event, quantum + 1e-15)
+            << "C=" << compute << " M=" << memory << " T=" << tiles;
+        // The analytic model must not be optimistic beyond round-off.
+        EXPECT_GE(analytic, event - 1e-15);
+      }
+    }
+  }
+}
+
+TEST(PipelineSimTest, ConvergesToMaxWithManyTiles) {
+  const Seconds total = simulate_tile_pipeline(10e-3, 8e-3, 10000).total;
+  EXPECT_NEAR(total, 10e-3, 10e-3 * 1e-3);
+}
+
+TEST(PipelineSimTest, ZeroMemoryDegeneratesToCompute) {
+  const PipelineSimResult result = simulate_tile_pipeline(5e-3, 0.0, 8);
+  EXPECT_DOUBLE_EQ(result.total, 5e-3);
+  EXPECT_DOUBLE_EQ(result.compute_idle, 0.0);
+}
+
+TEST(PipelineSimTest, Validation) {
+  EXPECT_THROW(simulate_tile_pipeline(1e-3, 1e-3, 0), InternalError);
+  EXPECT_THROW(simulate_tile_pipeline(1e-3, 1e-3, 4, 0), InternalError);
+  EXPECT_THROW(simulate_tile_pipeline(-1e-3, 1e-3, 4), InternalError);
+}
+
+}  // namespace
+}  // namespace cimtpu::sim

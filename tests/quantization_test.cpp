@@ -1,0 +1,138 @@
+// INT8 quantization tests: round-trip error, GEMM error bounds, and
+// integration with the bit-exact CIM compute path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cim/cim_grid.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "models/quantization.h"
+
+namespace cimtpu::models {
+namespace {
+
+std::vector<float> random_floats(Rng& rng, std::size_t n, double lo,
+                                 double hi) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(lo, hi));
+  return v;
+}
+
+TEST(QuantizationTest, ScaleCoversMaxAbs) {
+  const QuantParams params = choose_scale({-3.0f, 1.0f, 2.54f});
+  EXPECT_FLOAT_EQ(params.scale, 3.0f / 127.0f);
+}
+
+TEST(QuantizationTest, AllZeroTensorGetsUnitScale) {
+  const QuantParams params = choose_scale({0.0f, 0.0f});
+  EXPECT_FLOAT_EQ(params.scale, 1.0f);
+}
+
+TEST(QuantizationTest, RoundTripErrorWithinHalfStep) {
+  Rng rng(11);
+  const auto values = random_floats(rng, 1000, -5.0, 5.0);
+  const QuantParams params = choose_scale(values);
+  const auto q = quantize(values, params);
+  const auto back = dequantize(q, params);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(back[i], values[i], params.scale * 0.5f + 1e-6) << i;
+  }
+}
+
+TEST(QuantizationTest, ExtremesSaturateSymmetrically) {
+  QuantParams params;
+  params.scale = 0.1f;
+  const auto q = quantize({100.0f, -100.0f}, params);
+  EXPECT_EQ(q[0], 127);
+  EXPECT_EQ(q[1], -127);  // symmetric: -128 unused
+}
+
+TEST(QuantizationTest, QuantizedGemmTracksFloatReference) {
+  Rng rng(12);
+  const int m = 4, k = 64, n = 8;
+  const auto a = random_floats(rng, static_cast<std::size_t>(m) * k, -1, 1);
+  const auto w = random_floats(rng, static_cast<std::size_t>(k) * n, -1, 1);
+  const QuantParams ap = choose_scale(a);
+  const QuantParams wp = choose_scale(w);
+  const auto qa = quantize(a, ap);
+  const auto qw = quantize(w, wp);
+  const auto quantized = quantized_gemm(qa, ap, qw, wp, m, k, n);
+  const auto reference = float_gemm(a, w, m, k, n);
+  const float bound = quantized_gemm_error_bound(ap, wp, k);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_NEAR(quantized[i], reference[i], bound) << i;
+    // The statistical error should be far below the worst-case bound.
+    EXPECT_NEAR(quantized[i], reference[i], bound * 0.25f) << i;
+  }
+}
+
+TEST(QuantizationTest, QuantizedGemmMatchesCimGridPath) {
+  // The quantized integer GEMM must be bit-identical whether computed
+  // directly or through the functional CIM grid — the property that makes
+  // INT8 model evaluation on the CIM-MXU exact.
+  Rng rng(13);
+  const int m = 3, k = 16, n = 32;
+  const auto a = random_floats(rng, static_cast<std::size_t>(m) * k, -2, 2);
+  const auto w = random_floats(rng, static_cast<std::size_t>(k) * n, -2, 2);
+  const QuantParams ap = choose_scale(a);
+  const QuantParams wp = choose_scale(w);
+  const auto qa = quantize(a, ap);
+  const auto qw = quantize(w, wp);
+
+  cim::CimMacroSpec spec;
+  spec.input_channels = 16;
+  spec.output_channels = 32;
+  spec.banks = 4;
+  cim::CimGrid grid(1, 1, spec);
+  const auto int_result = grid.gemm(qa, qw, m, k, n);
+
+  const auto via_quantized = quantized_gemm(qa, ap, qw, wp, m, k, n);
+  const float scale = ap.scale * wp.scale;
+  for (std::size_t i = 0; i < via_quantized.size(); ++i) {
+    EXPECT_FLOAT_EQ(via_quantized[i],
+                    scale * static_cast<float>(int_result[i]));
+  }
+}
+
+TEST(QuantizationTest, ErrorBoundGrowsWithK) {
+  QuantParams p;
+  p.scale = 0.01f;
+  EXPECT_LT(quantized_gemm_error_bound(p, p, 64),
+            quantized_gemm_error_bound(p, p, 7168));
+}
+
+TEST(QuantizationTest, Validation) {
+  QuantParams bad;
+  bad.scale = 0.0f;
+  EXPECT_THROW(quantize({1.0f}, bad), InternalError);
+  EXPECT_THROW(choose_scale({}), InternalError);
+  QuantParams ok;
+  EXPECT_THROW(quantized_gemm({1, 2}, ok, {1}, ok, 1, 1, 1), InternalError);
+}
+
+class QuantSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantSweepTest, GemmErrorBoundHolds) {
+  const int k = GetParam();
+  Rng rng(1000 + k);
+  const int m = 2, n = 4;
+  const auto a = random_floats(rng, static_cast<std::size_t>(m) * k, -3, 3);
+  const auto w = random_floats(rng, static_cast<std::size_t>(k) * n, -3, 3);
+  const QuantParams ap = choose_scale(a);
+  const QuantParams wp = choose_scale(w);
+  const auto quantized =
+      quantized_gemm(quantize(a, ap), ap, quantize(w, wp), wp, m, k, n);
+  const auto reference = float_gemm(a, w, m, k, n);
+  const float bound = quantized_gemm_error_bound(ap, wp, k);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_LE(std::fabs(quantized[i] - reference[i]), bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, QuantSweepTest,
+                         ::testing::Values(1, 8, 72, 128, 1024));
+
+}  // namespace
+}  // namespace cimtpu::models
