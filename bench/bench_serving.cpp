@@ -1,0 +1,97 @@
+// Serving baseline bench: goodput and tail latency of continuous-batching
+// request streams across arrival rates and pipeline depths.  This is the
+// perf trajectory anchor for the serving subsystem — later scheduler or
+// cost-cache optimizations move these numbers.
+//
+// Emits BENCH_serving.json (goodput + p99 TTFT across 3 arrival rates x
+// 2 chip counts) next to the usual CSV/ASCII outputs.
+
+#include <fstream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "serving/traffic_profiles.h"
+
+using namespace cimtpu;
+
+namespace {
+
+serving::RequestStreamConfig stream_config(double rate) {
+  return serving::zipf_chat_stream(/*seed=*/42, /*num_requests=*/2000, rate);
+}
+
+serving::ServingScenario scenario_for(int chips) {
+  return serving::llama7b_baseline_scenario(chips, ir::DType::kInt4);
+}
+
+void BM_serving_small_stream(benchmark::State& state) {
+  const auto stream = [] {
+    serving::RequestStreamConfig config = stream_config(20.0);
+    config.num_requests = 200;
+    return config;
+  }();
+  const std::vector<serving::Request> requests =
+      serving::generate_requests(stream);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serving::run_serving(scenario_for(1), requests));
+  }
+}
+BENCHMARK(BM_serving_small_stream);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Serving", "continuous-batching goodput and tail latency");
+
+  const std::vector<double> rates = {5.0, 10.0, 20.0};
+  const std::vector<int> chip_counts = {1, 4};
+
+  CsvWriter csv(bench::output_dir() + "/serving.csv");
+  csv.write_header({"arrival_rate", "chips", "goodput_tokens_per_s",
+                    "ttft_p99_s", "tpot_p99_s", "energy_per_token_j",
+                    "mxu_utilization", "preemptions"});
+
+  AsciiTable table("Serving baseline — llama2-7b INT4, 2000-request Poisson streams");
+  table.set_header({"rate (req/s)", "chips", "tokens/s", "TTFT p99",
+                    "TPOT p99", "J/token", "MXU util"});
+
+  std::ofstream json("BENCH_serving.json");
+  json << "{\n  \"bench\": \"serving\",\n  \"model\": \"llama2-7b\",\n"
+       << "  \"dtype\": \"int4\",\n  \"requests\": 2000,\n  \"seed\": 42,\n"
+       << "  \"results\": [\n";
+  bool first = true;
+  for (double rate : rates) {
+    const std::vector<serving::Request> requests =
+        serving::generate_requests(stream_config(rate));
+    for (int chips : chip_counts) {
+      const serving::ServingMetrics metrics =
+          serving::run_serving(scenario_for(chips), requests);
+      csv.write_row({cell_f(rate, 1), cell_i(chips),
+                     cell_f(metrics.goodput_tokens_per_second, 3),
+                     cell_f(metrics.ttft.p99, 6), cell_f(metrics.tpot.p99, 6),
+                     cell_f(metrics.energy_per_token, 9),
+                     cell_f(metrics.mxu_utilization, 4),
+                     cell_i(metrics.preemptions)});
+      table.add_row({cell_f(rate, 1), cell_i(chips),
+                     cell_f(metrics.goodput_tokens_per_second, 1),
+                     format_time(metrics.ttft.p99),
+                     format_time(metrics.tpot.p99),
+                     format_energy(metrics.energy_per_token),
+                     cell_f(100.0 * metrics.mxu_utilization, 1) + "%"});
+      if (!first) json << ",\n";
+      first = false;
+      json << "    {\"arrival_rate\": " << rate << ", \"chips\": " << chips
+           << ", \"goodput_tokens_per_s\": "
+           << metrics.goodput_tokens_per_second
+           << ", \"ttft_p99_s\": " << metrics.ttft.p99
+           << ", \"tpot_p99_s\": " << metrics.tpot.p99
+           << ", \"energy_per_token_j\": " << metrics.energy_per_token << "}";
+    }
+  }
+  json << "\n  ]\n}\n";
+  json.close();
+  table.print();
+  std::printf("  wrote BENCH_serving.json\n");
+
+  return bench::run_microbenchmarks(argc, argv);
+}

@@ -28,6 +28,18 @@ TransformerConfig gpt3_175b() {
   return config;
 }
 
+TransformerConfig llama2_7b() {
+  TransformerConfig config;
+  config.name = "llama2-7b";
+  config.num_layers = 32;
+  config.num_heads = 32;
+  config.d_model = 4096;
+  config.d_ff = 11008;
+  config.vocab_size = 32000;
+  config.ffn = FfnKind::kSwiGlu;
+  return config;
+}
+
 TransformerConfig llama2_13b() {
   TransformerConfig config;
   config.name = "llama2-13b";
@@ -64,13 +76,14 @@ DitGeometry dit_geometry_512() {
 TransformerConfig model_by_name(const std::string& name) {
   if (name == "gpt3-30b") return gpt3_30b();
   if (name == "gpt3-175b") return gpt3_175b();
+  if (name == "llama2-7b") return llama2_7b();
   if (name == "llama2-13b") return llama2_13b();
   if (name == "dit-xl/2") return dit_xl_2();
   throw ConfigError("unknown model: " + name);
 }
 
 std::vector<std::string> model_names() {
-  return {"gpt3-30b", "gpt3-175b", "llama2-13b", "dit-xl/2"};
+  return {"gpt3-30b", "gpt3-175b", "llama2-7b", "llama2-13b", "dit-xl/2"};
 }
 
 }  // namespace cimtpu::models

@@ -16,6 +16,12 @@ TransformerConfig gpt3_30b();
 /// GPT-3 175B (Brown et al., 2020): 96 layers, 96 heads, d_model 12288.
 TransformerConfig gpt3_175b();
 
+/// Llama2-7B (Touvron et al., 2023): 32 layers, 32 heads, d_model 4096,
+/// SwiGLU FFN with hidden 11008, vocab 32000.  The serving simulator's
+/// default: the only zoo LLM whose INT8 weights fit one TPUv4i's 8 GB HBM
+/// with room left for a KV cache (at INT4, llama2-13b fits too).
+TransformerConfig llama2_7b();
+
 /// Llama2-13B (Touvron et al., 2023): 40 layers, 40 heads, d_model 5120,
 /// SwiGLU FFN with hidden 13824, vocab 32000.  Used in the paper's Fig. 2
 /// runtime-breakdown analysis.
@@ -27,8 +33,8 @@ TransformerConfig dit_xl_2();
 /// Standard DiT-XL/2 geometry at 512x512 (1024 tokens).
 DitGeometry dit_geometry_512();
 
-/// Looks a config up by name ("gpt3-30b", "gpt3-175b", "llama2-13b",
-/// "dit-xl/2"); throws ConfigError for unknown names.
+/// Looks a config up by name ("gpt3-30b", "gpt3-175b", "llama2-7b",
+/// "llama2-13b", "dit-xl/2"); throws ConfigError for unknown names.
 TransformerConfig model_by_name(const std::string& name);
 
 /// All registered model names.

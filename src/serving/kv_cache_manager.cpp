@@ -1,0 +1,95 @@
+#include "serving/kv_cache_manager.h"
+
+#include "common/math_util.h"
+#include "common/status.h"
+
+namespace cimtpu::serving {
+
+KvCacheManager::KvCacheManager(Bytes capacity, Bytes bytes_per_token,
+                               EvictionPolicy policy)
+    : capacity_(capacity), bytes_per_token_(bytes_per_token), policy_(policy) {
+  CIMTPU_CONFIG_CHECK(capacity > 0, "KV budget must be positive");
+  CIMTPU_CONFIG_CHECK(bytes_per_token > 0, "KV token bytes must be positive");
+}
+
+Bytes KvCacheManager::hbm_kv_budget(const models::TransformerConfig& model,
+                                    Bytes chip_hbm_capacity, int chips) {
+  CIMTPU_CONFIG_CHECK(chips >= 1, "KV budget needs >= 1 chip");
+  CIMTPU_CONFIG_CHECK(model.num_layers >= chips,
+                      "fewer layers than pipeline stages");
+  // The bottleneck stage holds ceil(layers/chips) layers: its weights and
+  // its per-layer share of every cached token must fit ONE chip's HBM.
+  // The admissible whole-model KV is the bottleneck's headroom scaled by
+  // the inverse of its layer share (for even splits this reduces to
+  // chips * HBM - weights).
+  const std::int64_t stage_layers =
+      ceil_div<std::int64_t>(model.num_layers, chips);
+  const Bytes stage_weights =
+      model.layer_weight_bytes() * static_cast<double>(stage_layers);
+  const Bytes stage_free = chip_hbm_capacity - stage_weights;
+  CIMTPU_CONFIG_CHECK(stage_free > 0,
+                      "model '" << model.name << "' bottleneck stage ("
+                                << stage_layers << " layers, "
+                                << format_bytes(stage_weights)
+                                << ") exceeds one chip's HBM over " << chips
+                                << " chip(s)");
+  return stage_free * static_cast<double>(model.num_layers) /
+         static_cast<double>(stage_layers);
+}
+
+Bytes KvCacheManager::token_bytes(const models::TransformerConfig& model) {
+  return models::kv_cache_bytes_per_layer(model, /*batch=*/1, /*kv_len=*/1) *
+         static_cast<double>(model.num_layers);
+}
+
+bool KvCacheManager::try_admit(std::int64_t request_id, std::int64_t tokens) {
+  CIMTPU_CHECK(entries_.count(request_id) == 0);
+  CIMTPU_CHECK(tokens >= 0);
+  const Bytes need = bytes_per_token_ * static_cast<double>(tokens);
+  if (used_ + need > capacity_) return false;
+  entries_[request_id] = Entry{tokens, next_seq_++};
+  used_ += need;
+  return true;
+}
+
+bool KvCacheManager::try_grow(std::int64_t request_id, std::int64_t tokens) {
+  auto it = entries_.find(request_id);
+  CIMTPU_CHECK(it != entries_.end());
+  const Bytes need = bytes_per_token_ * static_cast<double>(tokens);
+  if (used_ + need > capacity_) return false;
+  it->second.tokens += tokens;
+  used_ += need;
+  return true;
+}
+
+void KvCacheManager::release(std::int64_t request_id) {
+  auto it = entries_.find(request_id);
+  CIMTPU_CHECK(it != entries_.end());
+  used_ -= bytes_per_token_ * static_cast<double>(it->second.tokens);
+  if (used_ < 0) used_ = 0;  // guard accumulated FP error
+  entries_.erase(it);
+}
+
+std::int64_t KvCacheManager::resident_tokens(std::int64_t request_id) const {
+  auto it = entries_.find(request_id);
+  return it == entries_.end() ? 0 : it->second.tokens;
+}
+
+std::int64_t KvCacheManager::pick_eviction_victim(std::int64_t protect) const {
+  if (policy_ == EvictionPolicy::kNone) return -1;
+  std::int64_t victim = -1;
+  std::int64_t victim_seq = -1;
+  for (const auto& [id, entry] : entries_) {
+    if (id == protect) continue;
+    // Newest admission first; ties (impossible by construction) by id for
+    // platform-independent determinism.
+    if (entry.admit_seq > victim_seq ||
+        (entry.admit_seq == victim_seq && id > victim)) {
+      victim = id;
+      victim_seq = entry.admit_seq;
+    }
+  }
+  return victim;
+}
+
+}  // namespace cimtpu::serving

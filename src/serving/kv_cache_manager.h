@@ -1,0 +1,90 @@
+#pragma once
+// Per-request KV-cache accounting against a chip's memory capacity.
+//
+// Under continuous batching the KV cache — not compute — usually caps how
+// many requests can decode concurrently: each resident sequence pins
+// 2 * kv_len * d_model * dtype_bytes per layer (models::kv_cache_bytes_
+// per_layer).  The manager tracks those footprints against the budget left
+// in HBM after weights (mem/memory.h capacities), gates admission, and
+// implements preempt-by-recompute eviction for decode-time growth
+// pressure.  It is pure bookkeeping — deterministic and allocation-cheap —
+// so million-request streams stay fast.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/units.h"
+#include "models/transformer.h"
+
+namespace cimtpu::serving {
+
+/// What to do when a resident request cannot grow its KV cache.
+enum class EvictionPolicy {
+  kNone,           ///< never evict; admission simply blocks until releases
+  kPreemptNewest,  ///< preempt the most recently admitted request
+                   ///< (vLLM's recompute policy: its KV is dropped and the
+                   ///< request re-queues from scratch)
+};
+
+class KvCacheManager {
+ public:
+  /// `capacity` is the byte budget available for KV pages.
+  /// `bytes_per_token` is the whole-model footprint of one cached token.
+  KvCacheManager(Bytes capacity, Bytes bytes_per_token,
+                 EvictionPolicy policy = EvictionPolicy::kPreemptNewest);
+
+  /// Whole-model KV byte budget for a `chips`-way pipeline over chips with
+  /// `chip_hbm_capacity` of HBM each.  Sized so the BOTTLENECK stage
+  /// (ceil(layers/chips) layers) fits its weights plus its layer share of
+  /// every admitted token in one chip's HBM; for even layer splits this
+  /// reduces to chips * HBM - weights.
+  static Bytes hbm_kv_budget(const models::TransformerConfig& model,
+                             Bytes chip_hbm_capacity, int chips);
+
+  /// Whole-model KV bytes pinned per cached token.
+  static Bytes token_bytes(const models::TransformerConfig& model);
+
+  /// Reserves `tokens` worth of KV for a new request.  Returns false (and
+  /// reserves nothing) when it does not fit; the caller keeps the request
+  /// queued.
+  bool try_admit(std::int64_t request_id, std::int64_t tokens);
+
+  /// Grows a resident request by `tokens` (one per decode step).  Returns
+  /// false when the growth does not fit; the caller decides whether to
+  /// evict (see `pick_eviction_victim`).
+  bool try_grow(std::int64_t request_id, std::int64_t tokens = 1);
+
+  /// Frees a request's pages (finished or preempted).
+  void release(std::int64_t request_id);
+
+  /// Chooses the request to preempt under the configured policy, excluding
+  /// `protect` (the request currently being grown).  Returns -1 when
+  /// nothing can be evicted (empty, policy kNone, or only `protect`
+  /// resident).  The caller must `release` the victim and re-queue it.
+  std::int64_t pick_eviction_victim(std::int64_t protect) const;
+
+  bool resident(std::int64_t request_id) const {
+    return entries_.count(request_id) > 0;
+  }
+  std::int64_t resident_tokens(std::int64_t request_id) const;
+  std::size_t resident_count() const { return entries_.size(); }
+  Bytes used() const { return used_; }
+  Bytes capacity() const { return capacity_; }
+  Bytes bytes_per_token() const { return bytes_per_token_; }
+  EvictionPolicy policy() const { return policy_; }
+
+ private:
+  struct Entry {
+    std::int64_t tokens = 0;
+    std::int64_t admit_seq = 0;  ///< admission order for eviction policy
+  };
+
+  Bytes capacity_;
+  Bytes bytes_per_token_;
+  EvictionPolicy policy_;
+  Bytes used_ = 0;
+  std::int64_t next_seq_ = 0;
+  std::unordered_map<std::int64_t, Entry> entries_;
+};
+
+}  // namespace cimtpu::serving

@@ -1,0 +1,49 @@
+#include "serving/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace cimtpu::serving {
+
+namespace {
+
+/// Percentile of an already-sorted, non-empty sample.
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  CIMTPU_CONFIG_CHECK(p >= 0.0 && p <= 100.0,
+                      "percentile " << p << " outside [0, 100]");
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+double percentile(std::vector<double> values, double p) {
+  CIMTPU_CONFIG_CHECK(p >= 0.0 && p <= 100.0,
+                      "percentile " << p << " outside [0, 100]");
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  return percentile_sorted(values, p);
+}
+
+LatencySummary summarize_latencies(const std::vector<double>& values) {
+  LatencySummary summary;
+  summary.count = static_cast<std::int64_t>(values.size());
+  if (values.empty()) return summary;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0;
+  for (double v : sorted) sum += v;
+  summary.mean = sum / static_cast<double>(sorted.size());
+  summary.p50 = percentile_sorted(sorted, 50.0);
+  summary.p95 = percentile_sorted(sorted, 95.0);
+  summary.p99 = percentile_sorted(sorted, 99.0);
+  summary.max = sorted.back();
+  return summary;
+}
+
+}  // namespace cimtpu::serving

@@ -1,0 +1,30 @@
+#pragma once
+// Distributional latency metrics for the serving simulator: percentile
+// math and the TTFT/TPOT/end-to-end summaries SLO reports are built from.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace cimtpu::serving {
+
+/// Percentile of `values` with linear interpolation between closest ranks
+/// (the same convention as numpy.percentile's default).  `p` is in
+/// [0, 100].  Returns 0 for an empty set.  `values` is taken by value and
+/// sorted internally.
+double percentile(std::vector<double> values, double p);
+
+/// Five-number summary of a latency sample.
+struct LatencySummary {
+  std::int64_t count = 0;
+  Seconds mean = 0;
+  Seconds p50 = 0;
+  Seconds p95 = 0;
+  Seconds p99 = 0;
+  Seconds max = 0;
+};
+
+LatencySummary summarize_latencies(const std::vector<double>& values);
+
+}  // namespace cimtpu::serving

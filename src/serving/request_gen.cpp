@@ -1,0 +1,142 @@
+#include "serving/request_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace cimtpu::serving {
+
+std::string arrival_process_name(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kBursty: return "bursty";
+  }
+  return "?";
+}
+
+void LengthSpec::validate() const {
+  switch (kind) {
+    case LengthDistribution::kFixed:
+      CIMTPU_CONFIG_CHECK(mean >= 1, "fixed length must be >= 1");
+      break;
+    case LengthDistribution::kUniform:
+    case LengthDistribution::kZipf:
+      CIMTPU_CONFIG_CHECK(min_len >= 1 && max_len >= min_len,
+                          "length bounds need 1 <= min (" << min_len
+                          << ") <= max (" << max_len << ")");
+      break;
+  }
+  if (kind == LengthDistribution::kZipf) {
+    CIMTPU_CONFIG_CHECK(zipf_alpha > 0, "zipf_alpha must be positive");
+  }
+}
+
+void RequestStreamConfig::validate() const {
+  CIMTPU_CONFIG_CHECK(num_requests >= 1, "stream needs >= 1 request");
+  CIMTPU_CONFIG_CHECK(arrival_rate > 0, "arrival_rate must be positive");
+  if (process == ArrivalProcess::kBursty) {
+    CIMTPU_CONFIG_CHECK(burst_factor > 1.0, "burst_factor must exceed 1");
+    CIMTPU_CONFIG_CHECK(burst_fraction > 0 && burst_fraction < 1,
+                        "burst_fraction must be in (0, 1)");
+  }
+  prompt.validate();
+  output.validate();
+}
+
+LengthSampler::LengthSampler(const LengthSpec& spec) : spec_(spec) {
+  spec_.validate();
+  if (spec_.kind == LengthDistribution::kZipf) {
+    const std::int64_t support = spec_.max_len - spec_.min_len + 1;
+    zipf_cdf_.reserve(static_cast<std::size_t>(support));
+    double cumulative = 0;
+    for (std::int64_t rank = 1; rank <= support; ++rank) {
+      cumulative += std::pow(static_cast<double>(rank), -spec_.zipf_alpha);
+      zipf_cdf_.push_back(cumulative);
+    }
+  }
+}
+
+std::int64_t LengthSampler::sample(Rng& rng) const {
+  switch (spec_.kind) {
+    case LengthDistribution::kFixed:
+      return spec_.mean;
+    case LengthDistribution::kUniform:
+      return rng.uniform_int(spec_.min_len, spec_.max_len);
+    case LengthDistribution::kZipf: {
+      const double target = rng.uniform() * zipf_cdf_.back();
+      const auto it =
+          std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), target);
+      const std::int64_t rank = it - zipf_cdf_.begin();  // 0-based
+      return spec_.min_len + rank;
+    }
+  }
+  return spec_.mean;
+}
+
+namespace {
+
+/// Exponential variate with the given rate (inverse-CDF on (0, 1]).
+Seconds exponential(Rng& rng, double rate) {
+  // 1 - uniform() lies in (0, 1]; log of it is finite.
+  return -std::log(1.0 - rng.uniform()) / rate;
+}
+
+}  // namespace
+
+std::vector<Request> generate_requests(const RequestStreamConfig& config) {
+  config.validate();
+  Rng rng(config.seed);
+  const LengthSampler prompt_sampler(config.prompt);
+  const LengthSampler output_sampler(config.output);
+
+  // Two-state MMPP rates chosen so the time-average rate is arrival_rate:
+  //   avg = f * burst_rate + (1 - f) * calm_rate,  burst_rate = B * calm_rate.
+  const double calm_rate =
+      config.arrival_rate /
+      (1.0 + config.burst_fraction * (config.burst_factor - 1.0));
+  const double burst_rate = calm_rate * config.burst_factor;
+  // Mean dwell times: bursts last long enough to cover ~16 burst arrivals.
+  const Seconds mean_burst_dwell = 16.0 / burst_rate;
+  const Seconds mean_calm_dwell =
+      mean_burst_dwell * (1.0 - config.burst_fraction) / config.burst_fraction;
+
+  std::vector<Request> requests;
+  requests.reserve(static_cast<std::size_t>(config.num_requests));
+
+  Seconds now = 0;
+  bool in_burst = false;
+  Seconds state_ends = config.process == ArrivalProcess::kBursty
+                           ? exponential(rng, 1.0 / mean_calm_dwell)
+                           : 0;
+  for (std::int64_t id = 0; id < config.num_requests; ++id) {
+    if (config.process == ArrivalProcess::kPoisson) {
+      now += exponential(rng, config.arrival_rate);
+    } else {
+      // Draw the next arrival in the current state; cross state boundaries
+      // until the arrival lands inside the active state's window.
+      for (;;) {
+        const double rate = in_burst ? burst_rate : calm_rate;
+        const Seconds candidate = now + exponential(rng, rate);
+        if (candidate <= state_ends) {
+          now = candidate;
+          break;
+        }
+        now = state_ends;
+        in_burst = !in_burst;
+        const Seconds dwell = in_burst ? mean_burst_dwell : mean_calm_dwell;
+        state_ends = now + exponential(rng, 1.0 / dwell);
+      }
+    }
+    Request request;
+    request.id = id;
+    request.arrival_time = now;
+    request.prompt_len = prompt_sampler.sample(rng);
+    // Every request decodes at least one token (emitted by prefill).
+    request.output_len = std::max<std::int64_t>(1, output_sampler.sample(rng));
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+}  // namespace cimtpu::serving

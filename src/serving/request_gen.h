@@ -1,0 +1,92 @@
+#pragma once
+// Seeded stochastic request streams for the serving simulator.
+//
+// Production LLM traffic is not a fixed batch: requests arrive over time
+// (Poisson in the steady state, bursty under flash crowds) with highly
+// skewed prompt/output lengths.  This module turns a seed plus a stream
+// specification into a deterministic, sorted arrival trace that the
+// continuous-batching scheduler replays.  All randomness flows through
+// common/rng.h so a fixed seed reproduces bit-identical traffic on every
+// platform.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace cimtpu::serving {
+
+/// One inference request in the stream.
+struct Request {
+  std::int64_t id = 0;
+  Seconds arrival_time = 0;
+  std::int64_t prompt_len = 0;  ///< tokens prefilled
+  std::int64_t output_len = 0;  ///< tokens to decode (>= 1; the first is
+                                ///< emitted by the prefill step)
+};
+
+/// Arrival process of the stream.
+enum class ArrivalProcess {
+  kPoisson,  ///< exponential inter-arrivals at `arrival_rate`
+  kBursty,   ///< two-state Markov-modulated Poisson (flash crowds)
+};
+
+std::string arrival_process_name(ArrivalProcess process);
+
+/// Token-length distributions for prompts and outputs.
+enum class LengthDistribution {
+  kFixed,    ///< always `mean`
+  kUniform,  ///< uniform integer in [min_len, max_len]
+  kZipf,     ///< Zipf-ranked over [min_len, max_len]: short lengths common,
+             ///< a heavy tail of long ones (exponent `zipf_alpha`)
+};
+
+struct LengthSpec {
+  LengthDistribution kind = LengthDistribution::kFixed;
+  std::int64_t mean = 1024;    ///< used by kFixed
+  std::int64_t min_len = 16;   ///< inclusive lower bound (kUniform / kZipf)
+  std::int64_t max_len = 4096; ///< inclusive upper bound (kUniform / kZipf)
+  double zipf_alpha = 1.1;     ///< tail exponent; larger -> lighter tail
+
+  void validate() const;
+};
+
+/// Full stream specification.
+struct RequestStreamConfig {
+  std::uint64_t seed = 42;
+  std::int64_t num_requests = 1000;
+  double arrival_rate = 10.0;  ///< mean requests/second (both processes)
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+
+  // kBursty: the stream alternates between a calm state and a burst state
+  // whose rate is `burst_factor` times the calm rate.  Mean state dwell
+  // times are chosen so the long-run average rate stays `arrival_rate`.
+  double burst_factor = 8.0;    ///< burst rate / calm rate
+  double burst_fraction = 0.1;  ///< fraction of time spent in bursts
+
+  LengthSpec prompt;
+  LengthSpec output;
+
+  void validate() const;
+};
+
+/// Samples integer lengths from a LengthSpec.  The Zipf inverse-CDF table
+/// is precomputed once per spec, so sampling is O(log n).
+class LengthSampler {
+ public:
+  explicit LengthSampler(const LengthSpec& spec);
+
+  std::int64_t sample(Rng& rng) const;
+
+ private:
+  LengthSpec spec_;
+  std::vector<double> zipf_cdf_;  ///< cumulative weights (kZipf only)
+};
+
+/// Generates the full arrival trace for `config`: `num_requests` requests
+/// sorted by arrival time, ids dense in [0, num_requests).
+std::vector<Request> generate_requests(const RequestStreamConfig& config);
+
+}  // namespace cimtpu::serving

@@ -1,0 +1,195 @@
+#include "serving/scheduler.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+#include "common/status.h"
+
+namespace cimtpu::serving {
+
+void SchedulerConfig::validate() const {
+  CIMTPU_CONFIG_CHECK(max_batch >= 1, "max_batch must be >= 1");
+  CIMTPU_CONFIG_CHECK(max_prefill_batch >= 1, "max_prefill_batch must be >= 1");
+  CIMTPU_CONFIG_CHECK(seqlen_bucket >= 1, "seqlen_bucket must be >= 1");
+}
+
+StepCostCache::StepCostCache(const sim::Simulator& simulator,
+                             const models::TransformerConfig& model,
+                             std::int64_t bucket)
+    : simulator_(&simulator), model_(model), bucket_(bucket) {
+  CIMTPU_CONFIG_CHECK(bucket >= 1, "seqlen bucket must be >= 1");
+}
+
+StepCost StepCostCache::prefill_layer(std::int64_t batch,
+                                      std::int64_t seq_len) {
+  return lookup(/*prefill=*/true, batch, bucket_up(seq_len));
+}
+
+StepCost StepCostCache::decode_layer(std::int64_t batch, std::int64_t kv_len) {
+  return lookup(/*prefill=*/false, batch, bucket_up(kv_len));
+}
+
+StepCost StepCostCache::lookup(bool prefill, std::int64_t batch,
+                               std::int64_t len) {
+  CIMTPU_CHECK(batch >= 1 && len >= 1);
+  const std::uint64_t key = (prefill ? 1ull << 63 : 0ull) |
+                            (static_cast<std::uint64_t>(batch) << 40) |
+                            static_cast<std::uint64_t>(len);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  const sim::GraphResult graph =
+      prefill ? sim::run_prefill_layer(*simulator_, model_, batch, len)
+              : sim::run_decode_layer(*simulator_, model_, batch, len);
+  StepCost cost;
+  cost.latency = graph.latency;
+  cost.mxu_busy_time = graph.mxu_busy_time;
+  cost.mxu_energy = graph.mxu_energy();
+  cost.total_energy = graph.total_energy();
+  cache_.emplace(key, cost);
+  return cost;
+}
+
+ContinuousBatchScheduler::ContinuousBatchScheduler(
+    const SchedulerConfig& config, KvCacheManager* kv_cache)
+    : config_(config), kv_cache_(kv_cache) {
+  config_.validate();
+  CIMTPU_CHECK(kv_cache != nullptr);
+}
+
+void ContinuousBatchScheduler::enqueue(const Request& request) {
+  CIMTPU_CONFIG_CHECK(request.prompt_len >= 1,
+                      "request " << request.id << " has empty prompt");
+  CIMTPU_CONFIG_CHECK(request.output_len >= 1,
+                      "request " << request.id << " generates no tokens");
+  waiting_.push_back(request);
+}
+
+std::int64_t ContinuousBatchScheduler::admission_reserve_tokens(
+    const Request& request) const {
+  return kv_cache_->policy() == EvictionPolicy::kNone
+             ? request.prompt_len + request.output_len
+             : request.prompt_len + 1;
+}
+
+std::optional<StepRecord> ContinuousBatchScheduler::next_step() {
+  if (idle()) return std::nullopt;
+
+  // --- Admission (prefill-priority) ----------------------------------------
+  // Pull waiting requests into the batch while slots and KV pages allow.
+  std::vector<Request> admitted;
+  while (!waiting_.empty() &&
+         running_.size() + admitted.size() <
+             static_cast<std::size_t>(config_.max_batch) &&
+         admitted.size() < static_cast<std::size_t>(config_.max_prefill_batch)) {
+    const Request& head = waiting_.front();
+    if (!kv_cache_->try_admit(head.id, admission_reserve_tokens(head))) {
+      break;  // FIFO: a blocked head blocks everything behind it
+    }
+    admitted.push_back(head);
+    waiting_.pop_front();
+  }
+
+  if (!admitted.empty()) {
+    StepRecord record;
+    record.kind = StepRecord::Kind::kPrefill;
+    record.batch = static_cast<std::int64_t>(admitted.size());
+    std::int64_t prompt_tokens = 0;
+    for (const Request& request : admitted) {
+      prompt_tokens += request.prompt_len;
+      record.first_token_ids.push_back(request.id);
+      if (request.output_len <= 1) {
+        // The prefill step emits the only token; done.
+        record.finished_ids.push_back(request.id);
+        kv_cache_->release(request.id);
+      } else {
+        running_.push_back(Running{request, /*generated=*/1});
+      }
+    }
+    record.seq_len = ceil_div(prompt_tokens, record.batch);
+    ++total_steps_;
+    return record;
+  }
+
+  if (running_.empty()) {
+    // Nothing running and the queue head does not fit an empty cache: the
+    // request is unservable at this capacity.
+    if (kv_cache_->resident_count() == 0 && !waiting_.empty()) {
+      const Request& head = waiting_.front();
+      CIMTPU_CONFIG_CHECK(
+          false, "request " << head.id << " needs more KV ("
+                            << format_bytes(
+                                   kv_cache_->bytes_per_token() *
+                                   static_cast<double>(
+                                       admission_reserve_tokens(head)))
+                            << " to admit) than the budget "
+                            << format_bytes(kv_cache_->capacity()));
+    }
+    return std::nullopt;
+  }
+
+  // --- Decode step ---------------------------------------------------------
+  StepRecord record;
+  record.kind = StepRecord::Kind::kDecode;
+
+  // Growth pressure: make room for every non-finishing request's next KV
+  // token before the step runs, preempting the newest admissions back to
+  // the queue (recompute) when pages run out.
+  if (kv_cache_->policy() != EvictionPolicy::kNone) {
+    for (;;) {
+      double growth_tokens = 0;
+      for (const Running& run : running_) {
+        if (run.generated + 1 < run.request.output_len) growth_tokens += 1;
+      }
+      const Bytes need = kv_cache_->bytes_per_token() * growth_tokens;
+      if (kv_cache_->used() + need <= kv_cache_->capacity()) break;
+      CIMTPU_CONFIG_CHECK(running_.size() > 1,
+                          "request " << running_.front().request.id
+                                     << " outgrew the whole KV budget");
+      // The manager owns the victim-selection policy.
+      const std::int64_t victim_id =
+          kv_cache_->pick_eviction_victim(/*protect=*/-1);
+      const auto victim_it = std::find_if(
+          running_.begin(), running_.end(),
+          [victim_id](const Running& run) {
+            return run.request.id == victim_id;
+          });
+      CIMTPU_CHECK(victim_it != running_.end());
+      const Running victim = *victim_it;
+      running_.erase(victim_it);
+      kv_cache_->release(victim.request.id);
+      waiting_.push_front(victim.request);  // retains FIFO priority
+      record.preempted_ids.push_back(victim.request.id);
+      ++preemptions_;
+    }
+  }
+
+  record.batch = static_cast<std::int64_t>(running_.size());
+  std::vector<Running> still_running;
+  still_running.reserve(running_.size());
+  std::int64_t kv_tokens = 0;
+  for (Running& run : running_) {
+    // KV length this step attends over: prompt plus tokens generated so far.
+    kv_tokens += run.request.prompt_len + run.generated;
+    ++run.generated;
+    if (run.generated >= run.request.output_len) {
+      record.finished_ids.push_back(run.request.id);
+      kv_cache_->release(run.request.id);
+    } else {
+      if (kv_cache_->policy() != EvictionPolicy::kNone) {
+        const bool grew = kv_cache_->try_grow(run.request.id, 1);
+        CIMTPU_CHECK(grew);  // pre-step eviction guaranteed room
+      }
+      still_running.push_back(run);
+    }
+  }
+  running_ = std::move(still_running);
+  record.seq_len = ceil_div(kv_tokens, record.batch);
+  ++total_steps_;
+  return record;
+}
+
+}  // namespace cimtpu::serving

@@ -1,0 +1,137 @@
+#pragma once
+// Iteration-level (continuous-batching) scheduler, vLLM-style.
+//
+// The engine runs a sequence of steps.  Each step is either
+//   * a PREFILL step: a group of newly admitted requests run their whole
+//     prompt through all layers (and emit their first token), or
+//   * a DECODE step: every running request advances by exactly one token.
+// Requests join the running batch the moment capacity frees up (KV pages
+// and batch slots), rather than waiting for the whole batch to drain —
+// that is the continuous-batching property.
+//
+// Step costs come from the analytic simulator, memoized per
+// (batch, bucketed-seqlen) shape so a million-request stream touches the
+// cost model only a few thousand times (StepCostCache).
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/math_util.h"
+#include "serving/kv_cache_manager.h"
+#include "serving/request_gen.h"
+#include "sim/workload_runner.h"
+
+namespace cimtpu::serving {
+
+/// Per-layer cost of one engine step shape.
+struct StepCost {
+  Seconds latency = 0;
+  Seconds mxu_busy_time = 0;
+  Joules mxu_energy = 0;
+  Joules total_energy = 0;
+};
+
+/// Memoizes per-layer prefill/decode costs keyed on (batch, seqlen bucket).
+/// Sequence lengths are rounded UP to `bucket` tokens — conservative, and
+/// it bounds the number of distinct shapes the simulator ever costs.
+class StepCostCache {
+ public:
+  StepCostCache(const sim::Simulator& simulator,
+                const models::TransformerConfig& model,
+                std::int64_t bucket = 128);
+
+  /// One prefill layer over `batch` prompts of (bucketed) length `seq_len`.
+  StepCost prefill_layer(std::int64_t batch, std::int64_t seq_len);
+
+  /// One decode layer over `batch` sequences at (bucketed) KV length
+  /// `kv_len`.
+  StepCost decode_layer(std::int64_t batch, std::int64_t kv_len);
+
+  std::int64_t bucket_up(std::int64_t len) const {
+    return round_up(len, bucket_);
+  }
+
+  std::size_t size() const { return cache_.size(); }
+  std::int64_t hits() const { return hits_; }
+  std::int64_t misses() const { return misses_; }
+
+ private:
+  StepCost lookup(bool prefill, std::int64_t batch, std::int64_t len);
+
+  const sim::Simulator* simulator_;
+  models::TransformerConfig model_;
+  std::int64_t bucket_;
+  std::unordered_map<std::uint64_t, StepCost> cache_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+/// Scheduler knobs.
+struct SchedulerConfig {
+  int max_batch = 32;          ///< max concurrently running requests
+  int max_prefill_batch = 8;   ///< max requests admitted into one prefill step
+  std::int64_t seqlen_bucket = 128;  ///< cost-cache bucket granularity
+
+  void validate() const;
+};
+
+/// What one engine step executed, as planned by the scheduler.
+struct StepRecord {
+  enum class Kind { kPrefill, kDecode };
+  Kind kind = Kind::kDecode;
+  std::int64_t batch = 0;    ///< participants in this step
+  std::int64_t seq_len = 0;  ///< representative shape: mean prompt len
+                             ///< (prefill) or mean KV len (decode) across
+                             ///< participants, rounded up — total KV/
+                             ///< activation traffic matches batch * mean
+  std::vector<std::int64_t> first_token_ids;  ///< emitted their first token
+  std::vector<std::int64_t> finished_ids;     ///< completed this step
+  std::vector<std::int64_t> preempted_ids;    ///< evicted back to the queue
+};
+
+/// The continuous-batching state machine.  Time-free: the serving loop owns
+/// the clock and costs each StepRecord via the StepCostCache.
+class ContinuousBatchScheduler {
+ public:
+  ContinuousBatchScheduler(const SchedulerConfig& config,
+                           KvCacheManager* kv_cache);
+
+  /// Adds an arrived request to the waiting queue.
+  void enqueue(const Request& request);
+
+  /// True when nothing is waiting or running.
+  bool idle() const { return waiting_.empty() && running_.empty(); }
+
+  /// Plans and commits the next engine step.  Admission happens here:
+  /// waiting requests are pulled into the batch while KV pages and batch
+  /// slots allow (prefill-priority).  Returns nullopt when idle.
+  std::optional<StepRecord> next_step();
+
+  std::size_t waiting_count() const { return waiting_.size(); }
+  std::size_t running_count() const { return running_.size(); }
+  std::int64_t total_steps() const { return total_steps_; }
+  std::int64_t preemptions() const { return preemptions_; }
+
+ private:
+  struct Running {
+    Request request;
+    std::int64_t generated = 0;  ///< tokens decoded so far (incl. first)
+  };
+
+  /// KV tokens reserved at admission: the whole sequence under kNone
+  /// (growth can never fail), prompt + first token under preemption
+  /// policies (grown per decode step).
+  std::int64_t admission_reserve_tokens(const Request& request) const;
+
+  SchedulerConfig config_;
+  KvCacheManager* kv_cache_;
+  std::deque<Request> waiting_;
+  std::vector<Running> running_;  ///< admission order
+  std::int64_t total_steps_ = 0;
+  std::int64_t preemptions_ = 0;
+};
+
+}  // namespace cimtpu::serving

@@ -1,0 +1,191 @@
+#include "serving/serving_sim.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "arch/chip.h"
+#include "common/math_util.h"
+#include "common/status.h"
+#include "sim/simulator.h"
+
+namespace cimtpu::serving {
+
+void ServingScenario::validate() const {
+  CIMTPU_CONFIG_CHECK(chips >= 1, "serving needs >= 1 chip");
+  CIMTPU_CONFIG_CHECK(model.num_layers >= chips,
+                      "fewer layers than pipeline stages");
+  scheduler.validate();
+}
+
+namespace {
+
+/// Per-request bookkeeping across the run.
+struct RequestTrace {
+  Seconds arrival = 0;
+  std::int64_t output_len = 0;
+  Seconds first_token = -1;  ///< < 0 until the first token is emitted
+  Seconds completion = -1;
+};
+
+}  // namespace
+
+ServingMetrics run_serving(const ServingScenario& scenario,
+                           const std::vector<Request>& requests) {
+  scenario.validate();
+
+  arch::TpuChip chip(scenario.chip_config);
+  const sim::Simulator simulator(chip);
+  StepCostCache costs(simulator, scenario.model, scenario.scheduler.seqlen_bucket);
+
+  const Bytes kv_budget =
+      scenario.kv_budget_override > 0
+          ? scenario.kv_budget_override
+          : KvCacheManager::hbm_kv_budget(
+                scenario.model, chip.memory().spec().hbm.capacity,
+                scenario.chips);
+  KvCacheManager kv_cache(kv_budget, KvCacheManager::token_bytes(scenario.model),
+                          scenario.eviction);
+  ContinuousBatchScheduler scheduler(scenario.scheduler, &kv_cache);
+
+  const std::int64_t layers = scenario.model.num_layers;
+  const std::int64_t stage_layers = ceil_div<std::int64_t>(layers, scenario.chips);
+  const int boundaries = scenario.chips - 1;
+  const double activation_elem_bytes = ir::dtype_bytes(scenario.model.dtype) *
+                                       static_cast<double>(scenario.model.d_model);
+
+  std::unordered_map<std::int64_t, RequestTrace> traces;
+  traces.reserve(requests.size());
+
+  ServingMetrics metrics;
+  metrics.chips = scenario.chips;
+  metrics.num_requests = static_cast<std::int64_t>(requests.size());
+
+  Seconds now = 0;
+  Seconds busy_time = 0;  ///< MXU busy time summed over all stages
+  std::size_t next_arrival = 0;
+
+  const auto feed_arrivals = [&](Seconds up_to) {
+    while (next_arrival < requests.size() &&
+           requests[next_arrival].arrival_time <= up_to) {
+      const Request& request = requests[next_arrival];
+      CIMTPU_CONFIG_CHECK(
+          next_arrival == 0 ||
+              requests[next_arrival - 1].arrival_time <= request.arrival_time,
+          "request trace must be sorted by arrival time");
+      traces[request.id] =
+          RequestTrace{request.arrival_time, request.output_len, -1, -1};
+      scheduler.enqueue(request);
+      ++next_arrival;
+    }
+  };
+
+  while (next_arrival < requests.size() || !scheduler.idle()) {
+    feed_arrivals(now);
+    if (scheduler.idle()) {
+      // Nothing to do until the next request arrives.
+      now = std::max(now, requests[next_arrival].arrival_time);
+      continue;
+    }
+
+    const auto step = scheduler.next_step();
+    CIMTPU_CHECK(step.has_value());
+
+    const bool is_prefill = step->kind == StepRecord::Kind::kPrefill;
+    const StepCost layer_cost =
+        is_prefill ? costs.prefill_layer(step->batch, step->seq_len)
+                   : costs.decode_layer(step->batch, step->seq_len);
+
+    // Inter-stage activation handoff: the moving rows of this step cross
+    // each pipeline boundary once.
+    const double rows = is_prefill
+                            ? static_cast<double>(step->batch) *
+                                  static_cast<double>(step->seq_len)
+                            : static_cast<double>(step->batch);
+    const Bytes boundary_bytes = rows * activation_elem_bytes;
+    const Seconds transfer =
+        boundaries > 0 ? chip.ici().p2p_time(boundary_bytes) : 0.0;
+
+    // Steady-state engine cadence: the bottleneck stage (ceiling share of
+    // the layers) plus its handoff.  Tokens emitted this step additionally
+    // traverse the remaining stages before leaving the pipeline.
+    const Seconds stage_time =
+        static_cast<double>(stage_layers) * layer_cost.latency + transfer;
+    const Seconds emit_extra = static_cast<double>(boundaries) * stage_time;
+
+    now += stage_time;
+    const Seconds emit_time = now + emit_extra;
+
+    metrics.total_steps += 1;
+    if (is_prefill) {
+      metrics.prefill_steps += 1;
+    } else {
+      metrics.decode_steps += 1;
+    }
+    busy_time += static_cast<double>(layers) * layer_cost.mxu_busy_time;
+    metrics.mxu_energy += static_cast<double>(layers) * layer_cost.mxu_energy;
+    metrics.total_energy += static_cast<double>(layers) * layer_cost.total_energy;
+    if (boundaries > 0) {
+      metrics.total_energy +=
+          static_cast<double>(boundaries) * chip.ici().p2p_energy(boundary_bytes);
+    }
+
+    for (std::int64_t id : step->first_token_ids) {
+      RequestTrace& trace = traces.at(id);
+      // Preempted-and-recomputed requests already streamed their first
+      // token to the user; keep the original TTFT.
+      if (trace.first_token < 0) trace.first_token = emit_time;
+    }
+    for (std::int64_t id : step->finished_ids) {
+      RequestTrace& trace = traces.at(id);
+      // Each step's traversal extra is derived from that step's own stage
+      // time, so a cheap decode step after an expensive prefill step could
+      // nominally "exit" earlier in absolute time.  Real pipelines preserve
+      // per-request emission order: clamp so completion >= first token.
+      trace.completion = std::max(emit_time, trace.first_token);
+      metrics.completed += 1;
+      metrics.generated_tokens += trace.output_len;
+      metrics.makespan = std::max(metrics.makespan, trace.completion);
+    }
+  }
+  metrics.preemptions = scheduler.preemptions();
+
+  // --- Distributional rollups ----------------------------------------------
+  std::vector<double> ttft, tpot, e2e;
+  ttft.reserve(traces.size());
+  // Iterate requests (not the hash map) for platform-independent order.
+  for (const Request& request : requests) {
+    const RequestTrace& trace = traces.at(request.id);
+    if (trace.completion < 0) continue;  // never admitted (impossible today)
+    ttft.push_back(trace.first_token - trace.arrival);
+    e2e.push_back(trace.completion - trace.arrival);
+    if (trace.output_len > 1) {
+      tpot.push_back((trace.completion - trace.first_token) /
+                     static_cast<double>(trace.output_len - 1));
+    }
+  }
+  metrics.ttft = summarize_latencies(ttft);
+  metrics.tpot = summarize_latencies(tpot);
+  metrics.e2e = summarize_latencies(e2e);
+
+  if (metrics.makespan > 0) {
+    metrics.goodput_tokens_per_second =
+        static_cast<double>(metrics.generated_tokens) / metrics.makespan;
+    metrics.mxu_utilization =
+        busy_time / (metrics.makespan * static_cast<double>(scenario.chips));
+  }
+  if (metrics.generated_tokens > 0) {
+    metrics.energy_per_token =
+        metrics.total_energy / static_cast<double>(metrics.generated_tokens);
+  }
+  metrics.cost_cache_entries = costs.size();
+  metrics.cost_cache_hits = costs.hits();
+  metrics.cost_cache_misses = costs.misses();
+  return metrics;
+}
+
+ServingMetrics run_serving(const ServingScenario& scenario,
+                           const RequestStreamConfig& stream) {
+  return run_serving(scenario, generate_requests(stream));
+}
+
+}  // namespace cimtpu::serving

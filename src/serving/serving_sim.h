@@ -1,0 +1,74 @@
+#pragma once
+// Request-level serving simulation: replays a stochastic arrival trace
+// through the continuous-batching scheduler, costing every engine step
+// with the analytic simulator, and reports the distributional metrics a
+// serving deployment is judged by — TTFT, TPOT, end-to-end latency
+// percentiles, goodput, energy per token, and MXU utilization.
+//
+// Deployments are a single chip or a `chips`-way pipeline over the ICI
+// ring (parallel/multi_chip.h semantics): layers split evenly, the
+// bottleneck stage sets the steady-state step interval, and tokens pay the
+// pipeline traversal latency (stage count x stage time) on top of the
+// step that emitted them.
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/tpu_config.h"
+#include "serving/metrics.h"
+#include "serving/request_gen.h"
+#include "serving/scheduler.h"
+
+namespace cimtpu::serving {
+
+/// A serving deployment under test.
+struct ServingScenario {
+  arch::TpuChipConfig chip_config;
+  models::TransformerConfig model;
+  int chips = 1;  ///< pipeline-parallel stages over the ICI ring
+  SchedulerConfig scheduler;
+  EvictionPolicy eviction = EvictionPolicy::kPreemptNewest;
+  Bytes kv_budget_override = 0;  ///< 0 -> KvCacheManager::hbm_kv_budget
+                                 ///< (bottleneck-stage HBM headroom)
+
+  void validate() const;
+};
+
+/// Aggregate result of one serving run.
+struct ServingMetrics {
+  int chips = 1;
+  std::int64_t num_requests = 0;
+  std::int64_t completed = 0;
+  std::int64_t generated_tokens = 0;  ///< across completed requests
+
+  std::int64_t total_steps = 0;
+  std::int64_t prefill_steps = 0;
+  std::int64_t decode_steps = 0;
+  std::int64_t preemptions = 0;
+
+  Seconds makespan = 0;        ///< last token emission time
+  LatencySummary ttft;         ///< time to first token
+  LatencySummary tpot;         ///< time per output token (steady decode)
+  LatencySummary e2e;          ///< request completion latency
+
+  double goodput_tokens_per_second = 0;
+  Joules mxu_energy = 0;
+  Joules total_energy = 0;
+  Joules energy_per_token = 0;
+  double mxu_utilization = 0;  ///< busy time / (makespan * chips)
+
+  std::size_t cost_cache_entries = 0;
+  std::int64_t cost_cache_hits = 0;
+  std::int64_t cost_cache_misses = 0;
+};
+
+/// Replays `requests` (must be sorted by arrival time) through the
+/// deployment.
+ServingMetrics run_serving(const ServingScenario& scenario,
+                           const std::vector<Request>& requests);
+
+/// Generates the trace from `stream` and replays it.
+ServingMetrics run_serving(const ServingScenario& scenario,
+                           const RequestStreamConfig& stream);
+
+}  // namespace cimtpu::serving

@@ -1,0 +1,37 @@
+#include "serving/traffic_profiles.h"
+
+#include "models/model_zoo.h"
+
+namespace cimtpu::serving {
+
+RequestStreamConfig zipf_chat_stream(std::uint64_t seed,
+                                     std::int64_t num_requests,
+                                     double arrival_rate) {
+  RequestStreamConfig stream;
+  stream.seed = seed;
+  stream.num_requests = num_requests;
+  stream.arrival_rate = arrival_rate;
+  stream.process = ArrivalProcess::kPoisson;
+  stream.prompt.kind = LengthDistribution::kZipf;
+  stream.prompt.min_len = 16;
+  stream.prompt.max_len = 4096;
+  stream.prompt.zipf_alpha = 1.05;
+  stream.output.kind = LengthDistribution::kZipf;
+  stream.output.min_len = 4;
+  stream.output.max_len = 1024;
+  stream.output.zipf_alpha = 1.05;
+  return stream;
+}
+
+ServingScenario llama7b_baseline_scenario(int chips, ir::DType dtype) {
+  ServingScenario scenario;
+  scenario.model = models::llama2_7b();
+  scenario.model.dtype = dtype;
+  scenario.chip_config = arch::tpu_v4i_baseline();
+  scenario.scheduler.max_batch = 32;
+  scenario.scheduler.max_prefill_batch = 8;
+  scenario.chips = chips;
+  return scenario;
+}
+
+}  // namespace cimtpu::serving

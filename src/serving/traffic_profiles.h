@@ -1,0 +1,24 @@
+#pragma once
+// Canonical traffic profiles and deployments shared by the serving
+// example, the serving bench, and any future sweep: one definition, so
+// the perf-trajectory baseline (bench_serving) always describes the same
+// workload the demo (serving_traffic) runs.
+
+#include <cstdint>
+
+#include "serving/serving_sim.h"
+
+namespace cimtpu::serving {
+
+/// Chat-style Zipf traffic: prompts 16..4096 tokens, outputs 4..1024
+/// tokens, both Zipf-tailed with alpha 1.05 (short requests common, a
+/// heavy tail of long ones).
+RequestStreamConfig zipf_chat_stream(std::uint64_t seed,
+                                     std::int64_t num_requests,
+                                     double arrival_rate);
+
+/// Reference serving deployment: llama2-7b (fits one chip's HBM at INT8
+/// and INT4) on the TPUv4i baseline, max batch 32, prefill batch 8.
+ServingScenario llama7b_baseline_scenario(int chips, ir::DType dtype);
+
+}  // namespace cimtpu::serving

@@ -42,8 +42,11 @@ GraphResult run_dit_block(const Simulator& simulator,
 
 LlmRunResult run_llm_inference(const Simulator& simulator,
                                const LlmScenario& scenario) {
-  CIMTPU_CONFIG_CHECK(scenario.input_len > 0 && scenario.output_len > 0,
-                      "LLM scenario needs positive sequence lengths");
+  CIMTPU_CONFIG_CHECK(scenario.input_len > 0,
+                      "LLM scenario needs a positive input length");
+  CIMTPU_CONFIG_CHECK(scenario.output_len >= 0,
+                      "LLM scenario needs a non-negative output length");
+  CIMTPU_CONFIG_CHECK(scenario.batch >= 1, "LLM scenario needs batch >= 1");
   LlmRunResult result;
 
   GraphResult prefill_layer = run_prefill_layer(
@@ -64,8 +67,11 @@ LlmRunResult run_llm_inference(const Simulator& simulator,
     step.scale(static_cast<double>(scenario.model.num_layers));
     result.decode += step;
   }
+  // output_len == 0 (prefill-only scoring) must not divide by zero.
   result.decode_latency_per_token =
-      result.decode.latency / static_cast<double>(scenario.output_len);
+      scenario.output_len > 0
+          ? result.decode.latency / static_cast<double>(scenario.output_len)
+          : 0.0;
 
   result.total = result.prefill;
   result.total += result.decode;

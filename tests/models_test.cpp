@@ -60,9 +60,10 @@ TEST(ModelZooTest, Llama213bConfig) {
 
 TEST(ModelZooTest, LookupByName) {
   EXPECT_EQ(model_by_name("gpt3-30b").d_model, 7168);
+  EXPECT_EQ(model_by_name("llama2-7b").d_model, 4096);
   EXPECT_EQ(model_by_name("dit-xl/2").num_layers, 28);
   EXPECT_THROW(model_by_name("gpt5"), ConfigError);
-  EXPECT_EQ(model_names().size(), 4u);
+  EXPECT_EQ(model_names().size(), 5u);
 }
 
 TEST(ModelZooTest, ValidationCatchesBadConfigs) {
