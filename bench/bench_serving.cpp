@@ -1,10 +1,16 @@
 // Serving baseline bench: goodput and tail latency of continuous-batching
-// request streams across arrival rates and pipeline depths.  This is the
-// perf trajectory anchor for the serving subsystem — later scheduler or
-// cost-cache optimizations move these numbers.
+// request streams across arrival rates, pipeline depths, and — under a
+// deliberately tight KV budget — preemption policy x chunked-prefill
+// configurations.  This is the perf trajectory anchor for the serving
+// subsystem: later scheduler or cost-cache optimizations move these
+// numbers, and the per-policy rows let future PRs track policy-level perf
+// trajectories.
 //
-// Emits BENCH_serving.json (goodput + p99 TTFT across 3 arrival rates x
-// 2 chip counts) next to the usual CSV/ASCII outputs.
+// Emits BENCH_serving.json (schema_version 2):
+//   "baseline" — goodput + p99 TTFT/TPOT across 3 arrival rates x 2 chip
+//                counts (schema v1 rows),
+//   "policies" — per-(policy x chunked on/off) rows under KV pressure with
+//                preemption split, swap traffic, and chunked-step counts.
 
 #include <fstream>
 #include <vector>
@@ -56,9 +62,10 @@ int main(int argc, char** argv) {
                     "TPOT p99", "J/token", "MXU util"});
 
   std::ofstream json("BENCH_serving.json");
-  json << "{\n  \"bench\": \"serving\",\n  \"model\": \"llama2-7b\",\n"
+  json << "{\n  \"bench\": \"serving\",\n  \"schema_version\": 2,\n"
+       << "  \"model\": \"llama2-7b\",\n"
        << "  \"dtype\": \"int4\",\n  \"requests\": 2000,\n  \"seed\": 42,\n"
-       << "  \"results\": [\n";
+       << "  \"baseline\": [\n";
   bool first = true;
   for (double rate : rates) {
     const std::vector<serving::Request> requests =
@@ -88,9 +95,68 @@ int main(int argc, char** argv) {
            << ", \"energy_per_token_j\": " << metrics.energy_per_token << "}";
     }
   }
+  json << "\n  ],\n";
+
+  // --- Policy x chunked-prefill sweep under KV pressure ----------------------
+  // 8000-token device budget (vs ~10x that from HBM headroom): preemption
+  // policies actually fire, so their costs are visible in the trajectory.
+  const std::vector<serving::Request> pressured_requests =
+      serving::generate_requests(serving::zipf_chat_stream(
+          /*seed=*/42, /*num_requests=*/2000, /*arrival_rate=*/20.0,
+          /*priority_classes=*/3));
+  const std::vector<serving::EvictionPolicy> policies = {
+      serving::EvictionPolicy::kPreemptNewest,
+      serving::EvictionPolicy::kSwapToHost,
+      serving::EvictionPolicy::kPriorityVictim,
+  };
+  const std::vector<std::int64_t> chunk_settings = {0, 512};
+
+  AsciiTable policy_table(
+      "Preemption policy x chunked prefill — llama2-7b INT4, 8000-token KV "
+      "budget, 20 req/s");
+  policy_table.set_header({"policy", "chunk", "tokens/s", "TTFT p99",
+                           "TPOT p99", "preempt", "swapped", "swap GiB",
+                           "chunk steps"});
+
+  json << "  \"policies\": [\n";
+  first = true;
+  for (serving::EvictionPolicy policy : policies) {
+    for (std::int64_t chunk : chunk_settings) {
+      const serving::ServingScenario scenario =
+          serving::llama7b_pressured_scenario(
+              /*chips=*/1, ir::DType::kInt4, policy, chunk,
+              /*kv_budget_tokens=*/8000);
+      const serving::ServingMetrics metrics =
+          serving::run_serving(scenario, pressured_requests);
+      const std::string name = serving::eviction_policy_name(policy);
+      policy_table.add_row(
+          {name, chunk == 0 ? "off" : cell_i(chunk),
+           cell_f(metrics.goodput_tokens_per_second, 1),
+           format_time(metrics.ttft.p99), format_time(metrics.tpot.p99),
+           cell_i(metrics.counters.preemptions_recompute),
+           cell_i(metrics.counters.preemptions_swap),
+           cell_f(metrics.counters.total_swap_bytes() / GiB, 2),
+           cell_i(metrics.counters.chunked_prefill_steps)});
+      if (!first) json << ",\n";
+      first = false;
+      json << "    {\"policy\": \"" << name << "\", \"chunk_tokens\": " << chunk
+           << ", \"kv_budget_tokens\": 8000"
+           << ", \"goodput_tokens_per_s\": "
+           << metrics.goodput_tokens_per_second
+           << ", \"ttft_p99_s\": " << metrics.ttft.p99
+           << ", \"tpot_p99_s\": " << metrics.tpot.p99
+           << ", \"preemptions_recompute\": "
+           << metrics.counters.preemptions_recompute
+           << ", \"preemptions_swap\": " << metrics.counters.preemptions_swap
+           << ", \"swap_bytes\": " << metrics.counters.total_swap_bytes()
+           << ", \"chunked_prefill_steps\": "
+           << metrics.counters.chunked_prefill_steps << "}";
+    }
+  }
   json << "\n  ]\n}\n";
   json.close();
   table.print();
+  policy_table.print();
   std::printf("  wrote BENCH_serving.json\n");
 
   return bench::run_microbenchmarks(argc, argv);

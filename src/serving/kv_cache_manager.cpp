@@ -1,15 +1,31 @@
 #include "serving/kv_cache_manager.h"
 
+#include <cmath>
+
 #include "common/math_util.h"
 #include "common/status.h"
 
 namespace cimtpu::serving {
 
+std::string eviction_policy_name(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kNone: return "none";
+    case EvictionPolicy::kPreemptNewest: return "preempt_newest";
+    case EvictionPolicy::kSwapToHost: return "swap_to_host";
+    case EvictionPolicy::kPriorityVictim: return "priority_victim";
+  }
+  return "?";
+}
+
 KvCacheManager::KvCacheManager(Bytes capacity, Bytes bytes_per_token,
-                               EvictionPolicy policy)
-    : capacity_(capacity), bytes_per_token_(bytes_per_token), policy_(policy) {
+                               EvictionPolicy policy, Bytes host_capacity)
+    : capacity_(capacity),
+      bytes_per_token_(bytes_per_token),
+      policy_(policy),
+      host_capacity_(host_capacity) {
   CIMTPU_CONFIG_CHECK(capacity > 0, "KV budget must be positive");
   CIMTPU_CONFIG_CHECK(bytes_per_token > 0, "KV token bytes must be positive");
+  CIMTPU_CONFIG_CHECK(host_capacity >= 0, "host pool capacity must be >= 0");
 }
 
 Bytes KvCacheManager::hbm_kv_budget(const models::TransformerConfig& model,
@@ -42,12 +58,14 @@ Bytes KvCacheManager::token_bytes(const models::TransformerConfig& model) {
          static_cast<double>(model.num_layers);
 }
 
-bool KvCacheManager::try_admit(std::int64_t request_id, std::int64_t tokens) {
+bool KvCacheManager::try_admit(std::int64_t request_id, std::int64_t tokens,
+                               std::int64_t priority) {
   CIMTPU_CHECK(entries_.count(request_id) == 0);
+  CIMTPU_CHECK(host_entries_.count(request_id) == 0);
   CIMTPU_CHECK(tokens >= 0);
   const Bytes need = bytes_per_token_ * static_cast<double>(tokens);
   if (used_ + need > capacity_) return false;
-  entries_[request_id] = Entry{tokens, next_seq_++};
+  entries_[request_id] = Entry{tokens, next_seq_++, priority};
   used_ += need;
   return true;
 }
@@ -70,26 +88,108 @@ void KvCacheManager::release(std::int64_t request_id) {
   entries_.erase(it);
 }
 
+bool KvCacheManager::try_swap_out(std::int64_t request_id) {
+  auto it = entries_.find(request_id);
+  CIMTPU_CHECK(it != entries_.end());
+  const Bytes bytes = bytes_per_token_ * static_cast<double>(it->second.tokens);
+  if (host_used_ + bytes > host_capacity_) return false;
+  host_entries_[request_id] = it->second;
+  host_used_ += bytes;
+  used_ -= bytes;
+  if (used_ < 0) used_ = 0;  // guard accumulated FP error
+  entries_.erase(it);
+  return true;
+}
+
+bool KvCacheManager::try_swap_in(std::int64_t request_id) {
+  auto it = host_entries_.find(request_id);
+  CIMTPU_CHECK(it != host_entries_.end());
+  const Bytes bytes = bytes_per_token_ * static_cast<double>(it->second.tokens);
+  if (used_ + bytes > capacity_) return false;
+  Entry entry = it->second;
+  entry.admit_seq = next_seq_++;  // re-entry: counts as the newest admission
+  entries_[request_id] = entry;
+  used_ += bytes;
+  host_used_ -= bytes;
+  if (host_used_ < 0) host_used_ = 0;  // guard accumulated FP error
+  host_entries_.erase(it);
+  return true;
+}
+
 std::int64_t KvCacheManager::resident_tokens(std::int64_t request_id) const {
   auto it = entries_.find(request_id);
   return it == entries_.end() ? 0 : it->second.tokens;
 }
 
+std::int64_t KvCacheManager::swapped_tokens(std::int64_t request_id) const {
+  auto it = host_entries_.find(request_id);
+  return it == host_entries_.end() ? 0 : it->second.tokens;
+}
+
 std::int64_t KvCacheManager::pick_eviction_victim(std::int64_t protect) const {
   if (policy_ == EvictionPolicy::kNone) return -1;
+  // Forward-progress guarantee for kPriorityVictim: the oldest resident is
+  // exempt.  Without it, the largest-KV tie-break livelocks under
+  // recompute — the most-progressed low-priority sequence is always the
+  // largest, so it is reset every pressure cycle and never finishes.
+  // (Newest-victim policies spare the oldest by construction.)
+  std::int64_t exempt = -1;
+  if (policy_ == EvictionPolicy::kPriorityVictim) {
+    std::int64_t eligible = 0;
+    std::int64_t oldest_seq = -1;
+    for (const auto& [id, entry] : entries_) {
+      if (id == protect) continue;
+      ++eligible;
+      if (exempt < 0 || entry.admit_seq < oldest_seq ||
+          (entry.admit_seq == oldest_seq && id < exempt)) {
+        exempt = id;
+        oldest_seq = entry.admit_seq;
+      }
+    }
+    if (eligible < 2) exempt = -1;  // sole candidate stays evictable
+  }
   std::int64_t victim = -1;
-  std::int64_t victim_seq = -1;
+  const Entry* victim_entry = nullptr;
+  // `better(a, b)`: should candidate a replace current victim b?
+  const auto better = [this](std::int64_t a_id, const Entry& a,
+                             std::int64_t b_id, const Entry& b) {
+    if (policy_ == EvictionPolicy::kPriorityVictim) {
+      // Lowest priority first; among equals, the largest KV footprint
+      // frees the most pages per preemption.
+      if (a.priority != b.priority) return a.priority < b.priority;
+      if (a.tokens != b.tokens) return a.tokens > b.tokens;
+    }
+    // kPreemptNewest / kSwapToHost (and remaining ties): newest admission
+    // first; ties by id for platform-independent determinism.
+    if (a.admit_seq != b.admit_seq) return a.admit_seq > b.admit_seq;
+    return a_id > b_id;
+  };
   for (const auto& [id, entry] : entries_) {
-    if (id == protect) continue;
-    // Newest admission first; ties (impossible by construction) by id for
-    // platform-independent determinism.
-    if (entry.admit_seq > victim_seq ||
-        (entry.admit_seq == victim_seq && id > victim)) {
+    if (id == protect || id == exempt) continue;
+    if (victim_entry == nullptr || better(id, entry, victim, *victim_entry)) {
       victim = id;
-      victim_seq = entry.admit_seq;
+      victim_entry = &entry;
     }
   }
   return victim;
+}
+
+bool KvCacheManager::audit() const {
+  const auto balances = [this](const std::unordered_map<std::int64_t, Entry>&
+                                   entries,
+                               Bytes used, Bytes capacity) {
+    double tokens = 0;
+    for (const auto& [id, entry] : entries) {
+      if (entry.tokens < 0) return false;
+      tokens += static_cast<double>(entry.tokens);
+    }
+    const Bytes expected = bytes_per_token_ * tokens;
+    const Bytes tolerance = 1e-6 * (expected + 1.0);
+    return std::abs(used - expected) <= tolerance &&
+           used <= capacity + tolerance;
+  };
+  return balances(entries_, used_, capacity_) &&
+         balances(host_entries_, host_used_, host_capacity_);
 }
 
 }  // namespace cimtpu::serving

@@ -6,11 +6,14 @@
 // 2 * kv_len * d_model * dtype_bytes per layer (models::kv_cache_bytes_
 // per_layer).  The manager tracks those footprints against the budget left
 // in HBM after weights (mem/memory.h capacities), gates admission, and
-// implements preempt-by-recompute eviction for decode-time growth
-// pressure.  It is pure bookkeeping — deterministic and allocation-cheap —
-// so million-request streams stay fast.
+// implements the eviction side of every preemption policy: recompute
+// victims drop their pages outright, swap victims move them to a modeled
+// host pool (restored later over PCIe instead of re-prefilled).  It is
+// pure bookkeeping — deterministic and allocation-cheap — so
+// million-request streams stay fast.
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 
 #include "common/units.h"
@@ -20,18 +23,31 @@ namespace cimtpu::serving {
 
 /// What to do when a resident request cannot grow its KV cache.
 enum class EvictionPolicy {
-  kNone,           ///< never evict; admission simply blocks until releases
-  kPreemptNewest,  ///< preempt the most recently admitted request
-                   ///< (vLLM's recompute policy: its KV is dropped and the
-                   ///< request re-queues from scratch)
+  kNone,            ///< never evict; admission simply blocks until releases
+  kPreemptNewest,   ///< preempt the most recently admitted request
+                    ///< (vLLM's recompute policy: its KV is dropped and the
+                    ///< request re-queues from scratch)
+  kSwapToHost,      ///< newest victim, but its KV pages cross PCIe into a
+                    ///< modeled host pool and are restored on re-admission —
+                    ///< prompt tokens are never recomputed
+  kPriorityVictim,  ///< evict the lowest-priority resident request,
+                    ///< breaking ties by largest KV footprint (recompute).
+                    ///< The oldest resident is exempt — a forward-progress
+                    ///< guarantee, else the most-progressed low-priority
+                    ///< sequence is reset every pressure cycle and starves
 };
+
+std::string eviction_policy_name(EvictionPolicy policy);
 
 class KvCacheManager {
  public:
-  /// `capacity` is the byte budget available for KV pages.
+  /// `capacity` is the device byte budget available for KV pages.
   /// `bytes_per_token` is the whole-model footprint of one cached token.
+  /// `host_capacity` bounds the kSwapToHost pool; swap-outs that would
+  /// overflow it fail and the caller falls back to recompute.
   KvCacheManager(Bytes capacity, Bytes bytes_per_token,
-                 EvictionPolicy policy = EvictionPolicy::kPreemptNewest);
+                 EvictionPolicy policy = EvictionPolicy::kPreemptNewest,
+                 Bytes host_capacity = 1024 * GiB);
 
   /// Whole-model KV byte budget for a `chips`-way pipeline over chips with
   /// `chip_hbm_capacity` of HBM each.  Sized so the BOTTLENECK stage
@@ -46,45 +62,71 @@ class KvCacheManager {
 
   /// Reserves `tokens` worth of KV for a new request.  Returns false (and
   /// reserves nothing) when it does not fit; the caller keeps the request
-  /// queued.
-  bool try_admit(std::int64_t request_id, std::int64_t tokens);
+  /// queued.  `priority` feeds kPriorityVictim selection (larger = more
+  /// important).
+  bool try_admit(std::int64_t request_id, std::int64_t tokens,
+                 std::int64_t priority = 0);
 
   /// Grows a resident request by `tokens` (one per decode step).  Returns
   /// false when the growth does not fit; the caller decides whether to
   /// evict (see `pick_eviction_victim`).
   bool try_grow(std::int64_t request_id, std::int64_t tokens = 1);
 
-  /// Frees a request's pages (finished or preempted).
+  /// Frees a request's device pages (finished or preempted-for-recompute).
   void release(std::int64_t request_id);
+
+  /// Moves a resident request's pages device -> host pool.  Returns false
+  /// (and moves nothing) when the host pool cannot hold them.
+  bool try_swap_out(std::int64_t request_id);
+
+  /// Moves a swapped request's pages host -> device.  Returns false when
+  /// the device budget cannot hold them; the request stays swapped.  On
+  /// success the request counts as the newest admission (it re-entered).
+  bool try_swap_in(std::int64_t request_id);
 
   /// Chooses the request to preempt under the configured policy, excluding
   /// `protect` (the request currently being grown).  Returns -1 when
   /// nothing can be evicted (empty, policy kNone, or only `protect`
-  /// resident).  The caller must `release` the victim and re-queue it.
+  /// resident).  The caller must release/swap the victim and re-queue it.
   std::int64_t pick_eviction_victim(std::int64_t protect) const;
 
   bool resident(std::int64_t request_id) const {
     return entries_.count(request_id) > 0;
   }
+  bool swapped(std::int64_t request_id) const {
+    return host_entries_.count(request_id) > 0;
+  }
   std::int64_t resident_tokens(std::int64_t request_id) const;
+  std::int64_t swapped_tokens(std::int64_t request_id) const;
   std::size_t resident_count() const { return entries_.size(); }
+  std::size_t swapped_count() const { return host_entries_.size(); }
   Bytes used() const { return used_; }
+  Bytes host_used() const { return host_used_; }
   Bytes capacity() const { return capacity_; }
+  Bytes host_capacity() const { return host_capacity_; }
   Bytes bytes_per_token() const { return bytes_per_token_; }
   EvictionPolicy policy() const { return policy_; }
+
+  /// Accounting invariant for tests: `used()`/`host_used()` match the sum
+  /// of per-entry footprints to FP tolerance, and never exceed capacity.
+  bool audit() const;
 
  private:
   struct Entry {
     std::int64_t tokens = 0;
-    std::int64_t admit_seq = 0;  ///< admission order for eviction policy
+    std::int64_t admit_seq = 0;   ///< admission order for eviction policy
+    std::int64_t priority = 0;    ///< larger = more important
   };
 
   Bytes capacity_;
   Bytes bytes_per_token_;
   EvictionPolicy policy_;
+  Bytes host_capacity_;
   Bytes used_ = 0;
+  Bytes host_used_ = 0;
   std::int64_t next_seq_ = 0;
-  std::unordered_map<std::int64_t, Entry> entries_;
+  std::unordered_map<std::int64_t, Entry> entries_;       ///< on device
+  std::unordered_map<std::int64_t, Entry> host_entries_;  ///< swapped out
 };
 
 }  // namespace cimtpu::serving

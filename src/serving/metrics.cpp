@@ -30,6 +30,14 @@ double percentile(std::vector<double> values, double p) {
   return percentile_sorted(values, p);
 }
 
+std::int64_t ServingCounters::total_preemptions() const {
+  return preemptions_recompute + preemptions_swap;
+}
+
+Bytes ServingCounters::total_swap_bytes() const {
+  return swap_out_bytes + swap_in_bytes;
+}
+
 LatencySummary summarize_latencies(const std::vector<double>& values) {
   LatencySummary summary;
   summary.count = static_cast<std::int64_t>(values.size());

@@ -1,6 +1,8 @@
 #pragma once
 // Distributional latency metrics for the serving simulator: percentile
-// math and the TTFT/TPOT/end-to-end summaries SLO reports are built from.
+// math, the TTFT/TPOT/end-to-end summaries SLO reports are built from,
+// and the event counters (preemptions per policy, swap traffic, chunked
+// prefill activity) the scheduler accumulates across a run.
 
 #include <cstdint>
 #include <vector>
@@ -26,5 +28,21 @@ struct LatencySummary {
 };
 
 LatencySummary summarize_latencies(const std::vector<double>& values);
+
+/// Scheduler event counters, split by mechanism so policy behaviour is
+/// observable: recompute preemptions drop KV and re-queue the request from
+/// scratch, swap preemptions move KV pages to the host pool and restore
+/// them later (no prompt recompute).
+struct ServingCounters {
+  std::int64_t preemptions_recompute = 0;  ///< KV dropped, prompt recomputed
+  std::int64_t preemptions_swap = 0;       ///< KV swapped out to the host pool
+  std::int64_t swap_ins = 0;               ///< sequences restored from host
+  Bytes swap_out_bytes = 0;                ///< device -> host PCIe traffic
+  Bytes swap_in_bytes = 0;                 ///< host -> device PCIe traffic
+  std::int64_t chunked_prefill_steps = 0;  ///< prefill steps that split a prompt
+
+  std::int64_t total_preemptions() const;
+  Bytes total_swap_bytes() const;
+};
 
 }  // namespace cimtpu::serving

@@ -35,6 +35,8 @@ void LengthSpec::validate() const {
 void RequestStreamConfig::validate() const {
   CIMTPU_CONFIG_CHECK(num_requests >= 1, "stream needs >= 1 request");
   CIMTPU_CONFIG_CHECK(arrival_rate > 0, "arrival_rate must be positive");
+  CIMTPU_CONFIG_CHECK(priority_classes >= 1,
+                      "priority_classes must be >= 1");
   if (process == ArrivalProcess::kBursty) {
     CIMTPU_CONFIG_CHECK(burst_factor > 1.0, "burst_factor must exceed 1");
     CIMTPU_CONFIG_CHECK(burst_fraction > 0 && burst_fraction < 1,
@@ -87,6 +89,9 @@ Seconds exponential(Rng& rng, double rate) {
 std::vector<Request> generate_requests(const RequestStreamConfig& config) {
   config.validate();
   Rng rng(config.seed);
+  // Decoupled stream for priorities: arrivals and lengths stay
+  // bit-identical for a given seed whatever priority_classes is set to.
+  Rng priority_rng(config.seed ^ 0xa5a5c3c3deadbeefull);
   const LengthSampler prompt_sampler(config.prompt);
   const LengthSampler output_sampler(config.output);
 
@@ -134,6 +139,10 @@ std::vector<Request> generate_requests(const RequestStreamConfig& config) {
     request.prompt_len = prompt_sampler.sample(rng);
     // Every request decodes at least one token (emitted by prefill).
     request.output_len = std::max<std::int64_t>(1, output_sampler.sample(rng));
+    request.priority =
+        config.priority_classes > 1
+            ? priority_rng.uniform_int(0, config.priority_classes - 1)
+            : 0;
     requests.push_back(request);
   }
   return requests;

@@ -25,6 +25,8 @@ struct Request {
   std::int64_t prompt_len = 0;  ///< tokens prefilled
   std::int64_t output_len = 0;  ///< tokens to decode (>= 1; the first is
                                 ///< emitted by the prefill step)
+  std::int64_t priority = 0;    ///< larger = more important; feeds
+                                ///< EvictionPolicy::kPriorityVictim
 };
 
 /// Arrival process of the stream.
@@ -68,6 +70,11 @@ struct RequestStreamConfig {
 
   LengthSpec prompt;
   LengthSpec output;
+
+  // Requests draw a uniform priority class in [0, priority_classes).
+  // Priorities come from a SEPARATE rng stream derived from the seed, so
+  // changing the class count never perturbs arrival times or lengths.
+  std::int64_t priority_classes = 1;
 
   void validate() const;
 };

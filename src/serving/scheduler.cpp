@@ -1,6 +1,8 @@
 #include "serving/scheduler.h"
 
 #include <algorithm>
+#include <limits>
+#include <map>
 
 #include "common/math_util.h"
 #include "common/status.h"
@@ -11,6 +13,12 @@ void SchedulerConfig::validate() const {
   CIMTPU_CONFIG_CHECK(max_batch >= 1, "max_batch must be >= 1");
   CIMTPU_CONFIG_CHECK(max_prefill_batch >= 1, "max_prefill_batch must be >= 1");
   CIMTPU_CONFIG_CHECK(seqlen_bucket >= 1, "seqlen_bucket must be >= 1");
+  CIMTPU_CONFIG_CHECK(
+      prefill_chunk_tokens == 0 || prefill_chunk_tokens >= seqlen_bucket,
+      "prefill_chunk_tokens (" << prefill_chunk_tokens
+                               << ") must be 0 (disabled) or >= seqlen_bucket ("
+                               << seqlen_bucket
+                               << ") so every chunk advances its cost bucket");
 }
 
 StepCostCache::StepCostCache(const sim::Simulator& simulator,
@@ -53,6 +61,43 @@ StepCost StepCostCache::lookup(bool prefill, std::int64_t batch,
   return cost;
 }
 
+StepCost cost_step(StepCostCache& costs, const StepRecord& step) {
+  CIMTPU_CHECK(step.batch ==
+               static_cast<std::int64_t>(step.kv_lens.size()));
+  StepCost total;
+  const auto accumulate = [&total](const StepCost& cost, double sign) {
+    total.latency += sign * cost.latency;
+    total.mxu_busy_time += sign * cost.mxu_busy_time;
+    total.mxu_energy += sign * cost.mxu_energy;
+    total.total_energy += sign * cost.total_energy;
+  };
+  if (step.kind == StepRecord::Kind::kPrefill) {
+    // A chunk of new prompt tokens attends over everything prefilled so
+    // far, so its cost is the increment between two full-prefill shapes:
+    // prefill(prev + chunk) - prefill(prev).  Prefill cost is monotone in
+    // sequence length, so the difference is non-negative, and summed over
+    // a prompt's chunks it telescopes to exactly the unchunked cost.
+    for (std::size_t i = 0; i < step.kv_lens.size(); ++i) {
+      accumulate(costs.prefill_layer(1, step.prev_lens[i] + step.chunk_lens[i]),
+                 +1.0);
+      if (step.prev_lens[i] > 0) {
+        accumulate(costs.prefill_layer(1, step.prev_lens[i]), -1.0);
+      }
+    }
+  } else {
+    // Group decode participants by bucketed KV length: each group is one
+    // memoized decode shape, and the step pays the sum over groups —
+    // heterogeneous batches cost what their sequences actually attend
+    // over, not a batch-mean representative.
+    std::map<std::int64_t, std::int64_t> groups;  // ordered: deterministic
+    for (std::int64_t kv_len : step.kv_lens) ++groups[costs.bucket_up(kv_len)];
+    for (const auto& [kv_len, batch] : groups) {
+      accumulate(costs.decode_layer(batch, kv_len), +1.0);
+    }
+  }
+  return total;
+}
+
 ContinuousBatchScheduler::ContinuousBatchScheduler(
     const SchedulerConfig& config, KvCacheManager* kv_cache)
     : config_(config), kv_cache_(kv_cache) {
@@ -75,119 +120,251 @@ std::int64_t ContinuousBatchScheduler::admission_reserve_tokens(
              : request.prompt_len + 1;
 }
 
-std::optional<StepRecord> ContinuousBatchScheduler::next_step() {
-  if (idle()) return std::nullopt;
-
-  // --- Admission (prefill-priority) ----------------------------------------
-  // Pull waiting requests into the batch while slots and KV pages allow.
-  std::vector<Request> admitted;
-  while (!waiting_.empty() &&
-         running_.size() + admitted.size() <
-             static_cast<std::size_t>(config_.max_batch) &&
-         admitted.size() < static_cast<std::size_t>(config_.max_prefill_batch)) {
-    const Request& head = waiting_.front();
-    if (!kv_cache_->try_admit(head.id, admission_reserve_tokens(head))) {
-      break;  // FIFO: a blocked head blocks everything behind it
+void ContinuousBatchScheduler::swap_in_and_admit(StepRecord* record) {
+  // Swapped-out sequences re-enter first, FIFO: they were admitted before
+  // anything still waiting, and restoring them costs a PCIe transfer
+  // instead of a prompt recompute.  Watermark: beyond the restore itself,
+  // one decode step's growth must still fit — a re-entrant sequence is the
+  // NEWEST admission, so restoring into a device that growth pressure will
+  // immediately squeeze would swap it straight back out, paying round-trip
+  // PCIe for zero progress.  With nothing resident the watermark is waived
+  // (there is no pressure to re-evict, and blocking would deadlock).
+  const auto swap_in_fits = [this](const Sequence& sequence) {
+    const Bytes restore =
+        kv_cache_->bytes_per_token() *
+        static_cast<double>(kv_cache_->swapped_tokens(sequence.request.id));
+    if (sequences_.empty()) {
+      return kv_cache_->used() + restore <= kv_cache_->capacity();
     }
-    admitted.push_back(head);
-    waiting_.pop_front();
+    double decoders = 1;  // the restored sequence itself
+    for (const Sequence& resident : sequences_) {
+      if (!resident.prefilling()) decoders += 1;
+    }
+    const Bytes growth_headroom = kv_cache_->bytes_per_token() * decoders;
+    return kv_cache_->used() + restore + growth_headroom <=
+           kv_cache_->capacity();
+  };
+  while (!swapped_.empty() &&
+         sequences_.size() < static_cast<std::size_t>(config_.max_batch) &&
+         swap_in_fits(swapped_.front()) &&
+         kv_cache_->try_swap_in(swapped_.front().request.id)) {
+    Sequence sequence = swapped_.front();
+    swapped_.pop_front();
+    // PCIe traffic covers only pages holding computed KV (prefilled prompt
+    // + generated tokens); a mid-prefill victim's reservation also spans
+    // not-yet-written pages, which cost nothing to move.
+    const Bytes bytes =
+        kv_cache_->bytes_per_token() *
+        static_cast<double>(sequence.prefilled + sequence.generated);
+    record->swapped_in_ids.push_back(sequence.request.id);
+    record->swap_bytes += bytes;
+    counters_.swap_ins += 1;
+    counters_.swap_in_bytes += bytes;
+    sequences_.push_back(sequence);
   }
 
-  if (!admitted.empty()) {
-    StepRecord record;
-    record.kind = StepRecord::Kind::kPrefill;
-    record.batch = static_cast<std::int64_t>(admitted.size());
-    std::int64_t prompt_tokens = 0;
-    for (const Request& request : admitted) {
-      prompt_tokens += request.prompt_len;
-      record.first_token_ids.push_back(request.id);
-      if (request.output_len <= 1) {
-        // The prefill step emits the only token; done.
-        record.finished_ids.push_back(request.id);
-        kv_cache_->release(request.id);
-      } else {
-        running_.push_back(Running{request, /*generated=*/1});
+  // New admissions, FIFO.  A stranded swapped sequence blocks them (it has
+  // strict seniority); a blocked queue head blocks everything behind it.
+  int admitted = 0;
+  while (swapped_.empty() && !waiting_.empty() &&
+         sequences_.size() < static_cast<std::size_t>(config_.max_batch) &&
+         admitted < config_.max_prefill_batch) {
+    const Request& head = waiting_.front();
+    if (!kv_cache_->try_admit(head.id, admission_reserve_tokens(head),
+                              head.priority)) {
+      break;
+    }
+    sequences_.push_back(Sequence{head, /*prefilled=*/0, /*generated=*/0});
+    waiting_.pop_front();
+    ++admitted;
+  }
+}
+
+void ContinuousBatchScheduler::build_prefill_step(StepRecord* record) {
+  record->kind = StepRecord::Kind::kPrefill;
+  std::int64_t budget = config_.prefill_chunk_tokens > 0
+                            ? config_.prefill_chunk_tokens
+                            : std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> finished;
+  for (Sequence& sequence : sequences_) {  // admission order
+    if (!sequence.prefilling()) continue;
+    if (record->chunk_lens.size() >=
+        static_cast<std::size_t>(config_.max_prefill_batch)) {
+      break;
+    }
+    const std::int64_t remaining =
+        sequence.request.prompt_len - sequence.prefilled;
+    // Stop rather than hand a participant a sub-bucket leftover of the
+    // shared budget: every non-final chunk stays >= seqlen_bucket, so it
+    // advances its sequence's cost bucket (a final chunk may be smaller —
+    // its bucket was already paid for by telescoping).
+    if (budget < std::min(remaining, config_.seqlen_bucket)) break;
+    const std::int64_t chunk = std::min(remaining, budget);
+    record->prev_lens.push_back(sequence.prefilled);
+    record->chunk_lens.push_back(chunk);
+    record->kv_lens.push_back(sequence.prefilled + chunk);
+    if (sequence.prefilled > 0 || chunk < remaining) record->chunked = true;
+    sequence.prefilled += chunk;
+    budget -= chunk;
+    if (!sequence.prefilling()) {
+      // Prompt complete: this step emits the sequence's first token.
+      record->first_token_ids.push_back(sequence.request.id);
+      sequence.generated = 1;
+      if (sequence.generated >= sequence.request.output_len) {
+        record->finished_ids.push_back(sequence.request.id);
+        kv_cache_->release(sequence.request.id);
+        finished.push_back(sequence.request.id);
       }
     }
-    record.seq_len = ceil_div(prompt_tokens, record.batch);
-    ++total_steps_;
-    return record;
   }
-
-  if (running_.empty()) {
-    // Nothing running and the queue head does not fit an empty cache: the
-    // request is unservable at this capacity.
-    if (kv_cache_->resident_count() == 0 && !waiting_.empty()) {
-      const Request& head = waiting_.front();
-      CIMTPU_CONFIG_CHECK(
-          false, "request " << head.id << " needs more KV ("
-                            << format_bytes(
-                                   kv_cache_->bytes_per_token() *
-                                   static_cast<double>(
-                                       admission_reserve_tokens(head)))
-                            << " to admit) than the budget "
-                            << format_bytes(kv_cache_->capacity()));
-    }
-    return std::nullopt;
+  record->batch = static_cast<std::int64_t>(record->chunk_lens.size());
+  CIMTPU_CHECK(record->batch >= 1);
+  if (!finished.empty()) {
+    sequences_.erase(
+        std::remove_if(sequences_.begin(), sequences_.end(),
+                       [&finished](const Sequence& sequence) {
+                         return std::find(finished.begin(), finished.end(),
+                                          sequence.request.id) !=
+                                finished.end();
+                       }),
+        sequences_.end());
   }
+  if (record->chunked) counters_.chunked_prefill_steps += 1;
+  last_step_prefill_ = true;
+}
 
-  // --- Decode step ---------------------------------------------------------
-  StepRecord record;
-  record.kind = StepRecord::Kind::kDecode;
+bool ContinuousBatchScheduler::build_decode_step(StepRecord* record) {
+  record->kind = StepRecord::Kind::kDecode;
 
-  // Growth pressure: make room for every non-finishing request's next KV
-  // token before the step runs, preempting the newest admissions back to
-  // the queue (recompute) when pages run out.
+  // Growth pressure: make room for every continuing decode participant's
+  // next KV token before the step runs.  The manager owns victim
+  // selection; the mechanism depends on the policy — swap victims move to
+  // the host pool with their progress intact, recompute victims re-queue
+  // from scratch.  kSwapToHost falls back to recompute when the host pool
+  // is full.
   if (kv_cache_->policy() != EvictionPolicy::kNone) {
     for (;;) {
       double growth_tokens = 0;
-      for (const Running& run : running_) {
-        if (run.generated + 1 < run.request.output_len) growth_tokens += 1;
+      for (const Sequence& sequence : sequences_) {
+        if (sequence.prefilling()) continue;
+        if (sequence.generated + 1 < sequence.request.output_len) {
+          growth_tokens += 1;
+        }
       }
       const Bytes need = kv_cache_->bytes_per_token() * growth_tokens;
       if (kv_cache_->used() + need <= kv_cache_->capacity()) break;
-      CIMTPU_CONFIG_CHECK(running_.size() > 1,
-                          "request " << running_.front().request.id
+      CIMTPU_CONFIG_CHECK(sequences_.size() > 1,
+                          "request " << sequences_.front().request.id
                                      << " outgrew the whole KV budget");
-      // The manager owns the victim-selection policy.
       const std::int64_t victim_id =
           kv_cache_->pick_eviction_victim(/*protect=*/-1);
       const auto victim_it = std::find_if(
-          running_.begin(), running_.end(),
-          [victim_id](const Running& run) {
-            return run.request.id == victim_id;
+          sequences_.begin(), sequences_.end(),
+          [victim_id](const Sequence& sequence) {
+            return sequence.request.id == victim_id;
           });
-      CIMTPU_CHECK(victim_it != running_.end());
-      const Running victim = *victim_it;
-      running_.erase(victim_it);
-      kv_cache_->release(victim.request.id);
-      waiting_.push_front(victim.request);  // retains FIFO priority
-      record.preempted_ids.push_back(victim.request.id);
-      ++preemptions_;
+      CIMTPU_CHECK(victim_it != sequences_.end());
+      const Sequence victim = *victim_it;
+      sequences_.erase(victim_it);
+      if (kv_cache_->policy() == EvictionPolicy::kSwapToHost &&
+          kv_cache_->try_swap_out(victim_id)) {
+        // As with swap-in: only computed KV pages cross the link.
+        const Bytes bytes =
+            kv_cache_->bytes_per_token() *
+            static_cast<double>(victim.prefilled + victim.generated);
+        swapped_.push_back(victim);  // progress survives the swap
+        record->swapped_out_ids.push_back(victim_id);
+        record->swap_bytes += bytes;
+        counters_.preemptions_swap += 1;
+        counters_.swap_out_bytes += bytes;
+      } else {
+        kv_cache_->release(victim_id);
+        waiting_.push_front(victim.request);  // retains FIFO priority
+        record->preempted_ids.push_back(victim_id);
+        counters_.preemptions_recompute += 1;
+      }
     }
   }
 
-  record.batch = static_cast<std::int64_t>(running_.size());
-  std::vector<Running> still_running;
-  still_running.reserve(running_.size());
-  std::int64_t kv_tokens = 0;
-  for (Running& run : running_) {
+  std::vector<Sequence> keep;
+  keep.reserve(sequences_.size());
+  for (Sequence& sequence : sequences_) {
+    if (sequence.prefilling()) {
+      keep.push_back(sequence);  // spectator: prefill continues elsewhere
+      continue;
+    }
     // KV length this step attends over: prompt plus tokens generated so far.
-    kv_tokens += run.request.prompt_len + run.generated;
-    ++run.generated;
-    if (run.generated >= run.request.output_len) {
-      record.finished_ids.push_back(run.request.id);
-      kv_cache_->release(run.request.id);
+    record->kv_lens.push_back(sequence.request.prompt_len +
+                              sequence.generated);
+    ++sequence.generated;
+    if (sequence.generated >= sequence.request.output_len) {
+      record->finished_ids.push_back(sequence.request.id);
+      kv_cache_->release(sequence.request.id);
     } else {
       if (kv_cache_->policy() != EvictionPolicy::kNone) {
-        const bool grew = kv_cache_->try_grow(run.request.id, 1);
+        const bool grew = kv_cache_->try_grow(sequence.request.id, 1);
         CIMTPU_CHECK(grew);  // pre-step eviction guaranteed room
       }
-      still_running.push_back(run);
+      keep.push_back(sequence);
     }
   }
-  running_ = std::move(still_running);
-  record.seq_len = ceil_div(kv_tokens, record.batch);
+  sequences_ = std::move(keep);
+  record->batch = static_cast<std::int64_t>(record->kv_lens.size());
+  if (record->batch == 0) return false;  // pressure evicted every decoder
+  last_step_prefill_ = false;
+  return true;
+}
+
+std::optional<StepRecord> ContinuousBatchScheduler::next_step() {
+  if (idle()) return std::nullopt;
+
+  StepRecord record;
+  swap_in_and_admit(&record);
+
+  if (sequences_.empty()) {
+    // A swapped sequence always fits an empty device (it fit before it was
+    // swapped out), so reaching here means the queue head can never be
+    // admitted: the request is unservable at this capacity.
+    CIMTPU_CHECK(swapped_.empty());
+    CIMTPU_CHECK(!waiting_.empty());
+    const Request& head = waiting_.front();
+    CIMTPU_CONFIG_CHECK(
+        false, "request " << head.id << " needs more KV ("
+                          << format_bytes(kv_cache_->bytes_per_token() *
+                                          static_cast<double>(
+                                              admission_reserve_tokens(head)))
+                          << " to admit) than the budget "
+                          << format_bytes(kv_cache_->capacity()));
+  }
+
+  bool any_prefilling = false;
+  bool any_decoding = false;
+  for (const Sequence& sequence : sequences_) {
+    (sequence.prefilling() ? any_prefilling : any_decoding) = true;
+  }
+
+  // Step-kind choice: prefill-priority without chunking (a new prompt runs
+  // whole the step it is admitted); strict prefill/decode alternation with
+  // chunking, so decoders advance at least every other step while a long
+  // prompt streams through in chunks.
+  bool do_prefill;
+  if (!any_prefilling) {
+    do_prefill = false;
+  } else if (!any_decoding) {
+    do_prefill = true;
+  } else if (config_.prefill_chunk_tokens > 0) {
+    do_prefill = !last_step_prefill_;
+  } else {
+    do_prefill = true;
+  }
+
+  if (do_prefill) {
+    build_prefill_step(&record);
+  } else if (!build_decode_step(&record)) {
+    // KV pressure swept every decode participant out; the survivors are
+    // all prefilling, so run their chunk step instead.
+    build_prefill_step(&record);
+  }
   ++total_steps_;
   return record;
 }

@@ -1,17 +1,32 @@
 #pragma once
-// Iteration-level (continuous-batching) scheduler, vLLM-style.
+// Iteration-level (continuous-batching) scheduler, vLLM-style, with
+// Sarathi-style chunked prefill and pluggable preemption.
 //
 // The engine runs a sequence of steps.  Each step is either
-//   * a PREFILL step: a group of newly admitted requests run their whole
-//     prompt through all layers (and emit their first token), or
-//   * a DECODE step: every running request advances by exactly one token.
+//   * a PREFILL step: prefilling sequences push prompt tokens through all
+//     layers.  With chunking disabled a sequence prefills its whole prompt
+//     in one step; with `prefill_chunk_tokens` set the step carries at most
+//     that many prompt tokens in total, so long prompts stream through in
+//     chunks interleaved with decode steps and TPOT stays bounded.  A
+//     sequence whose prompt completes in a step emits its first token in
+//     that step.  Or,
+//   * a DECODE step: every fully-prefilled request advances by one token.
 // Requests join the running batch the moment capacity frees up (KV pages
 // and batch slots), rather than waiting for the whole batch to drain —
 // that is the continuous-batching property.
 //
+// When decode-time KV growth outruns the device budget the scheduler
+// preempts under the KvCacheManager's policy: recompute victims
+// (kPreemptNewest, kPriorityVictim) drop their KV and re-queue from
+// scratch; swap victims (kSwapToHost) move their pages to the host pool
+// and resume decoding after re-admission without recomputing the prompt.
+//
 // Step costs come from the analytic simulator, memoized per
 // (batch, bucketed-seqlen) shape so a million-request stream touches the
-// cost model only a few thousand times (StepCostCache).
+// cost model only a few thousand times (StepCostCache).  `cost_step` sums
+// PER-SEQUENCE attention costs over each participant's actual (bucketed)
+// KV length — not the batch mean — with prefill-chunk and decode tokens
+// costed separately.
 
 #include <cstdint>
 #include <deque>
@@ -21,6 +36,7 @@
 
 #include "common/math_util.h"
 #include "serving/kv_cache_manager.h"
+#include "serving/metrics.h"
 #include "serving/request_gen.h"
 #include "sim/workload_runner.h"
 
@@ -71,29 +87,55 @@ class StepCostCache {
 
 /// Scheduler knobs.
 struct SchedulerConfig {
-  int max_batch = 32;          ///< max concurrently running requests
-  int max_prefill_batch = 8;   ///< max requests admitted into one prefill step
+  int max_batch = 32;          ///< max concurrently resident requests
+  int max_prefill_batch = 8;   ///< max prefill participants (and new
+                               ///< admissions) per step
   std::int64_t seqlen_bucket = 128;  ///< cost-cache bucket granularity
+
+  /// 0 disables chunking (whole-prompt prefill steps).  Otherwise each
+  /// prefill step carries at most this many prompt tokens in total and
+  /// alternates with decode steps while both kinds of work exist.  Must be
+  /// >= seqlen_bucket so every chunk advances its sequence's cost bucket.
+  std::int64_t prefill_chunk_tokens = 0;
 
   void validate() const;
 };
 
-/// What one engine step executed, as planned by the scheduler.
+/// What one engine step executed, as planned by the scheduler.  Shapes are
+/// PER PARTICIPANT (parallel arrays in admission order) so the cost model
+/// can charge each sequence's attention over its actual KV length rather
+/// than a batch-mean representative.
 struct StepRecord {
   enum class Kind { kPrefill, kDecode };
   Kind kind = Kind::kDecode;
-  std::int64_t batch = 0;    ///< participants in this step
-  std::int64_t seq_len = 0;  ///< representative shape: mean prompt len
-                             ///< (prefill) or mean KV len (decode) across
-                             ///< participants, rounded up — total KV/
-                             ///< activation traffic matches batch * mean
+  std::int64_t batch = 0;  ///< participants in this step
+
+  /// KV length each participant attends over this step: prompt tokens
+  /// prefilled so far including this step's chunk (prefill), or prompt +
+  /// generated tokens (decode).
+  std::vector<std::int64_t> kv_lens;
+  std::vector<std::int64_t> chunk_lens;  ///< prefill: new prompt tokens
+  std::vector<std::int64_t> prev_lens;   ///< prefill: tokens already prefilled
+
   std::vector<std::int64_t> first_token_ids;  ///< emitted their first token
   std::vector<std::int64_t> finished_ids;     ///< completed this step
-  std::vector<std::int64_t> preempted_ids;    ///< evicted back to the queue
+  std::vector<std::int64_t> preempted_ids;    ///< evicted for recompute
+  std::vector<std::int64_t> swapped_out_ids;  ///< KV moved to the host pool
+  std::vector<std::int64_t> swapped_in_ids;   ///< KV restored from the host
+  Bytes swap_bytes = 0;  ///< PCIe traffic (out + in) charged to this step
+  bool chunked = false;  ///< some participant's prompt was split
 };
 
+/// Per-sequence step cost: sums each participant's attention cost at its
+/// own bucketed KV length.  Decode participants group by KV bucket (one
+/// memoized decode_layer shape per group); prefill participants are costed
+/// as the telescoped difference prefill(prev + chunk) - prefill(prev), so
+/// a chunked prompt's total prefill cost is identical to the unchunked
+/// cost of the same prompt.
+StepCost cost_step(StepCostCache& costs, const StepRecord& step);
+
 /// The continuous-batching state machine.  Time-free: the serving loop owns
-/// the clock and costs each StepRecord via the StepCostCache.
+/// the clock and costs each StepRecord via `cost_step`.
 class ContinuousBatchScheduler {
  public:
   ContinuousBatchScheduler(const SchedulerConfig& config,
@@ -102,23 +144,30 @@ class ContinuousBatchScheduler {
   /// Adds an arrived request to the waiting queue.
   void enqueue(const Request& request);
 
-  /// True when nothing is waiting or running.
-  bool idle() const { return waiting_.empty() && running_.empty(); }
+  /// True when nothing is waiting, resident, or swapped out.
+  bool idle() const {
+    return waiting_.empty() && sequences_.empty() && swapped_.empty();
+  }
 
   /// Plans and commits the next engine step.  Admission happens here:
-  /// waiting requests are pulled into the batch while KV pages and batch
-  /// slots allow (prefill-priority).  Returns nullopt when idle.
+  /// swapped-out sequences are restored first (FIFO), then waiting
+  /// requests are pulled into the batch while KV pages and batch slots
+  /// allow.  Returns nullopt when idle.
   std::optional<StepRecord> next_step();
 
   std::size_t waiting_count() const { return waiting_.size(); }
-  std::size_t running_count() const { return running_.size(); }
+  std::size_t running_count() const { return sequences_.size(); }
+  std::size_t swapped_count() const { return swapped_.size(); }
   std::int64_t total_steps() const { return total_steps_; }
-  std::int64_t preemptions() const { return preemptions_; }
+  std::int64_t preemptions() const { return counters_.total_preemptions(); }
+  const ServingCounters& counters() const { return counters_; }
 
  private:
-  struct Running {
+  struct Sequence {
     Request request;
+    std::int64_t prefilled = 0;  ///< prompt tokens pushed through the model
     std::int64_t generated = 0;  ///< tokens decoded so far (incl. first)
+    bool prefilling() const { return prefilled < request.prompt_len; }
   };
 
   /// KV tokens reserved at admission: the whole sequence under kNone
@@ -126,12 +175,20 @@ class ContinuousBatchScheduler {
   /// policies (grown per decode step).
   std::int64_t admission_reserve_tokens(const Request& request) const;
 
+  void swap_in_and_admit(StepRecord* record);
+  void build_prefill_step(StepRecord* record);
+  /// Returns false when KV pressure evicted every decode participant (the
+  /// caller falls back to a prefill step).
+  bool build_decode_step(StepRecord* record);
+
   SchedulerConfig config_;
   KvCacheManager* kv_cache_;
   std::deque<Request> waiting_;
-  std::vector<Running> running_;  ///< admission order
+  std::deque<Sequence> swapped_;    ///< swap-out order (FIFO re-admission)
+  std::vector<Sequence> sequences_; ///< resident, admission order
+  bool last_step_prefill_ = false;  ///< interleave state under chunking
   std::int64_t total_steps_ = 0;
-  std::int64_t preemptions_ = 0;
+  ServingCounters counters_;
 };
 
 }  // namespace cimtpu::serving

@@ -1,6 +1,7 @@
 #include "serving/serving_sim.h"
 
 #include <algorithm>
+#include <numeric>
 #include <unordered_map>
 
 #include "arch/chip.h"
@@ -14,6 +15,10 @@ void ServingScenario::validate() const {
   CIMTPU_CONFIG_CHECK(chips >= 1, "serving needs >= 1 chip");
   CIMTPU_CONFIG_CHECK(model.num_layers >= chips,
                       "fewer layers than pipeline stages");
+  CIMTPU_CONFIG_CHECK(host_link_bandwidth > 0,
+                      "host link bandwidth must be positive");
+  CIMTPU_CONFIG_CHECK(host_pool_capacity >= 0,
+                      "host pool capacity must be >= 0");
   scheduler.validate();
 }
 
@@ -44,7 +49,7 @@ ServingMetrics run_serving(const ServingScenario& scenario,
                 scenario.model, chip.memory().spec().hbm.capacity,
                 scenario.chips);
   KvCacheManager kv_cache(kv_budget, KvCacheManager::token_bytes(scenario.model),
-                          scenario.eviction);
+                          scenario.eviction, scenario.host_pool_capacity);
   ContinuousBatchScheduler scheduler(scenario.scheduler, &kv_cache);
 
   const std::int64_t layers = scenario.model.num_layers;
@@ -91,19 +96,25 @@ ServingMetrics run_serving(const ServingScenario& scenario,
     CIMTPU_CHECK(step.has_value());
 
     const bool is_prefill = step->kind == StepRecord::Kind::kPrefill;
-    const StepCost layer_cost =
-        is_prefill ? costs.prefill_layer(step->batch, step->seq_len)
-                   : costs.decode_layer(step->batch, step->seq_len);
+    // Per-sequence costing: each participant's attention at its own
+    // bucketed KV length (see cost_step).
+    const StepCost layer_cost = cost_step(costs, *step);
 
     // Inter-stage activation handoff: the moving rows of this step cross
-    // each pipeline boundary once.
-    const double rows = is_prefill
-                            ? static_cast<double>(step->batch) *
-                                  static_cast<double>(step->seq_len)
-                            : static_cast<double>(step->batch);
+    // each pipeline boundary once (prefill moves every chunk token,
+    // decode one token per participant).
+    const double rows =
+        is_prefill ? static_cast<double>(std::accumulate(
+                         step->chunk_lens.begin(), step->chunk_lens.end(),
+                         std::int64_t{0}))
+                   : static_cast<double>(step->batch);
     const Bytes boundary_bytes = rows * activation_elem_bytes;
     const Seconds transfer =
         boundaries > 0 ? chip.ici().p2p_time(boundary_bytes) : 0.0;
+
+    // KV pages swapped to/from the host pool this step serialize with the
+    // step on the PCIe-class link.
+    const Seconds swap_time = step->swap_bytes / scenario.host_link_bandwidth;
 
     // Steady-state engine cadence: the bottleneck stage (ceiling share of
     // the layers) plus its handoff.  Tokens emitted this step additionally
@@ -112,7 +123,7 @@ ServingMetrics run_serving(const ServingScenario& scenario,
         static_cast<double>(stage_layers) * layer_cost.latency + transfer;
     const Seconds emit_extra = static_cast<double>(boundaries) * stage_time;
 
-    now += stage_time;
+    now += stage_time + swap_time;
     const Seconds emit_time = now + emit_extra;
 
     metrics.total_steps += 1;
@@ -147,7 +158,8 @@ ServingMetrics run_serving(const ServingScenario& scenario,
       metrics.makespan = std::max(metrics.makespan, trace.completion);
     }
   }
-  metrics.preemptions = scheduler.preemptions();
+  metrics.counters = scheduler.counters();
+  metrics.preemptions = metrics.counters.total_preemptions();
 
   // --- Distributional rollups ----------------------------------------------
   std::vector<double> ttft, tpot, e2e;

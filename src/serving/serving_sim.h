@@ -5,6 +5,12 @@
 // serving deployment is judged by — TTFT, TPOT, end-to-end latency
 // percentiles, goodput, energy per token, and MXU utilization.
 //
+// Step costs are PER SEQUENCE: each participant's attention is charged at
+// its own (bucketed) KV length via `cost_step`, with prefill-chunk and
+// decode tokens costed separately.  Swap-to-host preemptions additionally
+// charge the PCIe transfer of the victim's KV pages to the step that
+// moved them.
+//
 // Deployments are a single chip or a `chips`-way pipeline over the ICI
 // ring (parallel/multi_chip.h semantics): layers split evenly, the
 // bottleneck stage sets the steady-state step interval, and tokens pay the
@@ -26,10 +32,15 @@ struct ServingScenario {
   arch::TpuChipConfig chip_config;
   models::TransformerConfig model;
   int chips = 1;  ///< pipeline-parallel stages over the ICI ring
-  SchedulerConfig scheduler;
+  SchedulerConfig scheduler;  ///< incl. chunked-prefill token budget
   EvictionPolicy eviction = EvictionPolicy::kPreemptNewest;
   Bytes kv_budget_override = 0;  ///< 0 -> KvCacheManager::hbm_kv_budget
                                  ///< (bottleneck-stage HBM headroom)
+
+  /// kSwapToHost knobs: host pool size and the PCIe-class link KV pages
+  /// cross in each direction (transfer time is charged to the step).
+  Bytes host_pool_capacity = 1024 * GiB;
+  BytesPerSecond host_link_bandwidth = 64 * GBps;
 
   void validate() const;
 };
@@ -44,7 +55,9 @@ struct ServingMetrics {
   std::int64_t total_steps = 0;
   std::int64_t prefill_steps = 0;
   std::int64_t decode_steps = 0;
-  std::int64_t preemptions = 0;
+  std::int64_t preemptions = 0;  ///< recompute + swap (see counters)
+  ServingCounters counters;      ///< per-policy preemptions, swap bytes,
+                                 ///< chunked-prefill steps
 
   Seconds makespan = 0;        ///< last token emission time
   LatencySummary ttft;         ///< time to first token

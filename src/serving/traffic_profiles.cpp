@@ -6,7 +6,8 @@ namespace cimtpu::serving {
 
 RequestStreamConfig zipf_chat_stream(std::uint64_t seed,
                                      std::int64_t num_requests,
-                                     double arrival_rate) {
+                                     double arrival_rate,
+                                     std::int64_t priority_classes) {
   RequestStreamConfig stream;
   stream.seed = seed;
   stream.num_requests = num_requests;
@@ -20,6 +21,7 @@ RequestStreamConfig zipf_chat_stream(std::uint64_t seed,
   stream.output.min_len = 4;
   stream.output.max_len = 1024;
   stream.output.zipf_alpha = 1.05;
+  stream.priority_classes = priority_classes;
   return stream;
 }
 
@@ -31,6 +33,19 @@ ServingScenario llama7b_baseline_scenario(int chips, ir::DType dtype) {
   scenario.scheduler.max_batch = 32;
   scenario.scheduler.max_prefill_batch = 8;
   scenario.chips = chips;
+  return scenario;
+}
+
+ServingScenario llama7b_pressured_scenario(int chips, ir::DType dtype,
+                                           EvictionPolicy policy,
+                                           std::int64_t chunk_tokens,
+                                           std::int64_t kv_budget_tokens) {
+  ServingScenario scenario = llama7b_baseline_scenario(chips, dtype);
+  scenario.eviction = policy;
+  scenario.scheduler.prefill_chunk_tokens = chunk_tokens;
+  scenario.kv_budget_override =
+      KvCacheManager::token_bytes(scenario.model) *
+      static_cast<double>(kv_budget_tokens);
   return scenario;
 }
 

@@ -1,8 +1,9 @@
 #pragma once
 // Canonical traffic profiles and deployments shared by the serving
-// example, the serving bench, and any future sweep: one definition, so
-// the perf-trajectory baseline (bench_serving) always describes the same
-// workload the demo (serving_traffic) runs.
+// example, the serving bench, and the golden-metrics regression tests:
+// one definition, so the perf-trajectory baseline (bench_serving) and the
+// pinned goldens always describe the same workload the demo
+// (serving_traffic) runs.
 
 #include <cstdint>
 
@@ -12,13 +13,28 @@ namespace cimtpu::serving {
 
 /// Chat-style Zipf traffic: prompts 16..4096 tokens, outputs 4..1024
 /// tokens, both Zipf-tailed with alpha 1.05 (short requests common, a
-/// heavy tail of long ones).
+/// heavy tail of long ones).  `priority_classes` > 1 additionally tags
+/// each request with a uniform priority class (for kPriorityVictim) from
+/// a decoupled rng stream — arrivals and lengths stay bit-identical.
 RequestStreamConfig zipf_chat_stream(std::uint64_t seed,
                                      std::int64_t num_requests,
-                                     double arrival_rate);
+                                     double arrival_rate,
+                                     std::int64_t priority_classes = 1);
 
 /// Reference serving deployment: llama2-7b (fits one chip's HBM at INT8
 /// and INT4) on the TPUv4i baseline, max batch 32, prefill batch 8.
 ServingScenario llama7b_baseline_scenario(int chips, ir::DType dtype);
+
+/// The baseline deployment under deliberate KV pressure: the device KV
+/// budget is capped at `kv_budget_tokens` cached tokens so preemption
+/// policies actually fire, with `policy` selecting the mechanism and
+/// `chunk_tokens` the chunked-prefill budget (0 = whole-prompt prefill).
+/// The default 8000 tokens comfortably admits the largest zipf_chat
+/// request (4096 prompt + 1024 output) while forcing heavy eviction
+/// churn at max_batch 32.
+ServingScenario llama7b_pressured_scenario(int chips, ir::DType dtype,
+                                           EvictionPolicy policy,
+                                           std::int64_t chunk_tokens,
+                                           std::int64_t kv_budget_tokens = 8000);
 
 }  // namespace cimtpu::serving

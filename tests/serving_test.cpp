@@ -235,14 +235,24 @@ TEST(SchedulerTest, ThreeRequestHandTrace) {
   ASSERT_TRUE(step1.has_value());
   EXPECT_EQ(step1->kind, StepRecord::Kind::kPrefill);
   EXPECT_EQ(step1->batch, 3);
-  EXPECT_EQ(step1->seq_len, (32 + 64 + 16 + 2) / 3);  // mean, rounded up
+  // Per-sequence shapes: whole prompts in one chunk (chunking disabled).
+  EXPECT_EQ(step1->chunk_lens, (std::vector<std::int64_t>{32, 64, 16}));
+  EXPECT_EQ(step1->prev_lens, (std::vector<std::int64_t>{0, 0, 0}));
+  EXPECT_EQ(step1->kv_lens, (std::vector<std::int64_t>{32, 64, 16}));
+  EXPECT_FALSE(step1->chunked);
   EXPECT_EQ(step1->first_token_ids, (std::vector<std::int64_t>{0, 1, 2}));
   EXPECT_EQ(step1->finished_ids, (std::vector<std::int64_t>{0}));
 
   std::vector<std::int64_t> decode_batches;
   std::vector<std::int64_t> finished;
+  bool first_decode = true;
   while (auto step = scheduler.next_step()) {
     EXPECT_EQ(step->kind, StepRecord::Kind::kDecode);
+    if (first_decode) {
+      // Per-sequence KV lengths: prompt + tokens generated so far.
+      EXPECT_EQ(step->kv_lens, (std::vector<std::int64_t>{64 + 1, 16 + 1}));
+      first_decode = false;
+    }
     decode_batches.push_back(step->batch);
     for (std::int64_t id : step->finished_ids) finished.push_back(id);
   }
