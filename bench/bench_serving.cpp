@@ -6,16 +6,26 @@
 // numbers, and the per-policy rows let future PRs track policy-level perf
 // trajectories.
 //
-// Emits BENCH_serving.json (schema_version 2):
+// Both grids run on the deterministic parallel sweep driver
+// (serving/sweep.h): points fan out over a worker pool with a shared
+// step-cost cache, and the simulated metrics are bit-identical to serial
+// execution.
+//
+// Emits BENCH_serving.json (schema_version 3):
 //   "baseline" — goodput + p99 TTFT/TPOT across 3 arrival rates x 2 chip
-//                counts (schema v1 rows),
+//                counts, now with per-row sim_wall_seconds and
+//                steps_per_second (the simulator-performance trajectory),
 //   "policies" — per-(policy x chunked on/off) rows under KV pressure with
-//                preemption split, swap traffic, and chunked-step counts.
+//                preemption split, swap traffic, and chunked-step counts,
+//   "sweep"    — wall-clock of the whole grid and the worker count, the
+//                headline number for hot-path optimizations.
 
+#include <chrono>
 #include <fstream>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "serving/sweep.h"
 #include "serving/traffic_profiles.h"
 
 using namespace cimtpu;
@@ -51,49 +61,71 @@ int main(int argc, char** argv) {
 
   const std::vector<double> rates = {5.0, 10.0, 20.0};
   const std::vector<int> chip_counts = {1, 4};
+  // One shared cost cache across BOTH grids: they run the same chip /
+  // model / bucket, so the policy sweep starts from the baseline sweep's
+  // warm store instead of re-simulating every shape.
+  serving::SharedStepCostCache shared_costs;
+  serving::SweepOptions sweep_options;  // threads from env / hardware
+  sweep_options.shared_cache = &shared_costs;
+  const auto sweep_start = std::chrono::steady_clock::now();
+
+  // --- Baseline grid: arrival rate x chips via the declarative sweep ---------
+  serving::ServingSweep baseline_sweep;
+  baseline_sweep.arrival_rates = rates;
+  baseline_sweep.models = {scenario_for(1).model};
+  baseline_sweep.chip_counts = chip_counts;
+  baseline_sweep.policies = {serving::EvictionPolicy::kPreemptNewest};
+  baseline_sweep.base = scenario_for(1);
+  baseline_sweep.stream = stream_config(/*rate=*/rates.front());
+  const std::vector<serving::SweepCellResult> baseline =
+      serving::run_serving_sweep(baseline_sweep, sweep_options);
 
   CsvWriter csv(bench::output_dir() + "/serving.csv");
   csv.write_header({"arrival_rate", "chips", "goodput_tokens_per_s",
                     "ttft_p99_s", "tpot_p99_s", "energy_per_token_j",
-                    "mxu_utilization", "preemptions"});
+                    "mxu_utilization", "preemptions", "steps_per_second",
+                    "sim_wall_s"});
 
   AsciiTable table("Serving baseline — llama2-7b INT4, 2000-request Poisson streams");
   table.set_header({"rate (req/s)", "chips", "tokens/s", "TTFT p99",
                     "TPOT p99", "J/token", "MXU util"});
 
   std::ofstream json("BENCH_serving.json");
-  json << "{\n  \"bench\": \"serving\",\n  \"schema_version\": 2,\n"
+  json << "{\n  \"bench\": \"serving\",\n  \"schema_version\": 3,\n"
        << "  \"model\": \"llama2-7b\",\n"
        << "  \"dtype\": \"int4\",\n  \"requests\": 2000,\n  \"seed\": 42,\n"
        << "  \"baseline\": [\n";
   bool first = true;
-  for (double rate : rates) {
-    const std::vector<serving::Request> requests =
-        serving::generate_requests(stream_config(rate));
-    for (int chips : chip_counts) {
-      const serving::ServingMetrics metrics =
-          serving::run_serving(scenario_for(chips), requests);
-      csv.write_row({cell_f(rate, 1), cell_i(chips),
-                     cell_f(metrics.goodput_tokens_per_second, 3),
-                     cell_f(metrics.ttft.p99, 6), cell_f(metrics.tpot.p99, 6),
-                     cell_f(metrics.energy_per_token, 9),
-                     cell_f(metrics.mxu_utilization, 4),
-                     cell_i(metrics.preemptions)});
-      table.add_row({cell_f(rate, 1), cell_i(chips),
-                     cell_f(metrics.goodput_tokens_per_second, 1),
-                     format_time(metrics.ttft.p99),
-                     format_time(metrics.tpot.p99),
-                     format_energy(metrics.energy_per_token),
-                     cell_f(100.0 * metrics.mxu_utilization, 1) + "%"});
-      if (!first) json << ",\n";
-      first = false;
-      json << "    {\"arrival_rate\": " << rate << ", \"chips\": " << chips
-           << ", \"goodput_tokens_per_s\": "
-           << metrics.goodput_tokens_per_second
-           << ", \"ttft_p99_s\": " << metrics.ttft.p99
-           << ", \"tpot_p99_s\": " << metrics.tpot.p99
-           << ", \"energy_per_token_j\": " << metrics.energy_per_token << "}";
-    }
+  // Rows carry their own grid coordinates — no loop-order convention to
+  // keep in sync with the expansion.
+  for (const serving::SweepCellResult& result : baseline) {
+    const double rate = result.arrival_rate;
+    const int chips = result.chips;
+    const serving::ServingMetrics& metrics = result.metrics;
+    csv.write_row({cell_f(rate, 1), cell_i(chips),
+                   cell_f(metrics.goodput_tokens_per_second, 3),
+                   cell_f(metrics.ttft.p99, 6), cell_f(metrics.tpot.p99, 6),
+                   cell_f(metrics.energy_per_token, 9),
+                   cell_f(metrics.mxu_utilization, 4),
+                   cell_i(metrics.preemptions),
+                   cell_f(metrics.steps_per_second, 1),
+                   cell_f(metrics.sim_wall_seconds, 6)});
+    table.add_row({cell_f(rate, 1), cell_i(chips),
+                   cell_f(metrics.goodput_tokens_per_second, 1),
+                   format_time(metrics.ttft.p99),
+                   format_time(metrics.tpot.p99),
+                   format_energy(metrics.energy_per_token),
+                   cell_f(100.0 * metrics.mxu_utilization, 1) + "%"});
+    if (!first) json << ",\n";
+    first = false;
+    json << "    {\"arrival_rate\": " << rate << ", \"chips\": " << chips
+         << ", \"goodput_tokens_per_s\": "
+         << metrics.goodput_tokens_per_second
+         << ", \"ttft_p99_s\": " << metrics.ttft.p99
+         << ", \"tpot_p99_s\": " << metrics.tpot.p99
+         << ", \"energy_per_token_j\": " << metrics.energy_per_token
+         << ", \"sim_wall_seconds\": " << metrics.sim_wall_seconds
+         << ", \"steps_per_second\": " << metrics.steps_per_second << "}";
   }
   json << "\n  ],\n";
 
@@ -104,12 +136,12 @@ int main(int argc, char** argv) {
       serving::generate_requests(serving::zipf_chat_stream(
           /*seed=*/42, /*num_requests=*/2000, /*arrival_rate=*/20.0,
           /*priority_classes=*/3));
-  const std::vector<serving::EvictionPolicy> policies = {
-      serving::EvictionPolicy::kPreemptNewest,
-      serving::EvictionPolicy::kSwapToHost,
-      serving::EvictionPolicy::kPriorityVictim,
-  };
-  const std::vector<std::int64_t> chunk_settings = {0, 512};
+  const std::vector<serving::SweepPoint> policy_points =
+      serving::pressured_policy_grid_points(scenario_for(1).model,
+                                            &pressured_requests,
+                                            /*kv_budget_tokens=*/8000);
+  const std::vector<serving::ServingMetrics> policy_results =
+      serving::run_sweep(policy_points, sweep_options);
 
   AsciiTable policy_table(
       "Preemption policy x chunked prefill — llama2-7b INT4, 8000-token KV "
@@ -120,44 +152,70 @@ int main(int argc, char** argv) {
 
   json << "  \"policies\": [\n";
   first = true;
-  for (serving::EvictionPolicy policy : policies) {
-    for (std::int64_t chunk : chunk_settings) {
-      const serving::ServingScenario scenario =
-          serving::llama7b_pressured_scenario(
-              /*chips=*/1, ir::DType::kInt4, policy, chunk,
-              /*kv_budget_tokens=*/8000);
-      const serving::ServingMetrics metrics =
-          serving::run_serving(scenario, pressured_requests);
-      const std::string name = serving::eviction_policy_name(policy);
-      policy_table.add_row(
-          {name, chunk == 0 ? "off" : cell_i(chunk),
-           cell_f(metrics.goodput_tokens_per_second, 1),
-           format_time(metrics.ttft.p99), format_time(metrics.tpot.p99),
-           cell_i(metrics.counters.preemptions_recompute),
-           cell_i(metrics.counters.preemptions_swap),
-           cell_f(metrics.counters.total_swap_bytes() / GiB, 2),
-           cell_i(metrics.counters.chunked_prefill_steps)});
-      if (!first) json << ",\n";
-      first = false;
-      json << "    {\"policy\": \"" << name << "\", \"chunk_tokens\": " << chunk
-           << ", \"kv_budget_tokens\": 8000"
-           << ", \"goodput_tokens_per_s\": "
-           << metrics.goodput_tokens_per_second
-           << ", \"ttft_p99_s\": " << metrics.ttft.p99
-           << ", \"tpot_p99_s\": " << metrics.tpot.p99
-           << ", \"preemptions_recompute\": "
-           << metrics.counters.preemptions_recompute
-           << ", \"preemptions_swap\": " << metrics.counters.preemptions_swap
-           << ", \"swap_bytes\": " << metrics.counters.total_swap_bytes()
-           << ", \"chunked_prefill_steps\": "
-           << metrics.counters.chunked_prefill_steps << "}";
-    }
+  // Coordinates come from each point's own scenario, not loop order.
+  for (std::size_t i = 0; i < policy_points.size(); ++i) {
+    const serving::ServingMetrics& metrics = policy_results[i];
+    const serving::ServingScenario& scenario = policy_points[i].scenario;
+    const std::int64_t chunk = scenario.scheduler.prefill_chunk_tokens;
+    const std::string name = serving::eviction_policy_name(scenario.eviction);
+    policy_table.add_row(
+        {name, chunk == 0 ? "off" : cell_i(chunk),
+         cell_f(metrics.goodput_tokens_per_second, 1),
+         format_time(metrics.ttft.p99), format_time(metrics.tpot.p99),
+         cell_i(metrics.counters.preemptions_recompute),
+         cell_i(metrics.counters.preemptions_swap),
+         cell_f(metrics.counters.total_swap_bytes() / GiB, 2),
+         cell_i(metrics.counters.chunked_prefill_steps)});
+    if (!first) json << ",\n";
+    first = false;
+    json << "    {\"policy\": \"" << name << "\", \"chunk_tokens\": " << chunk
+         << ", \"kv_budget_tokens\": 8000"
+         << ", \"goodput_tokens_per_s\": "
+         << metrics.goodput_tokens_per_second
+         << ", \"ttft_p99_s\": " << metrics.ttft.p99
+         << ", \"tpot_p99_s\": " << metrics.tpot.p99
+         << ", \"preemptions_recompute\": "
+         << metrics.counters.preemptions_recompute
+         << ", \"preemptions_swap\": " << metrics.counters.preemptions_swap
+         << ", \"swap_bytes\": " << metrics.counters.total_swap_bytes()
+         << ", \"chunked_prefill_steps\": "
+         << metrics.counters.chunked_prefill_steps
+         << ", \"sim_wall_seconds\": " << metrics.sim_wall_seconds
+         << ", \"steps_per_second\": " << metrics.steps_per_second << "}";
   }
-  json << "\n  ]\n}\n";
+  const double sweep_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
+  std::int64_t total_steps = 0;
+  for (const serving::SweepCellResult& result : baseline) {
+    total_steps += result.metrics.total_steps;
+  }
+  for (const serving::ServingMetrics& metrics : policy_results) {
+    total_steps += metrics.total_steps;
+  }
+  // Per-grid worker counts as actually resolved by run_sweep (the two
+  // grids differ in size, so they may clamp differently).
+  const int baseline_threads = serving::resolve_sweep_threads(
+      sweep_options.threads, baseline.size());
+  const int policy_threads = serving::resolve_sweep_threads(
+      sweep_options.threads, policy_points.size());
+  json << "\n  ],\n  \"sweep\": {\"points\": "
+       << baseline.size() + policy_points.size()
+       << ", \"threads_baseline\": " << baseline_threads
+       << ", \"threads_policies\": " << policy_threads
+       << ", \"wall_seconds\": " << sweep_wall
+       << ", \"total_steps\": " << total_steps << ", \"steps_per_second\": "
+       << (sweep_wall > 0 ? static_cast<double>(total_steps) / sweep_wall : 0)
+       << "}\n}\n";
   json.close();
   table.print();
   policy_table.print();
-  std::printf("  wrote BENCH_serving.json\n");
+  std::printf("  wrote BENCH_serving.json (%zu sweep points, %d/%d threads, "
+              "%.3f s wall, %lld steps)\n",
+              baseline.size() + policy_points.size(), baseline_threads,
+              policy_threads, sweep_wall,
+              static_cast<long long>(total_steps));
 
   return bench::run_microbenchmarks(argc, argv);
 }

@@ -6,13 +6,18 @@
 // a single chip and a 4-chip pipeline, followed by a preemption-policy x
 // chunked-prefill comparison under a deliberately tight KV budget.
 //
+// All deployments run on the deterministic parallel sweep driver
+// (serving/sweep.h): CIMTPU_SWEEP_THREADS sets the worker count, and the
+// metrics are bit-identical whatever that count is.
+//
 // Usage:
 //   ./serving_traffic [model] [requests] [rate_req_s] [seed] [process] [dtype]
 //   ./serving_traffic llama2-7b 10000 20 42 poisson int4
 //
 // A fixed seed reproduces bit-identical metrics run to run; everything on
-// stdout is deterministic (wall-clock timing goes to stderr), so CI diffs
-// two runs byte for byte.
+// stdout is deterministic (wall-clock timing and thread count go to
+// stderr), so CI diffs two runs — or a serial run against a parallel one —
+// byte for byte.
 
 #include <chrono>
 #include <cstdio>
@@ -23,6 +28,7 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "models/model_zoo.h"
+#include "serving/sweep.h"
 #include "serving/traffic_profiles.h"
 
 using namespace cimtpu;
@@ -56,16 +62,34 @@ int main(int argc, char** argv) {
 
   const std::vector<serving::Request> requests =
       serving::generate_requests(stream);
+  // Both sweeps share one cost cache (same chip and model signature), so
+  // the policy comparison starts from the chip comparison's warm store.
+  serving::SharedStepCostCache shared_costs;
+  serving::SweepOptions sweep_options;  // threads from env / hardware
+  sweep_options.shared_cache = &shared_costs;
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // --- Chip-count comparison on the sweep driver -----------------------------
+  const std::vector<int> chip_counts = {1, 4};
+  std::vector<serving::SweepPoint> chip_points;
+  for (int chips : chip_counts) {
+    serving::SweepPoint point;
+    point.label = "chips=" + cell_i(chips);
+    point.scenario = scenario;
+    point.scenario.chips = chips;
+    point.requests = &requests;
+    chip_points.push_back(std::move(point));
+  }
+  const std::vector<serving::ServingMetrics> chip_results =
+      serving::run_sweep(chip_points, sweep_options);
 
   AsciiTable table("Continuous-batching serving metrics (TPUv4i baseline)");
   table.set_header({"chips", "TTFT p50", "TTFT p99", "TPOT p50", "TPOT p99",
                     "e2e p99", "tokens/s", "J/token", "MXU util",
                     "steps", "preempt"});
-  const auto wall_start = std::chrono::steady_clock::now();
-  for (int chips : {1, 4}) {
-    scenario.chips = chips;
-    const serving::ServingMetrics metrics =
-        serving::run_serving(scenario, requests);
+  for (std::size_t i = 0; i < chip_counts.size(); ++i) {
+    const serving::ServingMetrics& metrics = chip_results[i];
+    const int chips = chip_counts[i];
     table.add_row({cell_i(chips), format_time(metrics.ttft.p50),
                    format_time(metrics.ttft.p99), format_time(metrics.tpot.p50),
                    format_time(metrics.tpot.p99), format_time(metrics.e2e.p99),
@@ -99,43 +123,46 @@ int main(int argc, char** argv) {
   const std::vector<serving::Request> pressured_requests =
       serving::generate_requests(pressured_stream);
 
+  // The CANONICAL pressured grid (traffic_profiles.h): the same policy x
+  // chunk points bench_serving benchmarks, at the CLI-chosen model.
+  const std::vector<serving::SweepPoint> policy_points =
+      serving::pressured_policy_grid_points(scenario.model,
+                                            &pressured_requests,
+                                            /*kv_budget_tokens=*/8000);
+  const std::vector<serving::ServingMetrics> policy_results =
+      serving::run_sweep(policy_points, sweep_options);
+
   AsciiTable policy_table(
       "Preemption policy comparison — 8000-token KV budget, " +
       cell_i(pressured_stream.num_requests) + " requests");
   policy_table.set_header({"policy", "chunk", "TTFT p99", "TPOT p99",
                            "e2e p99", "tokens/s", "preempt", "swapped",
                            "swap GiB", "chunk steps"});
-  for (serving::EvictionPolicy policy :
-       {serving::EvictionPolicy::kPreemptNewest,
-        serving::EvictionPolicy::kSwapToHost,
-        serving::EvictionPolicy::kPriorityVictim}) {
-    for (std::int64_t chunk : {std::int64_t{0}, std::int64_t{512}}) {
-      serving::ServingScenario pressured =
-          serving::llama7b_pressured_scenario(
-              /*chips=*/1, scenario.model.dtype, policy, chunk,
-              /*kv_budget_tokens=*/8000);
-      pressured.model = scenario.model;  // honour the CLI model choice
-      pressured.kv_budget_override =
-          serving::KvCacheManager::token_bytes(pressured.model) * 8000.0;
-      const serving::ServingMetrics metrics =
-          serving::run_serving(pressured, pressured_requests);
-      policy_table.add_row(
-          {serving::eviction_policy_name(policy),
-           chunk == 0 ? "off" : cell_i(chunk), format_time(metrics.ttft.p99),
-           format_time(metrics.tpot.p99), format_time(metrics.e2e.p99),
-           cell_f(metrics.goodput_tokens_per_second, 1),
-           cell_i(metrics.counters.preemptions_recompute),
-           cell_i(metrics.counters.preemptions_swap),
-           cell_f(metrics.counters.total_swap_bytes() / GiB, 2),
-           cell_i(metrics.counters.chunked_prefill_steps)});
-    }
+  for (std::size_t i = 0; i < policy_points.size(); ++i) {
+    const serving::ServingMetrics& metrics = policy_results[i];
+    const serving::ServingScenario& point = policy_points[i].scenario;
+    const std::int64_t chunk = point.scheduler.prefill_chunk_tokens;
+    policy_table.add_row(
+        {serving::eviction_policy_name(point.eviction),
+         chunk == 0 ? "off" : cell_i(chunk), format_time(metrics.ttft.p99),
+         format_time(metrics.tpot.p99), format_time(metrics.e2e.p99),
+         cell_f(metrics.goodput_tokens_per_second, 1),
+         cell_i(metrics.counters.preemptions_recompute),
+         cell_i(metrics.counters.preemptions_swap),
+         cell_f(metrics.counters.total_swap_bytes() / GiB, 2),
+         cell_i(metrics.counters.chunked_prefill_steps)});
   }
   std::printf("\n");
   policy_table.print();
 
   const auto wall_end = std::chrono::steady_clock::now();
-  // stderr: timing is run-dependent, everything on stdout is reproducible.
-  std::fprintf(stderr, "wall clock: %.2f s for all deployments\n",
-               std::chrono::duration<double>(wall_end - wall_start).count());
+  // stderr: timing and thread count are run-dependent; everything on
+  // stdout is reproducible whatever CIMTPU_SWEEP_THREADS says.  The larger
+  // grid (the policy sweep) determines the peak worker count.
+  std::fprintf(
+      stderr, "wall clock: %.2f s for all deployments (%d sweep threads)\n",
+      std::chrono::duration<double>(wall_end - wall_start).count(),
+      serving::resolve_sweep_threads(sweep_options.threads,
+                                     policy_points.size()));
   return 0;
 }

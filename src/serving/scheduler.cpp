@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <map>
 
 #include "common/math_util.h"
 #include "common/status.h"
@@ -21,44 +20,20 @@ void SchedulerConfig::validate() const {
                                << ") so every chunk advances its cost bucket");
 }
 
-StepCostCache::StepCostCache(const sim::Simulator& simulator,
-                             const models::TransformerConfig& model,
-                             std::int64_t bucket)
-    : simulator_(&simulator), model_(model), bucket_(bucket) {
-  CIMTPU_CONFIG_CHECK(bucket >= 1, "seqlen bucket must be >= 1");
-}
-
-StepCost StepCostCache::prefill_layer(std::int64_t batch,
-                                      std::int64_t seq_len) {
-  return lookup(/*prefill=*/true, batch, bucket_up(seq_len));
-}
-
-StepCost StepCostCache::decode_layer(std::int64_t batch, std::int64_t kv_len) {
-  return lookup(/*prefill=*/false, batch, bucket_up(kv_len));
-}
-
-StepCost StepCostCache::lookup(bool prefill, std::int64_t batch,
-                               std::int64_t len) {
-  CIMTPU_CHECK(batch >= 1 && len >= 1);
-  const std::uint64_t key = (prefill ? 1ull << 63 : 0ull) |
-                            (static_cast<std::uint64_t>(batch) << 40) |
-                            static_cast<std::uint64_t>(len);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++hits_;
-    return it->second;
-  }
-  ++misses_;
-  const sim::GraphResult graph =
-      prefill ? sim::run_prefill_layer(*simulator_, model_, batch, len)
-              : sim::run_decode_layer(*simulator_, model_, batch, len);
-  StepCost cost;
-  cost.latency = graph.latency;
-  cost.mxu_busy_time = graph.mxu_busy_time;
-  cost.mxu_energy = graph.mxu_energy();
-  cost.total_energy = graph.total_energy();
-  cache_.emplace(key, cost);
-  return cost;
+void StepRecord::clear() {
+  kind = Kind::kDecode;
+  batch = 0;
+  kv_lens.clear();
+  chunk_lens.clear();
+  prev_lens.clear();
+  decode_groups.clear();
+  first_token_ids.clear();
+  finished_ids.clear();
+  preempted_ids.clear();
+  swapped_out_ids.clear();
+  swapped_in_ids.clear();
+  swap_bytes = 0;
+  chunked = false;
 }
 
 StepCost cost_step(StepCostCache& costs, const StepRecord& step) {
@@ -84,15 +59,41 @@ StepCost cost_step(StepCostCache& costs, const StepRecord& step) {
         accumulate(costs.prefill_layer(1, step.prev_lens[i]), -1.0);
       }
     }
-  } else {
-    // Group decode participants by bucketed KV length: each group is one
-    // memoized decode shape, and the step pays the sum over groups —
-    // heterogeneous batches cost what their sequences actually attend
-    // over, not a batch-mean representative.
-    std::map<std::int64_t, std::int64_t> groups;  // ordered: deterministic
-    for (std::int64_t kv_len : step.kv_lens) ++groups[costs.bucket_up(kv_len)];
-    for (const auto& [kv_len, batch] : groups) {
+  } else if (!step.decode_groups.empty()) {
+    // Scheduler-built steps carry the bucketed grouping (a copy of the
+    // incremental histogram, ascending): one memoized decode shape per
+    // group, no per-step re-derivation.  Steady decode runs repeat the
+    // same grouping step after step, so the summed cost itself is memoized
+    // on the grouping (see StepCostCache::remember_decode_groups).
+    if (costs.last_decode_groups_match(step.decode_groups)) {
+      CIMTPU_CHECK(costs.last_decode_groups_batch() == step.batch);
+      return costs.last_decode_groups_cost();
+    }
+    std::int64_t grouped = 0;
+    for (const auto& [kv_len, batch] : step.decode_groups) {
       accumulate(costs.decode_layer(batch, kv_len), +1.0);
+      grouped += batch;
+    }
+    CIMTPU_CHECK(grouped == step.batch);
+    costs.remember_decode_groups(step.decode_groups, step.batch, total);
+  } else {
+    // Hand-built records (tests, external callers): derive the grouping
+    // from kv_lens in the cache's reusable scratch.  Sorting ascending
+    // reproduces the histogram path's accumulation order bit for bit.
+    std::vector<std::int64_t>& scratch = costs.decode_group_scratch();
+    scratch.clear();
+    scratch.reserve(step.kv_lens.size());
+    for (std::int64_t kv_len : step.kv_lens) {
+      scratch.push_back(costs.bucket_up(kv_len));
+    }
+    std::sort(scratch.begin(), scratch.end());
+    for (std::size_t i = 0; i < scratch.size();) {
+      std::size_t j = i;
+      while (j < scratch.size() && scratch[j] == scratch[i]) ++j;
+      accumulate(costs.decode_layer(static_cast<std::int64_t>(j - i),
+                                    scratch[i]),
+                 +1.0);
+      i = j;
     }
   }
   return total;
@@ -120,6 +121,64 @@ std::int64_t ContinuousBatchScheduler::admission_reserve_tokens(
              : request.prompt_len + 1;
 }
 
+void ContinuousBatchScheduler::histogram_add(std::int64_t bucket) {
+  const auto it = std::lower_bound(
+      decode_kv_histogram_.begin(), decode_kv_histogram_.end(), bucket,
+      [](const std::pair<std::int64_t, std::int64_t>& entry,
+         std::int64_t value) { return entry.first < value; });
+  if (it != decode_kv_histogram_.end() && it->first == bucket) {
+    ++it->second;
+  } else {
+    decode_kv_histogram_.insert(it, {bucket, 1});
+  }
+}
+
+void ContinuousBatchScheduler::histogram_remove(std::int64_t bucket) {
+  const auto it = std::lower_bound(
+      decode_kv_histogram_.begin(), decode_kv_histogram_.end(), bucket,
+      [](const std::pair<std::int64_t, std::int64_t>& entry,
+         std::int64_t value) { return entry.first < value; });
+  CIMTPU_CHECK(it != decode_kv_histogram_.end() && it->first == bucket &&
+               it->second > 0);
+  if (--it->second == 0) decode_kv_histogram_.erase(it);
+}
+
+void ContinuousBatchScheduler::decoder_enter(const Sequence& sequence) {
+  ++resident_decoders_;
+  if (sequence_grows(sequence)) ++growing_decoders_;
+  histogram_add(decode_bucket(sequence));
+}
+
+void ContinuousBatchScheduler::decoder_leave(const Sequence& sequence) {
+  --resident_decoders_;
+  if (sequence_grows(sequence)) --growing_decoders_;
+  histogram_remove(decode_bucket(sequence));
+}
+
+bool ContinuousBatchScheduler::aggregates_consistent() const {
+  std::int64_t decoders = 0;
+  std::int64_t growing = 0;
+  std::vector<std::int64_t> buckets;
+  for (const Sequence& sequence : sequences_) {
+    if (sequence.prefilling()) continue;
+    ++decoders;
+    if (sequence_grows(sequence)) ++growing;
+    buckets.push_back(decode_bucket(sequence));
+  }
+  if (decoders != resident_decoders_ || growing != growing_decoders_) {
+    return false;
+  }
+  std::sort(buckets.begin(), buckets.end());
+  std::vector<std::pair<std::int64_t, std::int64_t>> histogram;
+  for (std::size_t i = 0; i < buckets.size();) {
+    std::size_t j = i;
+    while (j < buckets.size() && buckets[j] == buckets[i]) ++j;
+    histogram.emplace_back(buckets[i], static_cast<std::int64_t>(j - i));
+    i = j;
+  }
+  return histogram == decode_kv_histogram_;
+}
+
 void ContinuousBatchScheduler::swap_in_and_admit(StepRecord* record) {
   // Swapped-out sequences re-enter first, FIFO: they were admitted before
   // anything still waiting, and restoring them costs a PCIe transfer
@@ -136,10 +195,9 @@ void ContinuousBatchScheduler::swap_in_and_admit(StepRecord* record) {
     if (sequences_.empty()) {
       return kv_cache_->used() + restore <= kv_cache_->capacity();
     }
-    double decoders = 1;  // the restored sequence itself
-    for (const Sequence& resident : sequences_) {
-      if (!resident.prefilling()) decoders += 1;
-    }
+    // The restored sequence itself plus every resident decoder (tracked
+    // incrementally — no rescan per candidate).
+    const double decoders = 1 + static_cast<double>(resident_decoders_);
     const Bytes growth_headroom = kv_cache_->bytes_per_token() * decoders;
     return kv_cache_->used() + restore + growth_headroom <=
            kv_cache_->capacity();
@@ -160,6 +218,7 @@ void ContinuousBatchScheduler::swap_in_and_admit(StepRecord* record) {
     record->swap_bytes += bytes;
     counters_.swap_ins += 1;
     counters_.swap_in_bytes += bytes;
+    if (!sequence.prefilling()) decoder_enter(sequence);
     sequences_.push_back(sequence);
   }
 
@@ -174,6 +233,8 @@ void ContinuousBatchScheduler::swap_in_and_admit(StepRecord* record) {
                               head.priority)) {
       break;
     }
+    // A fresh admission always starts prefilling (prompt_len >= 1), so the
+    // decoder aggregates are untouched here.
     sequences_.push_back(Sequence{head, /*prefilled=*/0, /*generated=*/0});
     waiting_.pop_front();
     ++admitted;
@@ -182,10 +243,13 @@ void ContinuousBatchScheduler::swap_in_and_admit(StepRecord* record) {
 
 void ContinuousBatchScheduler::build_prefill_step(StepRecord* record) {
   record->kind = StepRecord::Kind::kPrefill;
+  record->chunk_lens.reserve(config_.max_prefill_batch);
+  record->prev_lens.reserve(config_.max_prefill_batch);
+  record->kv_lens.reserve(config_.max_prefill_batch);
   std::int64_t budget = config_.prefill_chunk_tokens > 0
                             ? config_.prefill_chunk_tokens
                             : std::numeric_limits<std::int64_t>::max();
-  std::vector<std::int64_t> finished;
+  bool any_finished = false;
   for (Sequence& sequence : sequences_) {  // admission order
     if (!sequence.prefilling()) continue;
     if (record->chunk_lens.size() >=
@@ -213,19 +277,24 @@ void ContinuousBatchScheduler::build_prefill_step(StepRecord* record) {
       if (sequence.generated >= sequence.request.output_len) {
         record->finished_ids.push_back(sequence.request.id);
         kv_cache_->release(sequence.request.id);
-        finished.push_back(sequence.request.id);
+        any_finished = true;
+      } else {
+        decoder_enter(sequence);
       }
     }
   }
   record->batch = static_cast<std::int64_t>(record->chunk_lens.size());
   CIMTPU_CHECK(record->batch >= 1);
-  if (!finished.empty()) {
+  if (any_finished) {
+    // Single compaction pass: the only residents with a completed output
+    // are the ones that finished in the loop above (decoders always leave
+    // the moment they finish), so the predicate needs no finished-id list.
     sequences_.erase(
         std::remove_if(sequences_.begin(), sequences_.end(),
-                       [&finished](const Sequence& sequence) {
-                         return std::find(finished.begin(), finished.end(),
-                                          sequence.request.id) !=
-                                finished.end();
+                       [](const Sequence& sequence) {
+                         return !sequence.prefilling() &&
+                                sequence.generated >=
+                                    sequence.request.output_len;
                        }),
         sequences_.end());
   }
@@ -237,21 +306,16 @@ bool ContinuousBatchScheduler::build_decode_step(StepRecord* record) {
   record->kind = StepRecord::Kind::kDecode;
 
   // Growth pressure: make room for every continuing decode participant's
-  // next KV token before the step runs.  The manager owns victim
-  // selection; the mechanism depends on the policy — swap victims move to
-  // the host pool with their progress intact, recompute victims re-queue
-  // from scratch.  kSwapToHost falls back to recompute when the host pool
-  // is full.
+  // next KV token before the step runs.  The pending-growth count is
+  // tracked incrementally, so each pressure check is O(1) instead of a
+  // scan over all residents.  The manager owns victim selection; the
+  // mechanism depends on the policy — swap victims move to the host pool
+  // with their progress intact, recompute victims re-queue from scratch.
+  // kSwapToHost falls back to recompute when the host pool is full.
   if (kv_cache_->policy() != EvictionPolicy::kNone) {
     for (;;) {
-      double growth_tokens = 0;
-      for (const Sequence& sequence : sequences_) {
-        if (sequence.prefilling()) continue;
-        if (sequence.generated + 1 < sequence.request.output_len) {
-          growth_tokens += 1;
-        }
-      }
-      const Bytes need = kv_cache_->bytes_per_token() * growth_tokens;
+      const Bytes need = kv_cache_->bytes_per_token() *
+                         static_cast<double>(growing_decoders_);
       if (kv_cache_->used() + need <= kv_cache_->capacity()) break;
       CIMTPU_CONFIG_CHECK(sequences_.size() > 1,
                           "request " << sequences_.front().request.id
@@ -266,6 +330,7 @@ bool ContinuousBatchScheduler::build_decode_step(StepRecord* record) {
       CIMTPU_CHECK(victim_it != sequences_.end());
       const Sequence victim = *victim_it;
       sequences_.erase(victim_it);
+      if (!victim.prefilling()) decoder_leave(victim);
       if (kv_cache_->policy() == EvictionPolicy::kSwapToHost &&
           kv_cache_->try_swap_out(victim_id)) {
         // As with swap-in: only computed KV pages cross the link.
@@ -286,40 +351,68 @@ bool ContinuousBatchScheduler::build_decode_step(StepRecord* record) {
     }
   }
 
-  std::vector<Sequence> keep;
-  keep.reserve(sequences_.size());
-  for (Sequence& sequence : sequences_) {
+  // Every resident decoder participates at its pre-advance KV length; the
+  // incremental histogram IS that grouping, copied out before mutation.
+  record->kv_lens.reserve(static_cast<std::size_t>(resident_decoders_));
+  record->decode_groups.assign(decode_kv_histogram_.begin(),
+                               decode_kv_histogram_.end());
+
+  // Advance decoders in place: a single compaction pass (two-pointer) drops
+  // finished sequences without the old per-step `keep` allocation.
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < sequences_.size(); ++read) {
+    Sequence& sequence = sequences_[read];
     if (sequence.prefilling()) {
-      keep.push_back(sequence);  // spectator: prefill continues elsewhere
+      // Spectator: prefill continues elsewhere.
+      if (write != read) sequences_[write] = sequence;
+      ++write;
       continue;
     }
     // KV length this step attends over: prompt plus tokens generated so far.
     record->kv_lens.push_back(sequence.request.prompt_len +
                               sequence.generated);
+    const std::int64_t old_bucket = decode_bucket(sequence);
     ++sequence.generated;
     if (sequence.generated >= sequence.request.output_len) {
       record->finished_ids.push_back(sequence.request.id);
       kv_cache_->release(sequence.request.id);
+      // Leave the aggregates at the pre-advance state: a finishing decoder
+      // was never "growing" (its growth check looked one token ahead).
+      --resident_decoders_;
+      histogram_remove(old_bucket);
     } else {
       if (kv_cache_->policy() != EvictionPolicy::kNone) {
         const bool grew = kv_cache_->try_grow(sequence.request.id, 1);
         CIMTPU_CHECK(grew);  // pre-step eviction guaranteed room
       }
-      keep.push_back(sequence);
+      const std::int64_t new_bucket = decode_bucket(sequence);
+      if (new_bucket != old_bucket) {
+        histogram_remove(old_bucket);
+        histogram_add(new_bucket);
+      }
+      // A kept decoder was growing before the advance; it stops counting
+      // once its NEXT step would be its last.
+      if (!sequence_grows(sequence)) --growing_decoders_;
+      if (write != read) sequences_[write] = sequence;
+      ++write;
     }
   }
-  sequences_ = std::move(keep);
+  sequences_.resize(write);
   record->batch = static_cast<std::int64_t>(record->kv_lens.size());
-  if (record->batch == 0) return false;  // pressure evicted every decoder
+  if (record->batch == 0) {
+    record->decode_groups.clear();
+    return false;  // pressure evicted every decoder
+  }
   last_step_prefill_ = false;
   return true;
 }
 
-std::optional<StepRecord> ContinuousBatchScheduler::next_step() {
-  if (idle()) return std::nullopt;
+bool ContinuousBatchScheduler::next_step(StepRecord* record) {
+  CIMTPU_CHECK(record != nullptr);
+  record->clear();
+  if (idle()) return false;
 
-  StepRecord record;
-  swap_in_and_admit(&record);
+  swap_in_and_admit(record);
 
   if (sequences_.empty()) {
     // A swapped sequence always fits an empty device (it fit before it was
@@ -337,11 +430,11 @@ std::optional<StepRecord> ContinuousBatchScheduler::next_step() {
                           << format_bytes(kv_cache_->capacity()));
   }
 
-  bool any_prefilling = false;
-  bool any_decoding = false;
-  for (const Sequence& sequence : sequences_) {
-    (sequence.prefilling() ? any_prefilling : any_decoding) = true;
-  }
+  // The decoder count is tracked incrementally; prefill work exists iff
+  // some resident is not a decoder.
+  const bool any_decoding = resident_decoders_ > 0;
+  const bool any_prefilling =
+      static_cast<std::int64_t>(sequences_.size()) > resident_decoders_;
 
   // Step-kind choice: prefill-priority without chunking (a new prompt runs
   // whole the step it is admitted); strict prefill/decode alternation with
@@ -359,13 +452,19 @@ std::optional<StepRecord> ContinuousBatchScheduler::next_step() {
   }
 
   if (do_prefill) {
-    build_prefill_step(&record);
-  } else if (!build_decode_step(&record)) {
+    build_prefill_step(record);
+  } else if (!build_decode_step(record)) {
     // KV pressure swept every decode participant out; the survivors are
     // all prefilling, so run their chunk step instead.
-    build_prefill_step(&record);
+    build_prefill_step(record);
   }
   ++total_steps_;
+  return true;
+}
+
+std::optional<StepRecord> ContinuousBatchScheduler::next_step() {
+  StepRecord record;
+  if (!next_step(&record)) return std::nullopt;
   return record;
 }
 

@@ -21,69 +21,31 @@
 // scratch; swap victims (kSwapToHost) move their pages to the host pool
 // and resume decoding after re-admission without recomputing the prompt.
 //
+// Hot-path design: the scheduler maintains INCREMENTAL aggregates —
+// resident decoder count, pending-growth token count, and a sorted
+// bucketed-KV histogram over resident decoders — updated on every
+// admit / prefill-completion / decode-advance / finish / preempt / swap
+// transition, so planning a step never rescans all resident sequences.
 // Step costs come from the analytic simulator, memoized per
-// (batch, bucketed-seqlen) shape so a million-request stream touches the
-// cost model only a few thousand times (StepCostCache).  `cost_step` sums
-// PER-SEQUENCE attention costs over each participant's actual (bucketed)
-// KV length — not the batch mean — with prefill-chunk and decode tokens
-// costed separately.
+// (batch, bucketed-seqlen) shape in a flat open-addressed table
+// (StepCostCache, step_cost_cache.h).  `cost_step` sums PER-SEQUENCE
+// attention costs over each participant's actual (bucketed) KV length —
+// decode participants arrive pre-grouped by bucket via the histogram, so
+// costing a step is allocation-free.
 
 #include <cstdint>
 #include <deque>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/math_util.h"
 #include "serving/kv_cache_manager.h"
 #include "serving/metrics.h"
 #include "serving/request_gen.h"
-#include "sim/workload_runner.h"
+#include "serving/step_cost_cache.h"
 
 namespace cimtpu::serving {
-
-/// Per-layer cost of one engine step shape.
-struct StepCost {
-  Seconds latency = 0;
-  Seconds mxu_busy_time = 0;
-  Joules mxu_energy = 0;
-  Joules total_energy = 0;
-};
-
-/// Memoizes per-layer prefill/decode costs keyed on (batch, seqlen bucket).
-/// Sequence lengths are rounded UP to `bucket` tokens — conservative, and
-/// it bounds the number of distinct shapes the simulator ever costs.
-class StepCostCache {
- public:
-  StepCostCache(const sim::Simulator& simulator,
-                const models::TransformerConfig& model,
-                std::int64_t bucket = 128);
-
-  /// One prefill layer over `batch` prompts of (bucketed) length `seq_len`.
-  StepCost prefill_layer(std::int64_t batch, std::int64_t seq_len);
-
-  /// One decode layer over `batch` sequences at (bucketed) KV length
-  /// `kv_len`.
-  StepCost decode_layer(std::int64_t batch, std::int64_t kv_len);
-
-  std::int64_t bucket_up(std::int64_t len) const {
-    return round_up(len, bucket_);
-  }
-
-  std::size_t size() const { return cache_.size(); }
-  std::int64_t hits() const { return hits_; }
-  std::int64_t misses() const { return misses_; }
-
- private:
-  StepCost lookup(bool prefill, std::int64_t batch, std::int64_t len);
-
-  const sim::Simulator* simulator_;
-  models::TransformerConfig model_;
-  std::int64_t bucket_;
-  std::unordered_map<std::uint64_t, StepCost> cache_;
-  std::int64_t hits_ = 0;
-  std::int64_t misses_ = 0;
-};
 
 /// Scheduler knobs.
 struct SchedulerConfig {
@@ -104,7 +66,9 @@ struct SchedulerConfig {
 /// What one engine step executed, as planned by the scheduler.  Shapes are
 /// PER PARTICIPANT (parallel arrays in admission order) so the cost model
 /// can charge each sequence's attention over its actual KV length rather
-/// than a batch-mean representative.
+/// than a batch-mean representative.  Designed for reuse: the serving loop
+/// keeps ONE record and the scheduler `clear()`s it each step, so the
+/// vectors' capacity amortizes to zero allocations.
 struct StepRecord {
   enum class Kind { kPrefill, kDecode };
   Kind kind = Kind::kDecode;
@@ -117,6 +81,12 @@ struct StepRecord {
   std::vector<std::int64_t> chunk_lens;  ///< prefill: new prompt tokens
   std::vector<std::int64_t> prev_lens;   ///< prefill: tokens already prefilled
 
+  /// Decode only: participants grouped by bucketed KV length, ascending —
+  /// a copy of the scheduler's incremental histogram, so cost_step never
+  /// re-derives the grouping from kv_lens.  Empty for hand-built records
+  /// (cost_step then groups from kv_lens itself).
+  std::vector<std::pair<std::int64_t, std::int64_t>> decode_groups;
+
   std::vector<std::int64_t> first_token_ids;  ///< emitted their first token
   std::vector<std::int64_t> finished_ids;     ///< completed this step
   std::vector<std::int64_t> preempted_ids;    ///< evicted for recompute
@@ -124,14 +94,17 @@ struct StepRecord {
   std::vector<std::int64_t> swapped_in_ids;   ///< KV restored from the host
   Bytes swap_bytes = 0;  ///< PCIe traffic (out + in) charged to this step
   bool chunked = false;  ///< some participant's prompt was split
+
+  /// Resets to an empty record, keeping vector capacity.
+  void clear();
 };
 
 /// Per-sequence step cost: sums each participant's attention cost at its
 /// own bucketed KV length.  Decode participants group by KV bucket (one
-/// memoized decode_layer shape per group); prefill participants are costed
-/// as the telescoped difference prefill(prev + chunk) - prefill(prev), so
-/// a chunked prompt's total prefill cost is identical to the unchunked
-/// cost of the same prompt.
+/// memoized decode_layer shape per group, accumulated in ascending bucket
+/// order); prefill participants are costed as the telescoped difference
+/// prefill(prev + chunk) - prefill(prev), so a chunked prompt's total
+/// prefill cost is identical to the unchunked cost of the same prompt.
 StepCost cost_step(StepCostCache& costs, const StepRecord& step);
 
 /// The continuous-batching state machine.  Time-free: the serving loop owns
@@ -149,11 +122,22 @@ class ContinuousBatchScheduler {
     return waiting_.empty() && sequences_.empty() && swapped_.empty();
   }
 
-  /// Plans and commits the next engine step.  Admission happens here:
-  /// swapped-out sequences are restored first (FIFO), then waiting
-  /// requests are pulled into the batch while KV pages and batch slots
-  /// allow.  Returns nullopt when idle.
+  /// Plans and commits the next engine step into `record` (cleared first;
+  /// pass the same record every step to reuse its vectors).  Admission
+  /// happens here: swapped-out sequences are restored first (FIFO), then
+  /// waiting requests are pulled into the batch while KV pages and batch
+  /// slots allow.  Returns false when idle.
+  bool next_step(StepRecord* record);
+
+  /// Convenience wrapper allocating a fresh record per step.
   std::optional<StepRecord> next_step();
+
+  /// Test-only audit: recomputes the incremental decoder aggregates
+  /// (resident/growing counts, bucketed-KV histogram) from a full scan of
+  /// the resident sequences and compares them to the tracked values.
+  /// O(n log n) — call from invariant tests after every step, never from
+  /// the hot path.
+  bool aggregates_consistent() const;
 
   std::size_t waiting_count() const { return waiting_.size(); }
   std::size_t running_count() const { return sequences_.size(); }
@@ -175,6 +159,25 @@ class ContinuousBatchScheduler {
   /// policies (grown per decode step).
   std::int64_t admission_reserve_tokens(const Request& request) const;
 
+  // --- Incremental decoder aggregates ------------------------------------
+  // Invariants over `sequences_` entries with !prefilling():
+  //   resident_decoders_ = their count,
+  //   growing_decoders_  = those whose NEXT decode step still grows KV
+  //                        (generated + 1 < output_len),
+  //   decode_kv_histogram_ = sorted (bucket_up(prompt + generated), count)
+  //                          pairs, counts > 0.
+  bool sequence_grows(const Sequence& sequence) const {
+    return sequence.generated + 1 < sequence.request.output_len;
+  }
+  std::int64_t decode_bucket(const Sequence& sequence) const {
+    return round_up(sequence.request.prompt_len + sequence.generated,
+                    config_.seqlen_bucket);
+  }
+  void histogram_add(std::int64_t bucket);
+  void histogram_remove(std::int64_t bucket);
+  void decoder_enter(const Sequence& sequence);
+  void decoder_leave(const Sequence& sequence);
+
   void swap_in_and_admit(StepRecord* record);
   void build_prefill_step(StepRecord* record);
   /// Returns false when KV pressure evicted every decode participant (the
@@ -186,6 +189,9 @@ class ContinuousBatchScheduler {
   std::deque<Request> waiting_;
   std::deque<Sequence> swapped_;    ///< swap-out order (FIFO re-admission)
   std::vector<Sequence> sequences_; ///< resident, admission order
+  std::int64_t resident_decoders_ = 0;
+  std::int64_t growing_decoders_ = 0;
+  std::vector<std::pair<std::int64_t, std::int64_t>> decode_kv_histogram_;
   bool last_step_prefill_ = false;  ///< interleave state under chunking
   std::int64_t total_steps_ = 0;
   ServingCounters counters_;

@@ -1,6 +1,7 @@
 #include "serving/serving_sim.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 #include <unordered_map>
 
@@ -35,12 +36,21 @@ struct RequestTrace {
 }  // namespace
 
 ServingMetrics run_serving(const ServingScenario& scenario,
-                           const std::vector<Request>& requests) {
+                           const std::vector<Request>& requests,
+                           SharedStepCostCache* shared_costs) {
   scenario.validate();
+  const auto wall_start = std::chrono::steady_clock::now();
 
   arch::TpuChip chip(scenario.chip_config);
   const sim::Simulator simulator(chip);
-  StepCostCache costs(simulator, scenario.model, scenario.scheduler.seqlen_bucket);
+  SharedStepCostCache::Store* shared_store =
+      shared_costs == nullptr
+          ? nullptr
+          : shared_costs->store(cost_cache_signature(
+                scenario.chip_config, scenario.model,
+                scenario.scheduler.seqlen_bucket));
+  StepCostCache costs(simulator, scenario.model,
+                      scenario.scheduler.seqlen_bucket, shared_store);
 
   const Bytes kv_budget =
       scenario.kv_budget_override > 0
@@ -84,6 +94,8 @@ ServingMetrics run_serving(const ServingScenario& scenario,
     }
   };
 
+  StepRecord step;  // scratch reused across all steps (zero allocations
+                    // once its vectors reach steady-state capacity)
   while (next_arrival < requests.size() || !scheduler.idle()) {
     feed_arrivals(now);
     if (scheduler.idle()) {
@@ -92,29 +104,29 @@ ServingMetrics run_serving(const ServingScenario& scenario,
       continue;
     }
 
-    const auto step = scheduler.next_step();
-    CIMTPU_CHECK(step.has_value());
+    const bool stepped = scheduler.next_step(&step);
+    CIMTPU_CHECK(stepped);
 
-    const bool is_prefill = step->kind == StepRecord::Kind::kPrefill;
+    const bool is_prefill = step.kind == StepRecord::Kind::kPrefill;
     // Per-sequence costing: each participant's attention at its own
     // bucketed KV length (see cost_step).
-    const StepCost layer_cost = cost_step(costs, *step);
+    const StepCost layer_cost = cost_step(costs, step);
 
     // Inter-stage activation handoff: the moving rows of this step cross
     // each pipeline boundary once (prefill moves every chunk token,
     // decode one token per participant).
     const double rows =
         is_prefill ? static_cast<double>(std::accumulate(
-                         step->chunk_lens.begin(), step->chunk_lens.end(),
+                         step.chunk_lens.begin(), step.chunk_lens.end(),
                          std::int64_t{0}))
-                   : static_cast<double>(step->batch);
+                   : static_cast<double>(step.batch);
     const Bytes boundary_bytes = rows * activation_elem_bytes;
     const Seconds transfer =
         boundaries > 0 ? chip.ici().p2p_time(boundary_bytes) : 0.0;
 
     // KV pages swapped to/from the host pool this step serialize with the
     // step on the PCIe-class link.
-    const Seconds swap_time = step->swap_bytes / scenario.host_link_bandwidth;
+    const Seconds swap_time = step.swap_bytes / scenario.host_link_bandwidth;
 
     // Steady-state engine cadence: the bottleneck stage (ceiling share of
     // the layers) plus its handoff.  Tokens emitted this step additionally
@@ -140,13 +152,13 @@ ServingMetrics run_serving(const ServingScenario& scenario,
           static_cast<double>(boundaries) * chip.ici().p2p_energy(boundary_bytes);
     }
 
-    for (std::int64_t id : step->first_token_ids) {
+    for (std::int64_t id : step.first_token_ids) {
       RequestTrace& trace = traces.at(id);
       // Preempted-and-recomputed requests already streamed their first
       // token to the user; keep the original TTFT.
       if (trace.first_token < 0) trace.first_token = emit_time;
     }
-    for (std::int64_t id : step->finished_ids) {
+    for (std::int64_t id : step.finished_ids) {
       RequestTrace& trace = traces.at(id);
       // Each step's traversal extra is derived from that step's own stage
       // time, so a cheap decode step after an expensive prefill step could
@@ -164,6 +176,8 @@ ServingMetrics run_serving(const ServingScenario& scenario,
   // --- Distributional rollups ----------------------------------------------
   std::vector<double> ttft, tpot, e2e;
   ttft.reserve(traces.size());
+  tpot.reserve(traces.size());
+  e2e.reserve(traces.size());
   // Iterate requests (not the hash map) for platform-independent order.
   for (const Request& request : requests) {
     const RequestTrace& trace = traces.at(request.id);
@@ -192,12 +206,21 @@ ServingMetrics run_serving(const ServingScenario& scenario,
   metrics.cost_cache_entries = costs.size();
   metrics.cost_cache_hits = costs.hits();
   metrics.cost_cache_misses = costs.misses();
+  metrics.sim_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  if (metrics.sim_wall_seconds > 0) {
+    metrics.steps_per_second = static_cast<double>(metrics.total_steps) /
+                               metrics.sim_wall_seconds;
+  }
   return metrics;
 }
 
 ServingMetrics run_serving(const ServingScenario& scenario,
-                           const RequestStreamConfig& stream) {
-  return run_serving(scenario, generate_requests(stream));
+                           const RequestStreamConfig& stream,
+                           SharedStepCostCache* shared_costs) {
+  return run_serving(scenario, generate_requests(stream), shared_costs);
 }
 
 }  // namespace cimtpu::serving

@@ -73,15 +73,26 @@ struct ServingMetrics {
   std::size_t cost_cache_entries = 0;
   std::int64_t cost_cache_hits = 0;
   std::int64_t cost_cache_misses = 0;
+
+  /// Simulator performance (schema-v3 perf trajectory): wall-clock seconds
+  /// this run_serving call spent and engine steps simulated per wall
+  /// second.  These are the ONLY non-deterministic fields — equivalence
+  /// checks (golden pins, parallel-vs-serial sweeps) must ignore them.
+  Seconds sim_wall_seconds = 0;
+  double steps_per_second = 0;
 };
 
 /// Replays `requests` (must be sorted by arrival time) through the
-/// deployment.
+/// deployment.  `shared_costs` (optional) lets sweeps share computed step
+/// costs across runs with the same (chip, model, bucket) signature; it
+/// never changes the simulated metrics, only wall-clock.
 ServingMetrics run_serving(const ServingScenario& scenario,
-                           const std::vector<Request>& requests);
+                           const std::vector<Request>& requests,
+                           SharedStepCostCache* shared_costs = nullptr);
 
 /// Generates the trace from `stream` and replays it.
 ServingMetrics run_serving(const ServingScenario& scenario,
-                           const RequestStreamConfig& stream);
+                           const RequestStreamConfig& stream,
+                           SharedStepCostCache* shared_costs = nullptr);
 
 }  // namespace cimtpu::serving

@@ -1,0 +1,182 @@
+#include "serving/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <sstream>
+#include <thread>
+
+#include "common/status.h"
+
+namespace cimtpu::serving {
+
+int resolve_sweep_threads(int requested, std::size_t num_points) {
+  int threads = requested;
+  if (threads <= 0) {
+    if (const char* env = std::getenv("CIMTPU_SWEEP_THREADS")) {
+      // Parse loudly: a malformed value silently falling back to full
+      // parallelism would defeat the knob's whole purpose (pinning the
+      // worker count).  0 and negatives mean "unset" by design.
+      char* end = nullptr;
+      errno = 0;
+      const long parsed = std::strtol(env, &end, 10);
+      CIMTPU_CONFIG_CHECK(end != env && *end == '\0' && errno == 0 &&
+                              parsed >= std::numeric_limits<int>::min() &&
+                              parsed <= std::numeric_limits<int>::max(),
+                          "CIMTPU_SWEEP_THREADS='"
+                              << env << "' is not a valid thread count");
+      threads = static_cast<int>(parsed);
+    }
+  }
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (threads <= 0) threads = 1;
+  if (num_points < 1) num_points = 1;
+  return static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(threads), num_points));
+}
+
+std::vector<ServingMetrics> run_sweep(const std::vector<SweepPoint>& points,
+                                      const SweepOptions& options) {
+  for (const SweepPoint& point : points) {
+    CIMTPU_CHECK(point.requests != nullptr);
+  }
+  std::vector<ServingMetrics> results(points.size());
+  std::vector<std::exception_ptr> errors(points.size());
+  SharedStepCostCache local_shared;
+  SharedStepCostCache* shared_costs = nullptr;
+  if (options.share_cost_cache) {
+    shared_costs = options.shared_cache != nullptr ? options.shared_cache
+                                                   : &local_shared;
+  }
+
+  // Work stealing over the grid: each worker claims the next unclaimed
+  // point.  results[i] is written only by the worker that claimed i, so no
+  // synchronization beyond the claim counter is needed, and result order
+  // is the grid order by construction.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= points.size()) return;
+      const auto describe = [&](const char* what) {
+        std::ostringstream message;
+        message << "sweep point " << i;
+        if (!points[i].label.empty()) message << " (" << points[i].label << ')';
+        message << ": " << what;
+        return message.str();
+      };
+      try {
+        results[i] =
+            run_serving(points[i].scenario, *points[i].requests, shared_costs);
+      } catch (const ConfigError& error) {
+        errors[i] = std::make_exception_ptr(ConfigError(describe(error.what())));
+      } catch (const InternalError& error) {
+        errors[i] =
+            std::make_exception_ptr(InternalError(describe(error.what())));
+      } catch (...) {
+        errors[i] = std::current_exception();  // preserved as-is (other types)
+      }
+    }
+  };
+
+  const int threads = resolve_sweep_threads(options.threads, points.size());
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    try {
+      for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    } catch (...) {
+      // Thread spawn failed mid-pool (e.g. process thread limit): the
+      // already-started workers drain the whole grid via the claim
+      // counter, so join them — destroying a joinable thread would
+      // std::terminate — then surface the spawn failure.
+      for (std::thread& thread : pool) thread.join();
+      throw;
+    }
+    for (std::thread& thread : pool) thread.join();
+  }
+
+  // Surface failures deterministically: the first failing point in grid
+  // order, independent of worker interleaving.
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return results;
+}
+
+void ServingSweep::validate() const {
+  CIMTPU_CONFIG_CHECK(!arrival_rates.empty(), "sweep needs >= 1 arrival rate");
+  CIMTPU_CONFIG_CHECK(!models.empty(), "sweep needs >= 1 model");
+  CIMTPU_CONFIG_CHECK(!chip_counts.empty(), "sweep needs >= 1 chip count");
+  CIMTPU_CONFIG_CHECK(!policies.empty(), "sweep needs >= 1 policy");
+  for (double rate : arrival_rates) {
+    CIMTPU_CONFIG_CHECK(rate > 0, "arrival rate must be positive");
+  }
+}
+
+std::vector<SweepCellResult> run_serving_sweep(const ServingSweep& sweep,
+                                               const SweepOptions& options) {
+  sweep.validate();
+
+  // One trace per arrival rate, shared across that rate's cells: traffic
+  // depends only on the stream spec, never on the deployment under test.
+  std::vector<std::vector<Request>> traces;
+  traces.reserve(sweep.arrival_rates.size());
+  for (double rate : sweep.arrival_rates) {
+    RequestStreamConfig stream = sweep.stream;
+    stream.arrival_rate = rate;
+    traces.push_back(generate_requests(stream));
+  }
+
+  std::vector<SweepPoint> points;
+  std::vector<SweepCellResult> cells;
+  const std::size_t grid_size = sweep.arrival_rates.size() *
+                                sweep.models.size() *
+                                sweep.chip_counts.size() *
+                                sweep.policies.size();
+  points.reserve(grid_size);
+  cells.reserve(grid_size);
+  for (std::size_t r = 0; r < sweep.arrival_rates.size(); ++r) {
+    for (const models::TransformerConfig& model : sweep.models) {
+      for (int chips : sweep.chip_counts) {
+        for (EvictionPolicy policy : sweep.policies) {
+          SweepPoint point;
+          point.scenario = sweep.base;
+          point.scenario.model = model;
+          point.scenario.chips = chips;
+          point.scenario.eviction = policy;
+          point.requests = &traces[r];
+          std::ostringstream label;
+          label << "rate=" << sweep.arrival_rates[r] << " model=" << model.name
+                << '/' << ir::dtype_name(model.dtype) << " chips=" << chips
+                << " policy=" << eviction_policy_name(policy);
+          point.label = label.str();
+          points.push_back(std::move(point));
+
+          SweepCellResult cell;
+          cell.arrival_rate = sweep.arrival_rates[r];
+          cell.model = model.name;
+          cell.dtype = model.dtype;
+          cell.chips = chips;
+          cell.policy = policy;
+          cells.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+
+  std::vector<ServingMetrics> results = run_sweep(points, options);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    cells[i].metrics = results[i];
+  }
+  return cells;
+}
+
+}  // namespace cimtpu::serving

@@ -1,0 +1,98 @@
+#pragma once
+// Deterministic parallel sweep driver for serving traffic studies.
+//
+// A sweep is a flat list of (scenario, request trace) points — typically
+// the cross product of arrival rate x model x chip count x policy — run on
+// a small worker pool.  Every point is an independent deterministic
+// simulation, so parallel execution is embarrassingly safe; the driver
+// guarantees:
+//
+//   * DETERMINISTIC GRID ORDER — results[i] always corresponds to
+//     points[i], whatever order the workers finished in.
+//   * BIT-IDENTICAL METRICS — each point's ServingMetrics are identical to
+//     a serial (threads=1) run, including cost-cache hit/miss counters
+//     (StepCostCache counts against its run-local view; the shared store
+//     only avoids recomputation).  The only exceptions are the wall-clock
+//     fields sim_wall_seconds / steps_per_second.
+//
+// Points with the same (chip config, model, bucket) signature share one
+// SharedStepCostCache store, so a sweep stops re-simulating identical
+// per-layer shapes across its points.  Thread count comes from
+// SweepOptions::threads, the CIMTPU_SWEEP_THREADS environment variable, or
+// std::thread::hardware_concurrency(), in that precedence order.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serving/serving_sim.h"
+
+namespace cimtpu::serving {
+
+struct SweepOptions {
+  /// Worker threads.  <= 0: use CIMTPU_SWEEP_THREADS if set, else
+  /// hardware_concurrency.  Clamped to the point count.
+  int threads = 0;
+  /// Share computed step costs across points with the same cost signature.
+  /// Never changes metrics, only wall-clock.
+  bool share_cost_cache = true;
+  /// Optional caller-owned cache (must outlive run_sweep): lets SEPARATE
+  /// sweeps over the same deployments reuse each other's computed costs.
+  /// nullptr -> one internal cache per run_sweep call.  Ignored when
+  /// share_cost_cache is false.
+  SharedStepCostCache* shared_cache = nullptr;
+};
+
+/// Resolves the effective worker count (see SweepOptions::threads).
+int resolve_sweep_threads(int requested, std::size_t num_points);
+
+/// One sweep point: a deployment plus the (non-owning) trace it replays.
+/// The trace must outlive run_sweep; points may share traces.  `label`
+/// identifies the point in failure messages.
+struct SweepPoint {
+  std::string label;
+  ServingScenario scenario;
+  const std::vector<Request>* requests = nullptr;
+};
+
+/// Runs all points and returns their metrics in point order.  A point that
+/// throws (e.g. an unservable request under the configured KV budget)
+/// re-throws from here, prefixed with the point's label — the first
+/// failing point in grid order wins, whatever order the workers ran in.
+std::vector<ServingMetrics> run_sweep(const std::vector<SweepPoint>& points,
+                                      const SweepOptions& options = {});
+
+/// Declarative grid: the cross product of the four axes, expanded with
+/// arrival rate outermost and policy innermost (deterministic order).  One
+/// request trace is generated per arrival rate and shared by every point
+/// at that rate, so models/chips/policies compare on identical traffic.
+struct ServingSweep {
+  std::vector<double> arrival_rates;
+  std::vector<models::TransformerConfig> models;
+  std::vector<int> chip_counts;
+  std::vector<EvictionPolicy> policies;
+
+  ServingScenario base;        ///< prototype; model/chips/eviction overridden
+  RequestStreamConfig stream;  ///< prototype; arrival_rate overridden
+
+  void validate() const;
+};
+
+/// One grid cell's coordinates plus its metrics.  `model` + `dtype`
+/// identify the model axis (same-named models commonly differ only in
+/// dtype, e.g. llama2-7b at int4 vs int8).
+struct SweepCellResult {
+  double arrival_rate = 0;
+  std::string model;
+  ir::DType dtype = ir::DType::kInt8;
+  int chips = 1;
+  EvictionPolicy policy = EvictionPolicy::kPreemptNewest;
+  ServingMetrics metrics;
+};
+
+/// Expands the grid and runs it via run_sweep.  Results are in grid order
+/// (rate-major, policy-minor) and bit-identical to serial execution.
+std::vector<SweepCellResult> run_serving_sweep(
+    const ServingSweep& sweep, const SweepOptions& options = {});
+
+}  // namespace cimtpu::serving

@@ -49,4 +49,28 @@ ServingScenario llama7b_pressured_scenario(int chips, ir::DType dtype,
   return scenario;
 }
 
+std::vector<SweepPoint> pressured_policy_grid_points(
+    const models::TransformerConfig& model,
+    const std::vector<Request>* requests, std::int64_t kv_budget_tokens) {
+  std::vector<SweepPoint> points;
+  for (EvictionPolicy policy :
+       {EvictionPolicy::kPreemptNewest, EvictionPolicy::kSwapToHost,
+        EvictionPolicy::kPriorityVictim}) {
+    for (std::int64_t chunk : {std::int64_t{0}, std::int64_t{512}}) {
+      SweepPoint point;
+      point.label = "policy=" + eviction_policy_name(policy) +
+                    " chunk=" + std::to_string(chunk);
+      point.scenario = llama7b_pressured_scenario(
+          /*chips=*/1, model.dtype, policy, chunk, kv_budget_tokens);
+      point.scenario.model = model;
+      point.scenario.kv_budget_override =
+          KvCacheManager::token_bytes(model) *
+          static_cast<double>(kv_budget_tokens);
+      point.requests = requests;
+      points.push_back(std::move(point));
+    }
+  }
+  return points;
+}
+
 }  // namespace cimtpu::serving

@@ -6,8 +6,10 @@
 // (serving_traffic) runs.
 
 #include <cstdint>
+#include <vector>
 
 #include "serving/serving_sim.h"
+#include "serving/sweep.h"
 
 namespace cimtpu::serving {
 
@@ -36,5 +38,16 @@ ServingScenario llama7b_pressured_scenario(int chips, ir::DType dtype,
                                            EvictionPolicy policy,
                                            std::int64_t chunk_tokens,
                                            std::int64_t kv_budget_tokens = 8000);
+
+/// The canonical pressured policy study as sweep points: every eviction
+/// policy x chunked prefill {off, 512} on one chip, `model` (any dtype)
+/// under a `kv_budget_tokens` device budget, all replaying `*requests`
+/// (caller-owned, must outlive the sweep).  Shared by bench_serving and
+/// serving_traffic so the two binaries always benchmark the SAME grid, in
+/// the same (policy-major, chunk-minor) order.
+std::vector<SweepPoint> pressured_policy_grid_points(
+    const models::TransformerConfig& model,
+    const std::vector<Request>* requests,
+    std::int64_t kv_budget_tokens = 8000);
 
 }  // namespace cimtpu::serving

@@ -341,6 +341,10 @@ DriveResult drive_to_completion(const std::vector<Request>& requests,
     EXPECT_LE(kv.used(), kv.capacity() + 1e-9);
     EXPECT_EQ(kv.resident_count(), scheduler.running_count());
     EXPECT_EQ(kv.swapped_count(), scheduler.swapped_count());
+    // The scheduler's incremental decoder aggregates must match a fresh
+    // rescan after every transition (admit / prefill-complete / advance /
+    // finish / preempt / swap): catches drift at the step that caused it.
+    EXPECT_TRUE(scheduler.aggregates_consistent());
   }
   EXPECT_TRUE(scheduler.idle());
   EXPECT_DOUBLE_EQ(kv.used(), 0.0);
