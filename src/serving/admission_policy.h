@@ -1,0 +1,256 @@
+#pragma once
+// Pluggable admission policies for the continuous-batching scheduler.
+//
+// Admission — which waiting request joins the running batch next, given
+// free KV pages and batch slots — is a first-class scheduling discipline
+// in serving systems (vLLM admits FIFO, multi-tenant deployments add
+// priority and weighted-fair orderings, rate limiters throttle tenants).
+// This module makes it an API seam instead of a hard-coded deque inside
+// ContinuousBatchScheduler: a policy OWNS the waiting queue's ordering and
+// observes the scheduler's enqueue / admit / preempt-requeue / finish
+// transitions, while the scheduler keeps owning capacity checks
+// (KvCacheManager::try_admit) and batch-slot limits.
+//
+// Contract with the scheduler, per admission attempt:
+//   1. the scheduler calls `select(context)` — the policy returns the
+//      waiting request it wants admitted next (a pointer into its own
+//      storage, valid until the next mutating call), or nullptr to
+//      throttle admission this step (e.g. every candidate tenant is over
+//      its rate cap).  A policy must NEVER throttle when
+//      `context.device_empty` is true and it holds requests — with
+//      nothing resident the simulated clock cannot advance, so throttling
+//      an empty device would deadlock the engine.
+//   2. on KvCacheManager admission success the scheduler calls
+//      `pop_selected()`; the policy removes the selected request and does
+//      its share accounting.  On failure the scheduler stops admitting
+//      for this step (head-of-line blocking on the policy's OWN choice —
+//      the exact semantics the FIFO baseline always had).
+//
+// Three disciplines ship on the interface (see the registry at the
+// bottom):
+//   * "fifo"     — arrival order, preempted requests re-queue at the
+//                  front.  Bit-identical to the pre-API scheduler.
+//   * "priority" — highest Request::priority first with a linear aging
+//                  term (priority + aging_rate * steps_waiting), so a
+//                  low-priority request's effective priority eventually
+//                  exceeds any bounded class and it cannot starve.
+//   * "wfq"      — per-tenant weighted fair queueing over
+//                  Request::tenant_id: tenants accumulate virtual work
+//                  (admitted prompt+output tokens / weight) and the
+//                  backlogged tenant with the least virtual work admits
+//                  next, start-time-fair-queueing style, with optional
+//                  per-tenant token-rate caps against the simulated clock.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "serving/request_gen.h"
+
+namespace cimtpu::serving {
+
+/// What the scheduler can tell a policy about the capacity an admission
+/// would have to fit into.  Refreshed before every `select` call.
+struct AdmissionContext {
+  std::int64_t free_batch_slots = 0;  ///< max_batch minus resident count
+  Bytes free_kv_bytes = 0;            ///< device KV budget minus used
+  Bytes bytes_per_token = 0;          ///< KV footprint of one cached token
+  bool device_empty = false;  ///< nothing resident: the policy MUST offer a
+                              ///< candidate if it holds any (see header)
+  Seconds now = 0;            ///< simulated clock (rate caps); 0 when the
+                              ///< caller never calls set_time
+  std::int64_t step = 0;      ///< engine steps planned so far (aging)
+};
+
+/// Per-tenant share for WeightedFairAdmission, indexed by
+/// Request::tenant_id.  Tenants beyond the configured vector default to
+/// weight 1 and no cap.
+struct TenantShare {
+  double weight = 1.0;  ///< relative admitted-token share (> 0)
+
+  /// Admitted prompt+output tokens per simulated second; 0 disables the
+  /// cap.  Enforced as cumulative_admitted <= burst_tokens + cap * now,
+  /// so a capped tenant can still burst `burst_tokens` at t=0.
+  double token_rate_cap = 0;
+  double burst_tokens = 4096;
+
+  void validate() const;
+};
+
+/// Policy selection + knobs, carried by SchedulerConfig.  `policy` is a
+/// registry key (see admission_policy_names / register_admission_policy).
+struct AdmissionConfig {
+  std::string policy = "fifo";
+
+  /// "priority": effective priority gained per engine step spent waiting.
+  /// 0 disables aging (pure static priority, can starve).
+  double aging_rate = 0.01;
+
+  /// "wfq": shares indexed by tenant_id.
+  std::vector<TenantShare> tenants;
+
+  void validate() const;
+};
+
+/// The admission discipline interface.  Implementations own the waiting
+/// queue; the scheduler owns capacity and batch-slot checks.
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+
+  /// Registry key of this policy ("fifo", "priority", "wfq", ...).
+  virtual std::string name() const = 0;
+
+  /// A request arrived (scheduler::enqueue).  `step` is the engine step
+  /// count at enqueue time (feeds aging).
+  virtual void on_enqueue(const Request& request, std::int64_t step) = 0;
+
+  /// A resident request was preempted for recompute and must wait again.
+  /// Policies should preserve its seniority (FIFO re-queues at the front).
+  virtual void on_preempt_requeue(const Request& request,
+                                  std::int64_t step) = 0;
+
+  /// The waiting request this policy wants admitted next, or nullptr to
+  /// throttle (never with an empty device — see the header contract).
+  /// The pointer stays valid until the next mutating call.
+  virtual const Request* select(const AdmissionContext& context) = 0;
+
+  /// Commits the admission of the last `select`ed request: removes it
+  /// from the waiting set and updates share accounting.
+  virtual void pop_selected() = 0;
+
+  /// A previously admitted request completed (observer, default no-op).
+  virtual void on_finish(const Request& request, std::int64_t step);
+
+  virtual bool empty() const = 0;
+  virtual std::size_t size() const = 0;
+};
+
+/// Arrival order; preempted requests re-queue at the front.  The exact
+/// pre-API scheduler behaviour — the golden metric pins run on this.
+class FifoAdmission : public AdmissionPolicy {
+ public:
+  std::string name() const override { return "fifo"; }
+  void on_enqueue(const Request& request, std::int64_t step) override;
+  void on_preempt_requeue(const Request& request, std::int64_t step) override;
+  const Request* select(const AdmissionContext& context) override;
+  void pop_selected() override;
+  bool empty() const override { return waiting_.empty(); }
+  std::size_t size() const override { return waiting_.size(); }
+
+ private:
+  std::deque<Request> waiting_;
+};
+
+/// Highest effective priority first, where
+///   effective = Request::priority + aging_rate * (step - enqueue_step).
+/// Ties break towards the earliest enqueue (FIFO among equals).  With
+/// aging_rate > 0 a waiting request's effective priority grows without
+/// bound, so any request is eventually admitted at sustained pressure
+/// (starvation freedom); aging_rate = 0 degenerates to static priority.
+class PriorityAdmission : public AdmissionPolicy {
+ public:
+  explicit PriorityAdmission(double aging_rate) : aging_rate_(aging_rate) {}
+
+  std::string name() const override { return "priority"; }
+  void on_enqueue(const Request& request, std::int64_t step) override;
+  void on_preempt_requeue(const Request& request, std::int64_t step) override;
+  const Request* select(const AdmissionContext& context) override;
+  void pop_selected() override;
+  bool empty() const override { return waiting_.empty(); }
+  std::size_t size() const override { return waiting_.size(); }
+
+ private:
+  struct Waiting {
+    Request request;
+    std::int64_t enqueue_step = 0;  ///< aging reference point
+    std::int64_t seq = 0;           ///< tie break: earliest first
+  };
+
+  double aging_rate_;
+  std::int64_t next_seq_ = 0;
+  std::vector<Waiting> waiting_;
+  std::size_t selected_ = 0;  ///< index of the last select() winner
+};
+
+/// Per-tenant deficit-weighted round robin (start-time fair queueing):
+/// each tenant keeps a FIFO of its own requests plus a virtual-work
+/// account (admitted prompt+output tokens divided by its weight); the
+/// backlogged tenant with the LEAST virtual work admits next, so admitted
+/// tokens track the weight ratio whenever multiple tenants stay
+/// backlogged.  A tenant becoming backlogged is clamped up to the current
+/// virtual time, so idling never banks credit.  Optional per-tenant
+/// token-rate caps throttle a tenant once its cumulative admitted tokens
+/// exceed burst + cap * now; capped tenants are skipped unless the device
+/// is empty (liveness).  Preempted-for-recompute requests re-queue at the
+/// front of their tenant's FIFO and refund their charge (re-admission
+/// recharges, so recompute churn never double-counts against caps).
+class WeightedFairAdmission : public AdmissionPolicy {
+ public:
+  explicit WeightedFairAdmission(std::vector<TenantShare> tenants)
+      : shares_(std::move(tenants)) {}
+
+  std::string name() const override { return "wfq"; }
+  void on_enqueue(const Request& request, std::int64_t step) override;
+  void on_preempt_requeue(const Request& request, std::int64_t step) override;
+  const Request* select(const AdmissionContext& context) override;
+  void pop_selected() override;
+  bool empty() const override { return waiting_total_ == 0; }
+  std::size_t size() const override { return waiting_total_; }
+
+  /// The share applied to `tenant_id` (configured or the default).
+  TenantShare share(std::int64_t tenant_id) const;
+
+  void on_finish(const Request& request, std::int64_t step) override;
+
+ private:
+  struct TenantState {
+    std::deque<Request> queue;
+    double virtual_work = 0;     ///< admitted tokens / weight
+    double admitted_tokens = 0;  ///< cumulative, for the rate cap
+    std::int64_t in_flight = 0;  ///< admitted but not yet finished
+  };
+
+  static double admission_tokens(const Request& request) {
+    return static_cast<double>(request.prompt_len + request.output_len);
+  }
+  /// Clamp a tenant returning from IDLE to the virtual time so idle
+  /// tenants cannot bank credit against busy ones.  "Idle" means no
+  /// waiting AND no in-flight work — a tenant whose queue drained while a
+  /// request is still resident is live, and clamping it would both
+  /// penalize it and swallow a later preempt-refund.
+  void clamp_to_virtual_time(TenantState& state);
+
+  std::vector<TenantShare> shares_;
+  std::map<std::int64_t, TenantState> tenant_states_;  ///< ordered: ties
+                                                       ///< break to the
+                                                       ///< lowest tenant id
+  double virtual_time_ = 0;  ///< virtual work of the last admission
+  std::size_t waiting_total_ = 0;
+  TenantState* selected_tenant_ = nullptr;
+};
+
+// --- Registry ----------------------------------------------------------------
+
+using AdmissionPolicyFactory =
+    std::function<std::unique_ptr<AdmissionPolicy>(const AdmissionConfig&)>;
+
+/// Registers a policy under `name` (overwrites an existing entry), so new
+/// disciplines plug in without touching the scheduler.
+void register_admission_policy(const std::string& name,
+                               AdmissionPolicyFactory factory);
+
+/// Registered policy names, sorted ("fifo", "priority", "wfq" built in).
+std::vector<std::string> admission_policy_names();
+
+/// Instantiates `config.policy` from the registry; throws ConfigError for
+/// an unknown name (listing the registered ones).
+std::unique_ptr<AdmissionPolicy> make_admission_policy(
+    const AdmissionConfig& config);
+
+}  // namespace cimtpu::serving

@@ -38,6 +38,20 @@ Bytes ServingCounters::total_swap_bytes() const {
   return swap_out_bytes + swap_in_bytes;
 }
 
+double jain_fairness_index(const std::vector<double>& values) {
+  if (values.empty()) return 1.0;
+  double sum = 0;
+  double sum_squares = 0;
+  for (double value : values) {
+    CIMTPU_CONFIG_CHECK(value >= 0,
+                        "fairness allocations must be >= 0, got " << value);
+    sum += value;
+    sum_squares += value * value;
+  }
+  if (sum_squares == 0) return 1.0;  // everyone equally got nothing
+  return sum * sum / (static_cast<double>(values.size()) * sum_squares);
+}
+
 LatencySummary summarize_latencies(const std::vector<double>& values) {
   LatencySummary summary;
   summary.count = static_cast<std::int64_t>(values.size());

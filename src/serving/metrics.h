@@ -1,8 +1,10 @@
 #pragma once
 // Distributional latency metrics for the serving simulator: percentile
 // math, the TTFT/TPOT/end-to-end summaries SLO reports are built from,
-// and the event counters (preemptions per policy, swap traffic, chunked
-// prefill activity) the scheduler accumulates across a run.
+// the per-tenant breakdown (plus Jain's fairness index) multi-tenant QoS
+// policies are judged by, and the event counters (preemptions per policy,
+// swap traffic, chunked prefill activity) the scheduler accumulates
+// across a run.
 
 #include <cstdint>
 #include <vector>
@@ -28,6 +30,28 @@ struct LatencySummary {
 };
 
 LatencySummary summarize_latencies(const std::vector<double>& values);
+
+/// Jain's fairness index of an allocation: (sum x)^2 / (n * sum x^2), in
+/// (0, 1] — 1.0 when every x is equal, 1/n when one party takes all.  By
+/// convention an empty or all-zero allocation is perfectly fair (1.0).
+/// For weighted fairness pass weight-NORMALIZED allocations (x_i / w_i).
+double jain_fairness_index(const std::vector<double>& values);
+
+/// Per-tenant slice of a serving run: the QoS a weighted-fair admission
+/// policy trades between tenants.  `weight` is the share the deployment's
+/// AdmissionConfig assigns the tenant (1.0 when unconfigured); goodput is
+/// the tenant's completed output tokens over the run's makespan, so
+/// tenant goodput ratios track admitted-token share ratios.
+struct TenantMetrics {
+  std::int64_t tenant_id = 0;
+  double weight = 1.0;
+  std::int64_t num_requests = 0;  ///< arrivals within the simulated window
+  std::int64_t completed = 0;
+  std::int64_t generated_tokens = 0;  ///< across completed requests
+  LatencySummary ttft;
+  LatencySummary e2e;
+  double goodput_tokens_per_second = 0;
+};
 
 /// Scheduler event counters, split by mechanism so policy behaviour is
 /// observable: recompute preemptions drop KV and re-queue the request from

@@ -37,6 +37,15 @@ void RequestStreamConfig::validate() const {
   CIMTPU_CONFIG_CHECK(arrival_rate > 0, "arrival_rate must be positive");
   CIMTPU_CONFIG_CHECK(priority_classes >= 1,
                       "priority_classes must be >= 1");
+  CIMTPU_CONFIG_CHECK(num_tenants >= 1, "num_tenants must be >= 1");
+  CIMTPU_CONFIG_CHECK(
+      tenant_weights.empty() ||
+          tenant_weights.size() == static_cast<std::size_t>(num_tenants),
+      "tenant_weights has " << tenant_weights.size() << " entries for "
+                            << num_tenants << " tenants");
+  for (double weight : tenant_weights) {
+    CIMTPU_CONFIG_CHECK(weight > 0, "tenant weights must be positive");
+  }
   if (process == ArrivalProcess::kBursty) {
     CIMTPU_CONFIG_CHECK(burst_factor > 1.0, "burst_factor must exceed 1");
     CIMTPU_CONFIG_CHECK(burst_fraction > 0 && burst_fraction < 1,
@@ -92,8 +101,21 @@ std::vector<Request> generate_requests(const RequestStreamConfig& config) {
   // Decoupled stream for priorities: arrivals and lengths stay
   // bit-identical for a given seed whatever priority_classes is set to.
   Rng priority_rng(config.seed ^ 0xa5a5c3c3deadbeefull);
+  // Third decoupled stream for tenant assignment, same reasoning: the
+  // tenant model never perturbs arrivals, lengths, or priorities.
+  Rng tenant_rng(config.seed ^ 0x3c3c5a5a0badf00dull);
   const LengthSampler prompt_sampler(config.prompt);
   const LengthSampler output_sampler(config.output);
+  // Cumulative tenant weights for the skewed-assignment draw.
+  std::vector<double> tenant_cdf;
+  if (config.num_tenants > 1 && !config.tenant_weights.empty()) {
+    tenant_cdf.reserve(config.tenant_weights.size());
+    double cumulative = 0;
+    for (double weight : config.tenant_weights) {
+      cumulative += weight;
+      tenant_cdf.push_back(cumulative);
+    }
+  }
 
   // Two-state MMPP rates chosen so the time-average rate is arrival_rate:
   //   avg = f * burst_rate + (1 - f) * calm_rate,  burst_rate = B * calm_rate.
@@ -143,6 +165,16 @@ std::vector<Request> generate_requests(const RequestStreamConfig& config) {
         config.priority_classes > 1
             ? priority_rng.uniform_int(0, config.priority_classes - 1)
             : 0;
+    if (config.num_tenants > 1) {
+      if (tenant_cdf.empty()) {
+        request.tenant_id = tenant_rng.uniform_int(0, config.num_tenants - 1);
+      } else {
+        const double target = tenant_rng.uniform() * tenant_cdf.back();
+        request.tenant_id =
+            std::lower_bound(tenant_cdf.begin(), tenant_cdf.end(), target) -
+            tenant_cdf.begin();
+      }
+    }
     requests.push_back(request);
   }
   return requests;

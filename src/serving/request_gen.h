@@ -27,6 +27,8 @@ struct Request {
                                 ///< emitted by the prefill step)
   std::int64_t priority = 0;    ///< larger = more important; feeds
                                 ///< EvictionPolicy::kPriorityVictim
+  std::int64_t tenant_id = 0;   ///< multi-tenant QoS: feeds weighted-fair
+                                ///< admission and per-tenant metrics
 };
 
 /// Arrival process of the stream.
@@ -75,6 +77,15 @@ struct RequestStreamConfig {
   // Priorities come from a SEPARATE rng stream derived from the seed, so
   // changing the class count never perturbs arrival times or lengths.
   std::int64_t priority_classes = 1;
+
+  // Tenant-assignment model: requests draw a tenant id in [0, num_tenants)
+  // — uniformly when `tenant_weights` is empty, else proportionally to the
+  // weights (size must equal num_tenants, all positive), modeling skewed
+  // multi-tenant traffic.  Tenant ids come from their OWN decoupled rng
+  // stream, so arrivals, lengths, and priorities stay bit-identical for a
+  // given seed whatever the tenant model says.
+  std::int64_t num_tenants = 1;
+  std::vector<double> tenant_weights;
 
   void validate() const;
 };

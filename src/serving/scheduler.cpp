@@ -18,6 +18,7 @@ void SchedulerConfig::validate() const {
                                << ") must be 0 (disabled) or >= seqlen_bucket ("
                                << seqlen_bucket
                                << ") so every chunk advances its cost bucket");
+  admission.validate();
 }
 
 void StepRecord::clear() {
@@ -101,7 +102,9 @@ StepCost cost_step(StepCostCache& costs, const StepRecord& step) {
 
 ContinuousBatchScheduler::ContinuousBatchScheduler(
     const SchedulerConfig& config, KvCacheManager* kv_cache)
-    : config_(config), kv_cache_(kv_cache) {
+    : config_(config),
+      kv_cache_(kv_cache),
+      admission_(make_admission_policy(config.admission)) {
   config_.validate();
   CIMTPU_CHECK(kv_cache != nullptr);
 }
@@ -111,7 +114,7 @@ void ContinuousBatchScheduler::enqueue(const Request& request) {
                       "request " << request.id << " has empty prompt");
   CIMTPU_CONFIG_CHECK(request.output_len >= 1,
                       "request " << request.id << " generates no tokens");
-  waiting_.push_back(request);
+  admission_->on_enqueue(request, total_steps_);
 }
 
 std::int64_t ContinuousBatchScheduler::admission_reserve_tokens(
@@ -222,23 +225,39 @@ void ContinuousBatchScheduler::swap_in_and_admit(StepRecord* record) {
     sequences_.push_back(sequence);
   }
 
-  // New admissions, FIFO.  A stranded swapped sequence blocks them (it has
-  // strict seniority); a blocked queue head blocks everything behind it.
+  // New admissions, in the AdmissionPolicy's order.  A stranded swapped
+  // sequence blocks them (it has strict seniority); a candidate the KV
+  // manager rejects blocks everything behind it — head-of-line blocking
+  // on the policy's OWN choice, exactly the FIFO baseline's semantics.
   int admitted = 0;
-  while (swapped_.empty() && !waiting_.empty() &&
+  while (swapped_.empty() && !admission_->empty() &&
          sequences_.size() < static_cast<std::size_t>(config_.max_batch) &&
          admitted < config_.max_prefill_batch) {
-    const Request& head = waiting_.front();
-    if (!kv_cache_->try_admit(head.id, admission_reserve_tokens(head),
-                              head.priority)) {
+    const Request* head = admission_->select(admission_context());
+    if (head == nullptr) break;  // policy throttled (e.g. rate caps)
+    if (!kv_cache_->try_admit(head->id, admission_reserve_tokens(*head),
+                              head->priority)) {
       break;
     }
     // A fresh admission always starts prefilling (prompt_len >= 1), so the
-    // decoder aggregates are untouched here.
-    sequences_.push_back(Sequence{head, /*prefilled=*/0, /*generated=*/0});
-    waiting_.pop_front();
+    // decoder aggregates are untouched here.  Copy BEFORE pop_selected:
+    // `head` points into the policy's storage.
+    sequences_.push_back(Sequence{*head, /*prefilled=*/0, /*generated=*/0});
+    admission_->pop_selected();
     ++admitted;
   }
+}
+
+AdmissionContext ContinuousBatchScheduler::admission_context() const {
+  AdmissionContext context;
+  context.free_batch_slots =
+      config_.max_batch - static_cast<std::int64_t>(sequences_.size());
+  context.free_kv_bytes = kv_cache_->capacity() - kv_cache_->used();
+  context.bytes_per_token = kv_cache_->bytes_per_token();
+  context.device_empty = sequences_.empty();
+  context.now = now_;
+  context.step = total_steps_;
+  return context;
 }
 
 void ContinuousBatchScheduler::build_prefill_step(StepRecord* record) {
@@ -277,6 +296,7 @@ void ContinuousBatchScheduler::build_prefill_step(StepRecord* record) {
       if (sequence.generated >= sequence.request.output_len) {
         record->finished_ids.push_back(sequence.request.id);
         kv_cache_->release(sequence.request.id);
+        admission_->on_finish(sequence.request, total_steps_);
         any_finished = true;
       } else {
         decoder_enter(sequence);
@@ -344,7 +364,8 @@ bool ContinuousBatchScheduler::build_decode_step(StepRecord* record) {
         counters_.swap_out_bytes += bytes;
       } else {
         kv_cache_->release(victim_id);
-        waiting_.push_front(victim.request);  // retains FIFO priority
+        // The policy decides where a recompute victim waits (FIFO: front).
+        admission_->on_preempt_requeue(victim.request, total_steps_);
         record->preempted_ids.push_back(victim_id);
         counters_.preemptions_recompute += 1;
       }
@@ -376,6 +397,7 @@ bool ContinuousBatchScheduler::build_decode_step(StepRecord* record) {
     if (sequence.generated >= sequence.request.output_len) {
       record->finished_ids.push_back(sequence.request.id);
       kv_cache_->release(sequence.request.id);
+      admission_->on_finish(sequence.request, total_steps_);
       // Leave the aggregates at the pre-advance state: a finishing decoder
       // was never "growing" (its growth check looked one token ahead).
       --resident_decoders_;
@@ -416,16 +438,18 @@ bool ContinuousBatchScheduler::next_step(StepRecord* record) {
 
   if (sequences_.empty()) {
     // A swapped sequence always fits an empty device (it fit before it was
-    // swapped out), so reaching here means the queue head can never be
-    // admitted: the request is unservable at this capacity.
+    // swapped out), so reaching here means the policy's chosen candidate
+    // can never be admitted: the request is unservable at this capacity.
+    // (Policies may not throttle an empty device, so select() is non-null.)
     CIMTPU_CHECK(swapped_.empty());
-    CIMTPU_CHECK(!waiting_.empty());
-    const Request& head = waiting_.front();
+    CIMTPU_CHECK(!admission_->empty());
+    const Request* head = admission_->select(admission_context());
+    CIMTPU_CHECK(head != nullptr);
     CIMTPU_CONFIG_CHECK(
-        false, "request " << head.id << " needs more KV ("
+        false, "request " << head->id << " needs more KV ("
                           << format_bytes(kv_cache_->bytes_per_token() *
                                           static_cast<double>(
-                                              admission_reserve_tokens(head)))
+                                              admission_reserve_tokens(*head)))
                           << " to admit) than the budget "
                           << format_bytes(kv_cache_->capacity()));
   }

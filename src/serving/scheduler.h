@@ -13,7 +13,12 @@
 //   * a DECODE step: every fully-prefilled request advances by one token.
 // Requests join the running batch the moment capacity frees up (KV pages
 // and batch slots), rather than waiting for the whole batch to drain —
-// that is the continuous-batching property.
+// that is the continuous-batching property.  WHICH waiting request joins
+// next is delegated to a pluggable AdmissionPolicy
+// (serving/admission_policy.h, selected by SchedulerConfig::admission):
+// "fifo" by default — bit-identical to the pre-API scheduler — plus
+// "priority" (aging, starvation-free) and "wfq" (per-tenant weighted fair
+// queueing with optional token-rate caps).
 //
 // When decode-time KV growth outruns the device budget the scheduler
 // preempts under the KvCacheManager's policy: recompute victims
@@ -35,11 +40,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "common/math_util.h"
+#include "serving/admission_policy.h"
 #include "serving/kv_cache_manager.h"
 #include "serving/metrics.h"
 #include "serving/request_gen.h"
@@ -59,6 +66,11 @@ struct SchedulerConfig {
   /// alternates with decode steps while both kinds of work exist.  Must be
   /// >= seqlen_bucket so every chunk advances its sequence's cost bucket.
   std::int64_t prefill_chunk_tokens = 0;
+
+  /// Which waiting request joins the batch next: a registry-keyed
+  /// AdmissionPolicy ("fifo" default — the pre-API behaviour — plus
+  /// "priority" and "wfq"; see serving/admission_policy.h).
+  AdmissionConfig admission;
 
   void validate() const;
 };
@@ -114,12 +126,19 @@ class ContinuousBatchScheduler {
   ContinuousBatchScheduler(const SchedulerConfig& config,
                            KvCacheManager* kv_cache);
 
-  /// Adds an arrived request to the waiting queue.
+  /// Adds an arrived request to the waiting set (the admission policy
+  /// owns its ordering).
   void enqueue(const Request& request);
+
+  /// Advances the policy-visible simulated clock (rate caps in
+  /// WeightedFairAdmission).  The serving loop calls this before each
+  /// next_step; direct drivers may never call it (the clock stays 0 and
+  /// capped tenants live off their burst allowance).
+  void set_time(Seconds now) { now_ = now; }
 
   /// True when nothing is waiting, resident, or swapped out.
   bool idle() const {
-    return waiting_.empty() && sequences_.empty() && swapped_.empty();
+    return admission_->empty() && sequences_.empty() && swapped_.empty();
   }
 
   /// Plans and commits the next engine step into `record` (cleared first;
@@ -139,12 +158,13 @@ class ContinuousBatchScheduler {
   /// the hot path.
   bool aggregates_consistent() const;
 
-  std::size_t waiting_count() const { return waiting_.size(); }
+  std::size_t waiting_count() const { return admission_->size(); }
   std::size_t running_count() const { return sequences_.size(); }
   std::size_t swapped_count() const { return swapped_.size(); }
   std::int64_t total_steps() const { return total_steps_; }
   std::int64_t preemptions() const { return counters_.total_preemptions(); }
   const ServingCounters& counters() const { return counters_; }
+  const AdmissionPolicy& admission_policy() const { return *admission_; }
 
  private:
   struct Sequence {
@@ -178,6 +198,9 @@ class ContinuousBatchScheduler {
   void decoder_enter(const Sequence& sequence);
   void decoder_leave(const Sequence& sequence);
 
+  /// Capacity snapshot handed to AdmissionPolicy::select.
+  AdmissionContext admission_context() const;
+
   void swap_in_and_admit(StepRecord* record);
   void build_prefill_step(StepRecord* record);
   /// Returns false when KV pressure evicted every decode participant (the
@@ -186,7 +209,8 @@ class ContinuousBatchScheduler {
 
   SchedulerConfig config_;
   KvCacheManager* kv_cache_;
-  std::deque<Request> waiting_;
+  std::unique_ptr<AdmissionPolicy> admission_;  ///< owns the waiting set
+  Seconds now_ = 0;                 ///< simulated clock (see set_time)
   std::deque<Sequence> swapped_;    ///< swap-out order (FIFO re-admission)
   std::vector<Sequence> sequences_; ///< resident, admission order
   std::int64_t resident_decoders_ = 0;

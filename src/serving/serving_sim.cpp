@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <numeric>
 #include <unordered_map>
 
@@ -20,6 +21,8 @@ void ServingScenario::validate() const {
                       "host link bandwidth must be positive");
   CIMTPU_CONFIG_CHECK(host_pool_capacity >= 0,
                       "host pool capacity must be >= 0");
+  CIMTPU_CONFIG_CHECK(max_sim_seconds >= 0,
+                      "max_sim_seconds must be >= 0 (0 = run to drain)");
   scheduler.validate();
 }
 
@@ -31,6 +34,15 @@ struct RequestTrace {
   std::int64_t output_len = 0;
   Seconds first_token = -1;  ///< < 0 until the first token is emitted
   Seconds completion = -1;
+};
+
+/// Per-tenant accumulator for the schema-v4 breakdown.
+struct TenantAccum {
+  std::int64_t num_requests = 0;
+  std::int64_t completed = 0;
+  std::int64_t generated_tokens = 0;
+  std::vector<double> ttft;
+  std::vector<double> e2e;
 };
 
 }  // namespace
@@ -97,6 +109,11 @@ ServingMetrics run_serving(const ServingScenario& scenario,
   StepRecord step;  // scratch reused across all steps (zero allocations
                     // once its vectors reach steady-state capacity)
   while (next_arrival < requests.size() || !scheduler.idle()) {
+    // Horizon cut (fairness studies): stop the engine at the configured
+    // simulated second; whatever is in flight never completes.
+    if (scenario.max_sim_seconds > 0 && now >= scenario.max_sim_seconds) {
+      break;
+    }
     feed_arrivals(now);
     if (scheduler.idle()) {
       // Nothing to do until the next request arrives.
@@ -104,6 +121,7 @@ ServingMetrics run_serving(const ServingScenario& scenario,
       continue;
     }
 
+    scheduler.set_time(now);  // rate-capped admission reads the sim clock
     const bool stepped = scheduler.next_step(&step);
     CIMTPU_CHECK(stepped);
 
@@ -178,20 +196,71 @@ ServingMetrics run_serving(const ServingScenario& scenario,
   ttft.reserve(traces.size());
   tpot.reserve(traces.size());
   e2e.reserve(traces.size());
+  std::map<std::int64_t, TenantAccum> tenant_accums;  // ascending tenant id
   // Iterate requests (not the hash map) for platform-independent order.
   for (const Request& request : requests) {
-    const RequestTrace& trace = traces.at(request.id);
-    if (trace.completion < 0) continue;  // never admitted (impossible today)
-    ttft.push_back(trace.first_token - trace.arrival);
+    const auto trace_it = traces.find(request.id);
+    if (trace_it == traces.end()) continue;  // never arrived (horizon cut)
+    // The accumulator (and hence the tenant's metrics row / Jain entry)
+    // exists only once the tenant has a request that actually ARRIVED
+    // within the simulated window — a tenant whose traffic all lands past
+    // the horizon never participated and must not drag the index down.
+    TenantAccum& accum = tenant_accums[request.tenant_id];
+    accum.num_requests += 1;
+    const RequestTrace& trace = trace_it->second;
+    // TTFT is determined the moment the first token leaves the pipeline,
+    // so horizon-cut runs keep every emitted first token in the TTFT
+    // sample — dropping still-in-flight requests would censor exactly the
+    // slow admissions an overload study is trying to measure.  (Without a
+    // horizon every fed request completes, so this changes nothing.)
+    if (trace.first_token >= 0) {
+      ttft.push_back(trace.first_token - trace.arrival);
+      accum.ttft.push_back(trace.first_token - trace.arrival);
+    }
+    if (trace.completion < 0) continue;  // in flight at the horizon
     e2e.push_back(trace.completion - trace.arrival);
     if (trace.output_len > 1) {
       tpot.push_back((trace.completion - trace.first_token) /
                      static_cast<double>(trace.output_len - 1));
     }
+    accum.completed += 1;
+    accum.generated_tokens += trace.output_len;
+    accum.e2e.push_back(trace.completion - trace.arrival);
   }
   metrics.ttft = summarize_latencies(ttft);
   metrics.tpot = summarize_latencies(tpot);
   metrics.e2e = summarize_latencies(e2e);
+
+  // --- Per-tenant breakdown (schema-v4) -------------------------------------
+  // Weights come from the deployment's admission shares (WFQ); tenants the
+  // config does not name weigh 1.  Jain's index runs over weight-normalized
+  // goodput, so a perfectly-enforcing WFQ scores ~1 whatever the weights.
+  const auto& shares = scenario.scheduler.admission.tenants;
+  std::vector<double> normalized_goodput;
+  normalized_goodput.reserve(tenant_accums.size());
+  for (const auto& [tenant_id, accum] : tenant_accums) {
+    TenantMetrics tenant;
+    tenant.tenant_id = tenant_id;
+    if (tenant_id >= 0 &&
+        tenant_id < static_cast<std::int64_t>(shares.size())) {
+      tenant.weight = shares[static_cast<std::size_t>(tenant_id)].weight;
+    }
+    tenant.num_requests = accum.num_requests;
+    tenant.completed = accum.completed;
+    tenant.generated_tokens = accum.generated_tokens;
+    tenant.ttft = summarize_latencies(accum.ttft);
+    tenant.e2e = summarize_latencies(accum.e2e);
+    if (metrics.makespan > 0) {
+      tenant.goodput_tokens_per_second =
+          static_cast<double>(accum.generated_tokens) / metrics.makespan;
+    }
+    normalized_goodput.push_back(tenant.goodput_tokens_per_second /
+                                 tenant.weight);
+    metrics.tenants.push_back(std::move(tenant));
+  }
+  if (metrics.tenants.size() > 1) {
+    metrics.jain_fairness = jain_fairness_index(normalized_goodput);
+  }
 
   if (metrics.makespan > 0) {
     metrics.goodput_tokens_per_second =

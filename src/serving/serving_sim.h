@@ -42,6 +42,14 @@ struct ServingScenario {
   Bytes host_pool_capacity = 1024 * GiB;
   BytesPerSecond host_link_bandwidth = 64 * GBps;
 
+  /// Simulated-time horizon: 0 runs until every request drains (the
+  /// default, unchanged behaviour); > 0 stops the engine at this simulated
+  /// second and requests still in flight simply never complete.  Fairness
+  /// studies need this — over a full drain every tenant finishes all of
+  /// its work, so only a fixed OVERLOADED window makes an admission
+  /// policy's share enforcement visible in per-tenant goodput.
+  Seconds max_sim_seconds = 0;
+
   void validate() const;
 };
 
@@ -65,6 +73,14 @@ struct ServingMetrics {
   LatencySummary e2e;          ///< request completion latency
 
   double goodput_tokens_per_second = 0;
+
+  /// Per-tenant QoS breakdown (schema-v4): one row per tenant id with at
+  /// least one request arriving inside the simulated window, ascending,
+  /// plus Jain's fairness index over the tenants' weight-normalized
+  /// goodput (1.0 when fewer than two such tenants).
+  std::vector<TenantMetrics> tenants;
+  double jain_fairness = 1.0;
+
   Joules mxu_energy = 0;
   Joules total_energy = 0;
   Joules energy_per_token = 0;

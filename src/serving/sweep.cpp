@@ -116,6 +116,8 @@ void ServingSweep::validate() const {
   CIMTPU_CONFIG_CHECK(!models.empty(), "sweep needs >= 1 model");
   CIMTPU_CONFIG_CHECK(!chip_counts.empty(), "sweep needs >= 1 chip count");
   CIMTPU_CONFIG_CHECK(!policies.empty(), "sweep needs >= 1 policy");
+  CIMTPU_CONFIG_CHECK(!admission_policies.empty(),
+                      "sweep needs >= 1 admission policy");
   for (double rate : arrival_rates) {
     CIMTPU_CONFIG_CHECK(rate > 0, "arrival rate must be positive");
   }
@@ -137,36 +139,42 @@ std::vector<SweepCellResult> run_serving_sweep(const ServingSweep& sweep,
 
   std::vector<SweepPoint> points;
   std::vector<SweepCellResult> cells;
-  const std::size_t grid_size = sweep.arrival_rates.size() *
-                                sweep.models.size() *
-                                sweep.chip_counts.size() *
-                                sweep.policies.size();
+  const std::size_t grid_size =
+      sweep.arrival_rates.size() * sweep.models.size() *
+      sweep.chip_counts.size() * sweep.policies.size() *
+      sweep.admission_policies.size();
   points.reserve(grid_size);
   cells.reserve(grid_size);
   for (std::size_t r = 0; r < sweep.arrival_rates.size(); ++r) {
     for (const models::TransformerConfig& model : sweep.models) {
       for (int chips : sweep.chip_counts) {
         for (EvictionPolicy policy : sweep.policies) {
-          SweepPoint point;
-          point.scenario = sweep.base;
-          point.scenario.model = model;
-          point.scenario.chips = chips;
-          point.scenario.eviction = policy;
-          point.requests = &traces[r];
-          std::ostringstream label;
-          label << "rate=" << sweep.arrival_rates[r] << " model=" << model.name
-                << '/' << ir::dtype_name(model.dtype) << " chips=" << chips
-                << " policy=" << eviction_policy_name(policy);
-          point.label = label.str();
-          points.push_back(std::move(point));
+          for (const std::string& admission : sweep.admission_policies) {
+            SweepPoint point;
+            point.scenario = sweep.base;
+            point.scenario.model = model;
+            point.scenario.chips = chips;
+            point.scenario.eviction = policy;
+            point.scenario.scheduler.admission.policy = admission;
+            point.requests = &traces[r];
+            std::ostringstream label;
+            label << "rate=" << sweep.arrival_rates[r]
+                  << " model=" << model.name << '/'
+                  << ir::dtype_name(model.dtype) << " chips=" << chips
+                  << " policy=" << eviction_policy_name(policy)
+                  << " admission=" << admission;
+            point.label = label.str();
+            points.push_back(std::move(point));
 
-          SweepCellResult cell;
-          cell.arrival_rate = sweep.arrival_rates[r];
-          cell.model = model.name;
-          cell.dtype = model.dtype;
-          cell.chips = chips;
-          cell.policy = policy;
-          cells.push_back(std::move(cell));
+            SweepCellResult cell;
+            cell.arrival_rate = sweep.arrival_rates[r];
+            cell.model = model.name;
+            cell.dtype = model.dtype;
+            cell.chips = chips;
+            cell.policy = policy;
+            cell.admission = admission;
+            cells.push_back(std::move(cell));
+          }
         }
       }
     }

@@ -2,8 +2,8 @@
 // Deterministic parallel sweep driver for serving traffic studies.
 //
 // A sweep is a flat list of (scenario, request trace) points — typically
-// the cross product of arrival rate x model x chip count x policy — run on
-// a small worker pool.  Every point is an independent deterministic
+// the cross product of arrival rate x model x chip count x eviction
+// policy x admission policy — run on a small worker pool.  Every point is an independent deterministic
 // simulation, so parallel execution is embarrassingly safe; the driver
 // guarantees:
 //
@@ -62,17 +62,25 @@ struct SweepPoint {
 std::vector<ServingMetrics> run_sweep(const std::vector<SweepPoint>& points,
                                       const SweepOptions& options = {});
 
-/// Declarative grid: the cross product of the four axes, expanded with
-/// arrival rate outermost and policy innermost (deterministic order).  One
-/// request trace is generated per arrival rate and shared by every point
-/// at that rate, so models/chips/policies compare on identical traffic.
+/// Declarative grid: the cross product of the five axes, expanded with
+/// arrival rate outermost and admission policy innermost (deterministic
+/// order).  One request trace is generated per arrival rate and shared by
+/// every point at that rate, so models/chips/policies compare on
+/// identical traffic.
 struct ServingSweep {
   std::vector<double> arrival_rates;
   std::vector<models::TransformerConfig> models;
   std::vector<int> chip_counts;
   std::vector<EvictionPolicy> policies;
+  /// Admission-policy registry names (serving/admission_policy.h).  The
+  /// default single-"fifo" axis keeps pre-existing grids unchanged; any
+  /// per-policy knobs (aging rate, WFQ tenant shares) come from
+  /// `base.scheduler.admission` — only the policy NAME is overridden per
+  /// cell.
+  std::vector<std::string> admission_policies = {"fifo"};
 
-  ServingScenario base;        ///< prototype; model/chips/eviction overridden
+  ServingScenario base;        ///< prototype; model/chips/eviction/admission
+                               ///< overridden
   RequestStreamConfig stream;  ///< prototype; arrival_rate overridden
 
   void validate() const;
@@ -87,11 +95,12 @@ struct SweepCellResult {
   ir::DType dtype = ir::DType::kInt8;
   int chips = 1;
   EvictionPolicy policy = EvictionPolicy::kPreemptNewest;
+  std::string admission = "fifo";
   ServingMetrics metrics;
 };
 
 /// Expands the grid and runs it via run_sweep.  Results are in grid order
-/// (rate-major, policy-minor) and bit-identical to serial execution.
+/// (rate-major, admission-minor) and bit-identical to serial execution.
 std::vector<SweepCellResult> run_serving_sweep(
     const ServingSweep& sweep, const SweepOptions& options = {});
 

@@ -73,4 +73,62 @@ std::vector<SweepPoint> pressured_policy_grid_points(
   return points;
 }
 
+RequestStreamConfig multi_tenant_pressure_stream(std::uint64_t seed,
+                                                 std::int64_t num_requests,
+                                                 double arrival_rate,
+                                                 std::int64_t num_tenants) {
+  RequestStreamConfig stream;
+  stream.seed = seed;
+  stream.num_requests = num_requests;
+  stream.arrival_rate = arrival_rate;
+  stream.process = ArrivalProcess::kPoisson;
+  stream.prompt.kind = LengthDistribution::kUniform;
+  stream.prompt.min_len = 128;
+  stream.prompt.max_len = 256;
+  stream.output.kind = LengthDistribution::kUniform;
+  stream.output.min_len = 64;
+  stream.output.max_len = 128;
+  stream.num_tenants = num_tenants;
+  return stream;
+}
+
+ServingScenario multi_tenant_fairness_scenario(
+    ir::DType dtype, const std::string& admission,
+    const std::vector<double>& weights, Seconds horizon_seconds,
+    std::int64_t kv_budget_tokens) {
+  ServingScenario scenario = llama7b_pressured_scenario(
+      /*chips=*/1, dtype, EvictionPolicy::kPreemptNewest, /*chunk_tokens=*/0,
+      kv_budget_tokens);
+  scenario.scheduler.admission.policy = admission;
+  scenario.scheduler.admission.tenants.reserve(weights.size());
+  for (double weight : weights) {
+    TenantShare share;
+    share.weight = weight;
+    scenario.scheduler.admission.tenants.push_back(share);
+  }
+  scenario.max_sim_seconds = horizon_seconds;
+  return scenario;
+}
+
+std::vector<SweepPoint> multi_tenant_fairness_points(
+    const models::TransformerConfig& model,
+    const std::vector<Request>* requests) {
+  std::vector<SweepPoint> points;
+  for (const char* admission : {"fifo", "wfq"}) {
+    SweepPoint point;
+    point.label = std::string("admission=") + admission;
+    point.scenario = multi_tenant_fairness_scenario(
+        model.dtype, admission, multi_tenant_fairness_weights(),
+        kMultiTenantFairnessHorizon);
+    point.scenario.model = model;
+    // Re-derive the 2000-token budget in the chosen model's own
+    // token-bytes (the canonical scenario sized it for llama2-7b).
+    point.scenario.kv_budget_override =
+        KvCacheManager::token_bytes(model) * 2000.0;
+    point.requests = requests;
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
 }  // namespace cimtpu::serving

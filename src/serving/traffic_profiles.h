@@ -50,4 +50,45 @@ std::vector<SweepPoint> pressured_policy_grid_points(
     const std::vector<Request>* requests,
     std::int64_t kv_budget_tokens = 8000);
 
+/// Canonical multi-tenant overload stream for fairness studies: uniform
+/// lengths (prompts 128..256, outputs 64..128 — low variance, so tenant
+/// goodput ratios estimate admission shares tightly) at `arrival_rate`
+/// req/s split uniformly across `num_tenants` tenants from the decoupled
+/// tenant rng stream.  Shared by bench_serving's fairness section, the
+/// serving_traffic multi-tenant demo, and the WFQ share tests.
+RequestStreamConfig multi_tenant_pressure_stream(std::uint64_t seed,
+                                                 std::int64_t num_requests,
+                                                 double arrival_rate,
+                                                 std::int64_t num_tenants);
+
+/// The canonical 2-tenant fairness deployment: the pressured llama2-7b
+/// scenario (2000-token KV budget) with per-tenant admission weights
+/// `weights` (index = tenant id) and a `horizon_seconds` simulated-time
+/// cut, so the device stays overloaded for the whole measured window and
+/// per-tenant goodput reflects the admission policy's share enforcement
+/// rather than the traffic mix.  `admission` is a registry name ("fifo"
+/// for the head-of-line baseline, "wfq" for weighted fair queueing).
+ServingScenario multi_tenant_fairness_scenario(
+    ir::DType dtype, const std::string& admission,
+    const std::vector<double>& weights, Seconds horizon_seconds,
+    std::int64_t kv_budget_tokens = 2000);
+
+/// The canonical fairness study as sweep points: one
+/// multi_tenant_fairness_scenario per admission policy in {"fifo",
+/// "wfq"}, at `model` (any dtype, budget re-derived in its token-bytes),
+/// 3:1 tenant weights, and a 30-simulated-second horizon, all replaying
+/// `*requests` (caller-owned, must outlive the sweep).  Shared by
+/// bench_serving's "fairness" JSON block and serving_traffic's
+/// multi-tenant demo so the two binaries always study the SAME grid.
+std::vector<SweepPoint> multi_tenant_fairness_points(
+    const models::TransformerConfig& model,
+    const std::vector<Request>* requests);
+
+/// The weights / horizon the canonical fairness points use.
+inline const std::vector<double>& multi_tenant_fairness_weights() {
+  static const std::vector<double> weights = {3.0, 1.0};
+  return weights;
+}
+constexpr Seconds kMultiTenantFairnessHorizon = 30.0;
+
 }  // namespace cimtpu::serving
