@@ -11,20 +11,25 @@
 // step-cost cache, and the simulated metrics are bit-identical to serial
 // execution.
 //
-// Emits BENCH_serving.json (schema_version 4):
+// Emits BENCH_serving.json (schema_version 5):
 //   "baseline" — goodput + p99 TTFT/TPOT across 3 arrival rates x 2 chip
 //                counts, with per-row sim_wall_seconds and
 //                steps_per_second (the simulator-performance trajectory),
 //   "policies" — per-(policy x chunked on/off) rows under KV pressure with
 //                preemption split, swap traffic, and chunked-step counts,
-//   "fairness" — NEW in v4: the multi-tenant admission study (FIFO vs
-//                weighted fair queueing, 2 tenants at 3:1 weights over a
-//                fixed overload window) with per-tenant goodput rows and
-//                the weight-normalized Jain fairness index,
-//   "sweep"    — wall-clock of the whole grid and the worker count, the
-//                headline number for hot-path optimizations (the CI
-//                perf-smoke job gates steps_per_second against the
-//                committed repo-root baseline copy of this file).
+//   "fairness" — the multi-tenant admission study (FIFO vs weighted fair
+//                queueing, 2 tenants at 3:1 weights over a fixed overload
+//                window) with per-tenant goodput rows and the
+//                weight-normalized Jain fairness index,
+//   "prefix_cache" — NEW in v5: the paged-KV prefix-caching study on the
+//                prefix-heavy chatbot stream (shared system prompts):
+//                caching off vs on at block 16 plus block 64, with prefix
+//                hit rate, blocks saved, CoW copies, and the
+//                internal-fragmentation gauge per row,
+//   "sweep"    — wall-clock of the baseline + policy grids and the worker
+//                count, the headline number for hot-path optimizations
+//                (the CI perf-smoke job gates steps_per_second against
+//                the committed repo-root baseline copy of this file).
 
 #include <chrono>
 #include <fstream>
@@ -97,7 +102,7 @@ int main(int argc, char** argv) {
                     "TPOT p99", "J/token", "MXU util"});
 
   std::ofstream json("BENCH_serving.json");
-  json << "{\n  \"bench\": \"serving\",\n  \"schema_version\": 4,\n"
+  json << "{\n  \"bench\": \"serving\",\n  \"schema_version\": 5,\n"
        << "  \"model\": \"llama2-7b\",\n"
        << "  \"dtype\": \"int4\",\n  \"requests\": 2000,\n  \"seed\": 42,\n"
        << "  \"baseline\": [\n";
@@ -279,6 +284,69 @@ int main(int argc, char** argv) {
   }
   json << "\n  ]},\n";
 
+  // --- Paged-KV prefix caching on the prefix-heavy chatbot stream ------------
+  // Shared 1000-token system prompts from a 4-prefix pool under a tight
+  // device budget: with caching ON, repeat prefixes map cached blocks by
+  // reference, skip their prefill, and free capacity — the hit rate must
+  // clear 0.5 and goodput must strictly beat the caching-off row.  The
+  // off-block-boundary prefix length keeps the copy-on-write tail hot.
+  const std::vector<serving::Request> prefix_requests =
+      serving::generate_requests(serving::prefix_chatbot_stream(
+          /*seed=*/42, /*num_requests=*/400, /*arrival_rate=*/30.0));
+  const std::vector<serving::SweepPoint> prefix_points =
+      serving::prefix_cache_grid_points(scenario_for(1).model,
+                                        &prefix_requests);
+  const std::vector<serving::ServingMetrics> prefix_results =
+      serving::run_sweep(prefix_points, sweep_options);
+
+  AsciiTable prefix_table(
+      "Paged KV prefix caching — " + cell_i(serving::kPrefixChatbotPool) +
+      " shared " + cell_i(serving::kPrefixChatbotPrefixLen) +
+      "-token system prompts, 20000-token KV budget");
+  prefix_table.set_header({"block", "prefix cache", "tokens/s", "TTFT p99",
+                           "hit rate", "blocks saved", "CoW", "frag",
+                           "preempt"});
+  json << "  \"prefix_cache\": {\"prefix_pool\": "
+       << serving::kPrefixChatbotPool
+       << ", \"prefix_len_tokens\": " << serving::kPrefixChatbotPrefixLen
+       << ", \"kv_budget_tokens\": 20000"
+       << ", \"requests\": " << prefix_requests.size() << ", \"rows\": [\n";
+  first = true;
+  for (std::size_t i = 0; i < prefix_points.size(); ++i) {
+    const serving::ServingMetrics& metrics = prefix_results[i];
+    const serving::SchedulerConfig& sched =
+        prefix_points[i].scenario.scheduler;
+    prefix_table.add_row(
+        {cell_i(sched.kv_block_tokens),
+         sched.enable_prefix_cache ? "on" : "off",
+         cell_f(metrics.goodput_tokens_per_second, 1),
+         format_time(metrics.ttft.p99), cell_f(metrics.prefix_hit_rate, 3),
+         cell_i(metrics.counters.prefix_shared_blocks),
+         cell_i(metrics.counters.prefix_cow_blocks),
+         cell_f(metrics.kv_internal_fragmentation, 4),
+         cell_i(metrics.preemptions)});
+    if (!first) json << ",\n";
+    first = false;
+    json << "    {\"kv_block_tokens\": " << sched.kv_block_tokens
+         << ", \"prefix_caching\": "
+         << (sched.enable_prefix_cache ? "true" : "false")
+         << ", \"goodput_tokens_per_s\": "
+         << metrics.goodput_tokens_per_second
+         << ", \"ttft_p99_s\": " << metrics.ttft.p99
+         << ", \"tpot_p99_s\": " << metrics.tpot.p99
+         << ", \"prefix_hit_rate\": " << metrics.prefix_hit_rate
+         << ", \"prefix_hit_tokens\": "
+         << metrics.counters.prefix_hit_tokens
+         << ", \"blocks_saved\": " << metrics.counters.prefix_shared_blocks
+         << ", \"cow_blocks\": " << metrics.counters.prefix_cow_blocks
+         << ", \"internal_fragmentation\": "
+         << metrics.kv_internal_fragmentation
+         << ", \"preemptions\": " << metrics.preemptions
+         << ", \"sim_wall_seconds\": " << metrics.sim_wall_seconds
+         << ", \"steps_per_second\": " << metrics.steps_per_second << "}";
+  }
+  json << "\n  ]},\n";
+
   std::int64_t total_steps = 0;
   for (const serving::SweepCellResult& result : baseline) {
     total_steps += result.metrics.total_steps;
@@ -307,6 +375,7 @@ int main(int argc, char** argv) {
   table.print();
   policy_table.print();
   fairness_table.print();
+  prefix_table.print();
   std::printf("  wrote BENCH_serving.json (%zu sweep points, %d/%d threads, "
               "%.3f s wall, %lld steps)\n",
               baseline.size() + policy_points.size(), baseline_threads,
@@ -316,6 +385,11 @@ int main(int argc, char** argv) {
               "weights)\n",
               fairness_results[1].jain_fairness,
               fairness_results[0].jain_fairness);
+  std::printf("  prefix cache: hit rate %.3f, goodput %.1f vs %.1f tokens/s "
+              "off (block 16)\n",
+              prefix_results[1].prefix_hit_rate,
+              prefix_results[1].goodput_tokens_per_second,
+              prefix_results[0].goodput_tokens_per_second);
 
   return bench::run_microbenchmarks(argc, argv);
 }

@@ -1,8 +1,8 @@
 #include "serving/kv_cache_manager.h"
 
+#include <algorithm>
 #include <cmath>
 
-#include "common/math_util.h"
 #include "common/status.h"
 
 namespace cimtpu::serving {
@@ -18,14 +18,34 @@ std::string eviction_policy_name(EvictionPolicy policy) {
 }
 
 KvCacheManager::KvCacheManager(Bytes capacity, Bytes bytes_per_token,
-                               EvictionPolicy policy, Bytes host_capacity)
+                               EvictionPolicy policy, Bytes host_capacity,
+                               std::int64_t block_tokens,
+                               bool enable_prefix_cache)
     : capacity_(capacity),
       bytes_per_token_(bytes_per_token),
       policy_(policy),
-      host_capacity_(host_capacity) {
-  CIMTPU_CONFIG_CHECK(capacity > 0, "KV budget must be positive");
-  CIMTPU_CONFIG_CHECK(bytes_per_token > 0, "KV token bytes must be positive");
-  CIMTPU_CONFIG_CHECK(host_capacity >= 0, "host pool capacity must be >= 0");
+      host_capacity_(host_capacity),
+      block_tokens_(block_tokens),
+      enable_prefix_cache_(enable_prefix_cache) {
+  CIMTPU_CONFIG_CHECK(capacity > 0, "KV budget must be positive, got "
+                                        << format_bytes(capacity));
+  CIMTPU_CONFIG_CHECK(bytes_per_token > 0,
+                      "KV token bytes must be positive, got "
+                          << format_bytes(bytes_per_token));
+  CIMTPU_CONFIG_CHECK(host_capacity >= 0,
+                      "host pool capacity must be >= 0, got "
+                          << format_bytes(host_capacity));
+  CIMTPU_CONFIG_CHECK(block_tokens >= 1,
+                      "kv_block_tokens must be >= 1, got " << block_tokens);
+  block_bytes_ = bytes_per_token_ * static_cast<double>(block_tokens_);
+  capacity_blocks_ = static_cast<std::int64_t>(capacity_ / block_bytes_);
+  host_capacity_blocks_ =
+      static_cast<std::int64_t>(host_capacity_ / block_bytes_);
+  CIMTPU_CONFIG_CHECK(capacity_blocks_ >= 1,
+                      "KV budget " << format_bytes(capacity_)
+                                   << " smaller than one "
+                                   << block_tokens_ << "-token block ("
+                                   << format_bytes(block_bytes_) << ")");
 }
 
 Bytes KvCacheManager::hbm_kv_budget(const models::TransformerConfig& model,
@@ -58,45 +78,257 @@ Bytes KvCacheManager::token_bytes(const models::TransformerConfig& model) {
          static_cast<double>(model.num_layers);
 }
 
+void KvCacheManager::victim_index_insert(std::int64_t id, const Entry& entry) {
+  admit_order_[entry.admit_seq] = id;
+  if (policy_ == EvictionPolicy::kPriorityVictim) {
+    victim_order_.insert(
+        VictimKey{entry.priority, entry.tokens, entry.admit_seq, id});
+  }
+}
+
+void KvCacheManager::victim_index_erase(std::int64_t id, const Entry& entry) {
+  admit_order_.erase(entry.admit_seq);
+  if (policy_ == EvictionPolicy::kPriorityVictim) {
+    victim_order_.erase(
+        VictimKey{entry.priority, entry.tokens, entry.admit_seq, id});
+  }
+}
+
+void KvCacheManager::reclaim_cached(std::int64_t blocks) {
+  for (std::int64_t i = 0; i < blocks; ++i) {
+    CIMTPU_CHECK(!cached_lru_.empty());
+    const auto oldest = cached_lru_.begin();
+    const std::int64_t block_id = oldest->second;
+    cached_lru_.erase(oldest);
+    const auto it = shared_blocks_.find(block_id);
+    CIMTPU_CHECK(it != shared_blocks_.end() && it->second.ref == 0);
+    prefix_index_.erase({it->second.prefix_id, it->second.block_index});
+    shared_blocks_.erase(it);
+  }
+}
+
+void KvCacheManager::unref_shared(std::int64_t block_id) {
+  const auto it = shared_blocks_.find(block_id);
+  CIMTPU_CHECK(it != shared_blocks_.end() && it->second.ref >= 1);
+  SharedBlock& block = it->second;
+  if (--block.ref > 0) return;
+  if (block.computed) {
+    // Fully released but computed: stays cached (and hittable) until
+    // allocation pressure reclaims it, LRU order.
+    block.lru_seq = next_lru_seq_++;
+    cached_lru_[block.lru_seq] = block_id;
+  } else {
+    // The registrant died before prefilling it; the contents never
+    // existed, so the block (and its index entry) is useless.
+    prefix_index_.erase({block.prefix_id, block.block_index});
+    shared_blocks_.erase(it);
+  }
+}
+
 bool KvCacheManager::try_admit(std::int64_t request_id, std::int64_t tokens,
-                               std::int64_t priority) {
+                               std::int64_t priority, std::int64_t prefix_id,
+                               std::int64_t prefix_len,
+                               std::int64_t prompt_len,
+                               AdmitOutcome* outcome) {
   CIMTPU_CHECK(entries_.count(request_id) == 0);
   CIMTPU_CHECK(host_entries_.count(request_id) == 0);
   CIMTPU_CHECK(tokens >= 0);
-  const Bytes need = bytes_per_token_ * static_cast<double>(tokens);
-  if (used_ + need > capacity_) return false;
-  entries_[request_id] = Entry{tokens, next_seq_++, priority};
-  used_ += need;
+  CIMTPU_CHECK(prefix_len >= 0 && prefix_len <= std::max<std::int64_t>(
+                                                    prompt_len, 0));
+  if (outcome != nullptr) *outcome = AdmitOutcome{};
+
+  const std::int64_t total_blocks = blocks_for_tokens(tokens);
+
+  // --- Plan the prefix reuse (no state mutated yet) --------------------------
+  // Eligibility requires the reservation to cover the whole prompt (every
+  // scheduler reserve does: prompt + 1 at minimum), so shared and
+  // registered prefix blocks always lie within the entry's own mapping.
+  const bool prefix_eligible = enable_prefix_cache_ && prefix_id >= 0 &&
+                               prefix_len > 0 && prompt_len > 1 &&
+                               tokens >= prompt_len;
+  std::vector<std::int64_t> hit_blocks;  // contiguous leading full blocks
+  std::int64_t hit_tokens = 0;
+  std::int64_t cow_blocks = 0;
+  if (prefix_eligible) {
+    const std::int64_t full_blocks = prefix_len / block_tokens_;
+    for (std::int64_t k = 0; k < full_blocks; ++k) {
+      const auto it = prefix_index_.find({prefix_id, k});
+      if (it == prefix_index_.end()) break;
+      const SharedBlock& block = shared_blocks_.at(it->second);
+      if (!block.computed) break;  // a concurrent request is still
+                                   // prefilling it; contents don't exist yet
+      hit_blocks.push_back(it->second);
+    }
+    hit_tokens = static_cast<std::int64_t>(hit_blocks.size()) * block_tokens_;
+    // Partial tail: prefix tokens past the last full block live inside a
+    // block that also holds post-prefix content.  If a live donor with the
+    // same prefix has computed through prefix_len, the sharer reuses those
+    // tokens via a private COPY of the block (copy-on-write: the sharer's
+    // own content diverges inside it).
+    if (static_cast<std::int64_t>(hit_blocks.size()) == full_blocks &&
+        prefix_len % block_tokens_ != 0) {
+      const auto donor = tail_donors_.find(prefix_id);
+      if (donor != tail_donors_.end()) {
+        const auto donor_entry = entries_.find(donor->second);
+        if (donor_entry != entries_.end() &&
+            donor_entry->second.computed_tokens >= prefix_len) {
+          cow_blocks = 1;
+          hit_tokens = prefix_len;
+        }
+      }
+    }
+    // The final prompt token is always recomputed (real engines need its
+    // logits), so prefill can never be skipped entirely.  Its KV already
+    // lives in a shared block when the cap bites, so no extra allocation.
+    hit_tokens = std::min(hit_tokens, prompt_len - 1);
+  }
+
+  // --- Capacity check (reclaim-aware), then commit ---------------------------
+  const std::int64_t shared_count =
+      static_cast<std::int64_t>(hit_blocks.size());
+  const std::int64_t new_blocks = total_blocks - shared_count;
+  CIMTPU_CHECK(new_blocks >= cow_blocks);
+  std::int64_t cached_among_hits = 0;
+  for (std::int64_t block_id : hit_blocks) {
+    if (shared_blocks_.at(block_id).ref == 0) ++cached_among_hits;
+  }
+  const std::int64_t free_now = capacity_blocks_ - occupied_blocks();
+  const std::int64_t reclaimable = cached_block_count() - cached_among_hits;
+  if (new_blocks > free_now + reclaimable) return false;
+
+  // Reference the hit blocks first (pulls cached ones off the LRU so the
+  // reclaim below can never steal a block we are about to share).
+  for (std::int64_t block_id : hit_blocks) {
+    SharedBlock& block = shared_blocks_.at(block_id);
+    if (block.ref == 0) cached_lru_.erase(block.lru_seq);
+    ++block.ref;
+  }
+  if (new_blocks > free_now) reclaim_cached(new_blocks - free_now);
+
+  Entry entry;
+  entry.tokens = tokens;
+  entry.admit_seq = next_seq_++;
+  entry.priority = priority;
+  entry.computed_tokens = hit_tokens;
+  entry.prefix_id = prefix_eligible ? prefix_id : -1;
+  entry.prefix_len = prefix_eligible ? prefix_len : 0;
+  entry.shared = hit_blocks;
+  entry.private_blocks = new_blocks;
+  private_used_ += new_blocks;
+
+  // --- Register missed full prefix blocks so later requests can share -------
+  if (prefix_eligible) {
+    const std::int64_t full_blocks = prefix_len / block_tokens_;
+    for (std::int64_t k = shared_count; k < full_blocks; ++k) {
+      if (prefix_index_.count({prefix_id, k}) > 0) continue;  // a concurrent
+      // registrant got here first; our copy of the block stays private.
+      const std::int64_t block_id = next_block_id_++;
+      SharedBlock block;
+      block.ref = 1;
+      block.prefix_id = prefix_id;
+      block.block_index = k;
+      block.registrant = request_id;
+      // A registered block is always a MISS (k >= shared_count), so its
+      // contents cannot exist yet: note_prefilled flips it computed once
+      // this request's prefill passes the block's upper boundary.
+      block.computed = false;
+      shared_blocks_[block_id] = block;
+      prefix_index_[{prefix_id, k}] = block_id;
+      entry.shared.push_back(block_id);
+      entry.private_blocks -= 1;
+      private_used_ -= 1;
+      CIMTPU_CHECK(entry.private_blocks >= 0);
+    }
+    // Volunteer as the partial-tail donor so later same-prefix admissions
+    // can copy the tail's prefix tokens out of this entry's block.
+    if (prefix_len % block_tokens_ != 0 &&
+        tail_donors_.count(prefix_id) == 0) {
+      tail_donors_[prefix_id] = request_id;
+    }
+  }
+
+  mapped_tokens_ += entry.tokens;
+  entry_block_tokens_ += entry_blocks(entry) * block_tokens_;
+  victim_index_insert(request_id, entry);
+  entries_[request_id] = std::move(entry);
+
+  if (outcome != nullptr) {
+    outcome->lookup_tokens =
+        prefix_eligible ? std::min(prefix_len, prompt_len - 1) : 0;
+    outcome->prefix_hit_tokens = hit_tokens;
+    outcome->shared_blocks = shared_count;
+    outcome->cow_blocks = cow_blocks;
+  }
   return true;
 }
 
 bool KvCacheManager::try_grow(std::int64_t request_id, std::int64_t tokens) {
   auto it = entries_.find(request_id);
   CIMTPU_CHECK(it != entries_.end());
-  const Bytes need = bytes_per_token_ * static_cast<double>(tokens);
-  if (used_ + need > capacity_) return false;
-  it->second.tokens += tokens;
-  used_ += need;
+  CIMTPU_CHECK(tokens >= 0);
+  Entry& entry = it->second;
+  const std::int64_t new_blocks =
+      blocks_for_tokens(entry.tokens + tokens) - entry_blocks(entry);
+  if (new_blocks > 0) {
+    if (!fits_blocks(new_blocks)) return false;
+    const std::int64_t free_now = capacity_blocks_ - occupied_blocks();
+    if (new_blocks > free_now) reclaim_cached(new_blocks - free_now);
+    entry.private_blocks += new_blocks;
+    private_used_ += new_blocks;
+    entry_block_tokens_ += new_blocks * block_tokens_;
+  }
+  if (policy_ == EvictionPolicy::kPriorityVictim) {
+    victim_order_.erase(
+        VictimKey{entry.priority, entry.tokens, entry.admit_seq, request_id});
+    victim_order_.insert(VictimKey{entry.priority, entry.tokens + tokens,
+                                   entry.admit_seq, request_id});
+  }
+  entry.tokens += tokens;
+  mapped_tokens_ += tokens;
   return true;
 }
 
 void KvCacheManager::release(std::int64_t request_id) {
   auto it = entries_.find(request_id);
   CIMTPU_CHECK(it != entries_.end());
-  used_ -= bytes_per_token_ * static_cast<double>(it->second.tokens);
-  if (used_ < 0) used_ = 0;  // guard accumulated FP error
+  Entry& entry = it->second;
+  for (std::int64_t block_id : entry.shared) unref_shared(block_id);
+  private_used_ -= entry.private_blocks;
+  mapped_tokens_ -= entry.tokens;
+  entry_block_tokens_ -= entry_blocks(entry) * block_tokens_;
+  const auto donor = tail_donors_.find(entry.prefix_id);
+  if (donor != tail_donors_.end() && donor->second == request_id) {
+    tail_donors_.erase(donor);
+  }
+  victim_index_erase(request_id, entry);
   entries_.erase(it);
 }
 
 bool KvCacheManager::try_swap_out(std::int64_t request_id) {
   auto it = entries_.find(request_id);
   CIMTPU_CHECK(it != entries_.end());
-  const Bytes bytes = bytes_per_token_ * static_cast<double>(it->second.tokens);
-  if (host_used_ + bytes > host_capacity_) return false;
-  host_entries_[request_id] = it->second;
-  host_used_ += bytes;
-  used_ -= bytes;
-  if (used_ < 0) used_ = 0;  // guard accumulated FP error
+  Entry& entry = it->second;
+  const std::int64_t blocks = entry_blocks(entry);
+  if (host_used_blocks_ + blocks > host_capacity_blocks_) return false;
+  // The host copy is whole and private: shared prefix blocks are
+  // privatized on the way out (their device copies just lose a reference).
+  for (std::int64_t block_id : entry.shared) unref_shared(block_id);
+  private_used_ -= entry.private_blocks;
+  mapped_tokens_ -= entry.tokens;
+  entry_block_tokens_ -= blocks * block_tokens_;
+  const auto donor = tail_donors_.find(entry.prefix_id);
+  if (donor != tail_donors_.end() && donor->second == request_id) {
+    tail_donors_.erase(donor);
+  }
+  victim_index_erase(request_id, entry);
+
+  Entry host_entry = entry;
+  host_entry.shared.clear();
+  host_entry.private_blocks = blocks;
+  host_entry.prefix_id = -1;  // re-entry is private; no index participation
+  host_entry.prefix_len = 0;
+  host_used_blocks_ += blocks;
+  host_entries_[request_id] = std::move(host_entry);
   entries_.erase(it);
   return true;
 }
@@ -104,16 +336,46 @@ bool KvCacheManager::try_swap_out(std::int64_t request_id) {
 bool KvCacheManager::try_swap_in(std::int64_t request_id) {
   auto it = host_entries_.find(request_id);
   CIMTPU_CHECK(it != host_entries_.end());
-  const Bytes bytes = bytes_per_token_ * static_cast<double>(it->second.tokens);
-  if (used_ + bytes > capacity_) return false;
+  const std::int64_t blocks = entry_blocks(it->second);
+  if (!fits_blocks(blocks)) return false;
+  const std::int64_t free_now = capacity_blocks_ - occupied_blocks();
+  if (blocks > free_now) reclaim_cached(blocks - free_now);
   Entry entry = it->second;
   entry.admit_seq = next_seq_++;  // re-entry: counts as the newest admission
-  entries_[request_id] = entry;
-  used_ += bytes;
-  host_used_ -= bytes;
-  if (host_used_ < 0) host_used_ = 0;  // guard accumulated FP error
+  private_used_ += blocks;
+  mapped_tokens_ += entry.tokens;
+  entry_block_tokens_ += blocks * block_tokens_;
+  host_used_blocks_ -= blocks;
+  victim_index_insert(request_id, entry);
+  entries_[request_id] = std::move(entry);
   host_entries_.erase(it);
   return true;
+}
+
+void KvCacheManager::note_prefilled(std::int64_t request_id,
+                                    std::int64_t computed_tokens) {
+  auto it = entries_.find(request_id);
+  CIMTPU_CHECK(it != entries_.end());
+  Entry& entry = it->second;
+  entry.computed_tokens = std::min(
+      std::max(entry.computed_tokens, computed_tokens), entry.tokens);
+  if (!enable_prefix_cache_ || entry.prefix_id < 0) return;
+  // Blocks this entry registered become hittable once the prefill has
+  // passed their upper token boundary.
+  for (std::int64_t block_id : entry.shared) {
+    SharedBlock& block = shared_blocks_.at(block_id);
+    if (block.registrant == request_id && !block.computed &&
+        (block.block_index + 1) * block_tokens_ <= entry.computed_tokens) {
+      block.computed = true;
+      block.registrant = -1;
+    }
+  }
+}
+
+bool KvCacheManager::grow_needs_block(std::int64_t request_id) const {
+  const auto it = entries_.find(request_id);
+  CIMTPU_CHECK(it != entries_.end());
+  return it->second.tokens % block_tokens_ == 0;
 }
 
 std::int64_t KvCacheManager::resident_tokens(std::int64_t request_id) const {
@@ -126,70 +388,126 @@ std::int64_t KvCacheManager::swapped_tokens(std::int64_t request_id) const {
   return it == host_entries_.end() ? 0 : it->second.tokens;
 }
 
+std::int64_t KvCacheManager::shared_block_count(
+    std::int64_t request_id) const {
+  const auto it = entries_.find(request_id);
+  return it == entries_.end()
+             ? 0
+             : static_cast<std::int64_t>(it->second.shared.size());
+}
+
 std::int64_t KvCacheManager::pick_eviction_victim(std::int64_t protect) const {
   if (policy_ == EvictionPolicy::kNone) return -1;
-  // Forward-progress guarantee for kPriorityVictim: the oldest resident is
+  if (policy_ == EvictionPolicy::kPreemptNewest ||
+      policy_ == EvictionPolicy::kSwapToHost) {
+    // Newest admission first; admit_seqs are unique, so the admit-order
+    // index gives the victim in O(log n) with at most one protect skip.
+    for (auto it = admit_order_.rbegin(); it != admit_order_.rend(); ++it) {
+      if (it->second != protect) return it->second;
+    }
+    return -1;
+  }
+  // kPriorityVictim.  Forward-progress guarantee: the oldest resident is
   // exempt.  Without it, the largest-KV tie-break livelocks under
   // recompute — the most-progressed low-priority sequence is always the
   // largest, so it is reset every pressure cycle and never finishes.
-  // (Newest-victim policies spare the oldest by construction.)
+  std::int64_t eligible = static_cast<std::int64_t>(entries_.size());
+  if (protect >= 0 && entries_.count(protect) > 0) --eligible;
+  if (eligible <= 0) return -1;
   std::int64_t exempt = -1;
-  if (policy_ == EvictionPolicy::kPriorityVictim) {
-    std::int64_t eligible = 0;
-    std::int64_t oldest_seq = -1;
-    for (const auto& [id, entry] : entries_) {
-      if (id == protect) continue;
-      ++eligible;
-      if (exempt < 0 || entry.admit_seq < oldest_seq ||
-          (entry.admit_seq == oldest_seq && id < exempt)) {
-        exempt = id;
-        oldest_seq = entry.admit_seq;
+  if (eligible >= 2) {  // a sole candidate stays evictable
+    for (auto it = admit_order_.begin(); it != admit_order_.end(); ++it) {
+      if (it->second != protect) {
+        exempt = it->second;
+        break;
       }
     }
-    if (eligible < 2) exempt = -1;  // sole candidate stays evictable
   }
-  std::int64_t victim = -1;
-  const Entry* victim_entry = nullptr;
-  // `better(a, b)`: should candidate a replace current victim b?
-  const auto better = [this](std::int64_t a_id, const Entry& a,
-                             std::int64_t b_id, const Entry& b) {
-    if (policy_ == EvictionPolicy::kPriorityVictim) {
-      // Lowest priority first; among equals, the largest KV footprint
-      // frees the most pages per preemption.
-      if (a.priority != b.priority) return a.priority < b.priority;
-      if (a.tokens != b.tokens) return a.tokens > b.tokens;
-    }
-    // kPreemptNewest / kSwapToHost (and remaining ties): newest admission
-    // first; ties by id for platform-independent determinism.
-    if (a.admit_seq != b.admit_seq) return a.admit_seq > b.admit_seq;
-    return a_id > b_id;
-  };
-  for (const auto& [id, entry] : entries_) {
-    if (id == protect || id == exempt) continue;
-    if (victim_entry == nullptr || better(id, entry, victim, *victim_entry)) {
-      victim = id;
-      victim_entry = &entry;
-    }
+  for (auto it = victim_order_.begin(); it != victim_order_.end(); ++it) {
+    if (it->id != protect && it->id != exempt) return it->id;
   }
-  return victim;
+  return -1;
 }
 
 bool KvCacheManager::audit() const {
-  const auto balances = [this](const std::unordered_map<std::int64_t, Entry>&
-                                   entries,
-                               Bytes used, Bytes capacity) {
-    double tokens = 0;
-    for (const auto& [id, entry] : entries) {
-      if (entry.tokens < 0) return false;
-      tokens += static_cast<double>(entry.tokens);
+  // --- Device entries: block math and rollups --------------------------------
+  std::int64_t private_sum = 0;
+  std::int64_t token_sum = 0;
+  std::int64_t block_token_sum = 0;
+  std::unordered_map<std::int64_t, std::int64_t> ref_recount;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.tokens < 0 || entry.private_blocks < 0) return false;
+    if (entry_blocks(entry) !=
+        static_cast<std::int64_t>(entry.shared.size()) +
+            entry.private_blocks) {
+      return false;
     }
-    const Bytes expected = bytes_per_token_ * tokens;
-    const Bytes tolerance = 1e-6 * (expected + 1.0);
-    return std::abs(used - expected) <= tolerance &&
-           used <= capacity + tolerance;
-  };
-  return balances(entries_, used_, capacity_) &&
-         balances(host_entries_, host_used_, host_capacity_);
+    private_sum += entry.private_blocks;
+    token_sum += entry.tokens;
+    block_token_sum += entry_blocks(entry) * block_tokens_;
+    for (std::int64_t block_id : entry.shared) ++ref_recount[block_id];
+  }
+  if (private_sum != private_used_ || token_sum != mapped_tokens_ ||
+      block_token_sum != entry_block_tokens_) {
+    return false;
+  }
+  // --- Shared registry: refcounts, cached set, index -------------------------
+  std::int64_t cached_recount = 0;
+  for (const auto& [block_id, block] : shared_blocks_) {
+    const auto counted = ref_recount.find(block_id);
+    const std::int64_t refs =
+        counted == ref_recount.end() ? 0 : counted->second;
+    if (block.ref != refs) return false;  // mapped blocks hold ref >= 1
+    if (block.ref == 0) {
+      if (!block.computed) return false;  // uncomputed orphans are destroyed
+      ++cached_recount;
+      const auto lru = cached_lru_.find(block.lru_seq);
+      if (lru == cached_lru_.end() || lru->second != block_id) return false;
+    }
+    const auto indexed = prefix_index_.find({block.prefix_id,
+                                             block.block_index});
+    if (indexed == prefix_index_.end() || indexed->second != block_id) {
+      return false;
+    }
+  }
+  for (const auto& counted : ref_recount) {
+    if (shared_blocks_.count(counted.first) == 0) return false;
+  }
+  if (cached_recount != cached_block_count() ||
+      prefix_index_.size() != shared_blocks_.size()) {
+    return false;
+  }
+  if (occupied_blocks() > capacity_blocks_) return false;
+  // --- Victim indices --------------------------------------------------------
+  if (admit_order_.size() != entries_.size()) return false;
+  for (const auto& [seq, id] : admit_order_) {
+    const auto entry = entries_.find(id);
+    if (entry == entries_.end() || entry->second.admit_seq != seq) {
+      return false;
+    }
+  }
+  if (policy_ == EvictionPolicy::kPriorityVictim &&
+      victim_order_.size() != entries_.size()) {
+    return false;
+  }
+  for (const auto& [prefix_id, donor] : tail_donors_) {
+    const auto entry = entries_.find(donor);
+    if (entry == entries_.end() || entry->second.prefix_id != prefix_id) {
+      return false;
+    }
+  }
+  // --- Host pool -------------------------------------------------------------
+  std::int64_t host_sum = 0;
+  for (const auto& [id, entry] : host_entries_) {
+    if (entry.tokens < 0) return false;
+    if (entry.private_blocks != entry_blocks(entry) ||
+        !entry.shared.empty()) {
+      return false;  // host copies are whole and private
+    }
+    host_sum += entry.private_blocks;
+  }
+  return host_sum == host_used_blocks_ &&
+         host_used_blocks_ <= host_capacity_blocks_;
 }
 
 }  // namespace cimtpu::serving

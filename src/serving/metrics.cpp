@@ -38,6 +38,13 @@ Bytes ServingCounters::total_swap_bytes() const {
   return swap_out_bytes + swap_in_bytes;
 }
 
+double ServingCounters::prefix_hit_rate() const {
+  return prefix_lookup_tokens == 0
+             ? 0.0
+             : static_cast<double>(prefix_hit_tokens) /
+                   static_cast<double>(prefix_lookup_tokens);
+}
+
 double jain_fairness_index(const std::vector<double>& values) {
   if (values.empty()) return 1.0;
   double sum = 0;

@@ -3,8 +3,8 @@
 // math, the TTFT/TPOT/end-to-end summaries SLO reports are built from,
 // the per-tenant breakdown (plus Jain's fairness index) multi-tenant QoS
 // policies are judged by, and the event counters (preemptions per policy,
-// swap traffic, chunked prefill activity) the scheduler accumulates
-// across a run.
+// swap traffic, chunked prefill activity, paged-KV prefix-cache hits) the
+// scheduler accumulates across a run.
 
 #include <cstdint>
 #include <vector>
@@ -65,8 +65,24 @@ struct ServingCounters {
   Bytes swap_in_bytes = 0;                 ///< host -> device PCIe traffic
   std::int64_t chunked_prefill_steps = 0;  ///< prefill steps that split a prompt
 
+  // Paged-KV prefix caching (all 0 with the cache disabled): at each
+  // admission carrying a prefix tag, `prefix_lookup_tokens` counts the
+  // prefix tokens eligible for reuse and `prefix_hit_tokens` the tokens
+  // actually served from cached blocks (prefill skipped for them);
+  // `prefix_shared_blocks` counts block mappings satisfied by a
+  // refcount++ on an existing physical block (device blocks saved), and
+  // `prefix_cow_blocks` the private copies made of a shared partial tail
+  // block (copy-on-write at the certain divergence point).
+  std::int64_t prefix_lookup_tokens = 0;
+  std::int64_t prefix_hit_tokens = 0;
+  std::int64_t prefix_shared_blocks = 0;
+  std::int64_t prefix_cow_blocks = 0;
+
   std::int64_t total_preemptions() const;
   Bytes total_swap_bytes() const;
+  /// prefix_hit_tokens / prefix_lookup_tokens; 0 when nothing was looked
+  /// up (cache disabled or no tagged requests).
+  double prefix_hit_rate() const;
 };
 
 }  // namespace cimtpu::serving

@@ -46,6 +46,16 @@ void RequestStreamConfig::validate() const {
   for (double weight : tenant_weights) {
     CIMTPU_CONFIG_CHECK(weight > 0, "tenant weights must be positive");
   }
+  CIMTPU_CONFIG_CHECK(prefix_pool_size >= 0,
+                      "prefix_pool_size must be >= 0");
+  CIMTPU_CONFIG_CHECK(prefix_len_tokens >= 0,
+                      "prefix_len_tokens must be >= 0");
+  CIMTPU_CONFIG_CHECK(
+      (prefix_pool_size > 0) == (prefix_len_tokens > 0),
+      "prefix_pool_size (" << prefix_pool_size << ") and prefix_len_tokens ("
+                           << prefix_len_tokens
+                           << ") must be set together (both 0 disables "
+                              "shared prefixes)");
   if (process == ArrivalProcess::kBursty) {
     CIMTPU_CONFIG_CHECK(burst_factor > 1.0, "burst_factor must exceed 1");
     CIMTPU_CONFIG_CHECK(burst_fraction > 0 && burst_fraction < 1,
@@ -104,6 +114,9 @@ std::vector<Request> generate_requests(const RequestStreamConfig& config) {
   // Third decoupled stream for tenant assignment, same reasoning: the
   // tenant model never perturbs arrivals, lengths, or priorities.
   Rng tenant_rng(config.seed ^ 0x3c3c5a5a0badf00dull);
+  // Fourth decoupled stream for shared-prefix assignment: enabling system
+  // prompts never perturbs any other field of the trace.
+  Rng prefix_rng(config.seed ^ 0x517e0fcafe5eed11ull);
   const LengthSampler prompt_sampler(config.prompt);
   const LengthSampler output_sampler(config.output);
   // Cumulative tenant weights for the skewed-assignment draw.
@@ -174,6 +187,14 @@ std::vector<Request> generate_requests(const RequestStreamConfig& config) {
             std::lower_bound(tenant_cdf.begin(), tenant_cdf.end(), target) -
             tenant_cdf.begin();
       }
+    }
+    if (config.prefix_pool_size > 0) {
+      // Shared system prompt: prepended to the sampled user prompt, so the
+      // total prompt grows by the prefix length.
+      request.prefix_id =
+          prefix_rng.uniform_int(0, config.prefix_pool_size - 1);
+      request.prefix_len = config.prefix_len_tokens;
+      request.prompt_len += config.prefix_len_tokens;
     }
     requests.push_back(request);
   }

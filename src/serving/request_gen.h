@@ -29,6 +29,12 @@ struct Request {
                                 ///< EvictionPolicy::kPriorityVictim
   std::int64_t tenant_id = 0;   ///< multi-tenant QoS: feeds weighted-fair
                                 ///< admission and per-tenant metrics
+  std::int64_t prefix_id = -1;  ///< shared system-prompt identity: requests
+                                ///< with the same id begin with the same
+                                ///< `prefix_len` tokens (feeds the paged-KV
+                                ///< prefix cache); -1 = unique prompt
+  std::int64_t prefix_len = 0;  ///< leading prompt tokens covered by the
+                                ///< shared prefix (<= prompt_len)
 };
 
 /// Arrival process of the stream.
@@ -86,6 +92,17 @@ struct RequestStreamConfig {
   // given seed whatever the tenant model says.
   std::int64_t num_tenants = 1;
   std::vector<double> tenant_weights;
+
+  // Shared system-prompt prefixes (paged-KV prefix caching): when
+  // `prefix_pool_size` > 0 every request draws a prefix id uniformly from
+  // [0, prefix_pool_size) and its prompt becomes prefix_len_tokens of
+  // shared system prompt followed by the sampled user prompt
+  // (prompt_len += prefix_len_tokens).  Prefix ids come from a FOURTH
+  // decoupled rng stream, so arrivals, lengths, priorities, and tenants
+  // stay bit-identical for a given seed whatever the prefix model — and a
+  // pool size of 0 (the default) leaves old streams untouched.
+  std::int64_t prefix_pool_size = 0;
+  std::int64_t prefix_len_tokens = 0;
 
   void validate() const;
 };

@@ -18,6 +18,8 @@ void SchedulerConfig::validate() const {
                                << ") must be 0 (disabled) or >= seqlen_bucket ("
                                << seqlen_bucket
                                << ") so every chunk advances its cost bucket");
+  CIMTPU_CONFIG_CHECK(kv_block_tokens >= 1,
+                      "kv_block_tokens must be >= 1, got " << kv_block_tokens);
   admission.validate();
 }
 
@@ -107,6 +109,15 @@ ContinuousBatchScheduler::ContinuousBatchScheduler(
       admission_(make_admission_policy(config.admission)) {
   config_.validate();
   CIMTPU_CHECK(kv_cache != nullptr);
+  CIMTPU_CONFIG_CHECK(
+      kv_cache->block_tokens() == config_.kv_block_tokens,
+      "SchedulerConfig::kv_block_tokens ("
+          << config_.kv_block_tokens << ") disagrees with the KvCacheManager ("
+          << kv_cache->block_tokens() << ")");
+  CIMTPU_CONFIG_CHECK(
+      kv_cache->prefix_cache_enabled() == config_.enable_prefix_cache,
+      "SchedulerConfig::enable_prefix_cache disagrees with the "
+      "KvCacheManager");
 }
 
 void ContinuousBatchScheduler::enqueue(const Request& request) {
@@ -114,6 +125,10 @@ void ContinuousBatchScheduler::enqueue(const Request& request) {
                       "request " << request.id << " has empty prompt");
   CIMTPU_CONFIG_CHECK(request.output_len >= 1,
                       "request " << request.id << " generates no tokens");
+  CIMTPU_CONFIG_CHECK(
+      request.prefix_len >= 0 && request.prefix_len <= request.prompt_len,
+      "request " << request.id << " has prefix_len " << request.prefix_len
+                 << " outside [0, prompt_len=" << request.prompt_len << "]");
   admission_->on_enqueue(request, total_steps_);
 }
 
@@ -148,13 +163,13 @@ void ContinuousBatchScheduler::histogram_remove(std::int64_t bucket) {
 
 void ContinuousBatchScheduler::decoder_enter(const Sequence& sequence) {
   ++resident_decoders_;
-  if (sequence_grows(sequence)) ++growing_decoders_;
+  pending_growth_blocks_ += growth_blocks(sequence);
   histogram_add(decode_bucket(sequence));
 }
 
 void ContinuousBatchScheduler::decoder_leave(const Sequence& sequence) {
   --resident_decoders_;
-  if (sequence_grows(sequence)) --growing_decoders_;
+  pending_growth_blocks_ -= growth_blocks(sequence);
   histogram_remove(decode_bucket(sequence));
 }
 
@@ -165,10 +180,10 @@ bool ContinuousBatchScheduler::aggregates_consistent() const {
   for (const Sequence& sequence : sequences_) {
     if (sequence.prefilling()) continue;
     ++decoders;
-    if (sequence_grows(sequence)) ++growing;
+    growing += growth_blocks(sequence);
     buckets.push_back(decode_bucket(sequence));
   }
-  if (decoders != resident_decoders_ || growing != growing_decoders_) {
+  if (decoders != resident_decoders_ || growing != pending_growth_blocks_) {
     return false;
   }
   std::sort(buckets.begin(), buckets.end());
@@ -192,18 +207,16 @@ void ContinuousBatchScheduler::swap_in_and_admit(StepRecord* record) {
   // PCIe for zero progress.  With nothing resident the watermark is waived
   // (there is no pressure to re-evict, and blocking would deadlock).
   const auto swap_in_fits = [this](const Sequence& sequence) {
-    const Bytes restore =
-        kv_cache_->bytes_per_token() *
-        static_cast<double>(kv_cache_->swapped_tokens(sequence.request.id));
+    const std::int64_t restore_blocks = kv_cache_->blocks_for_tokens(
+        kv_cache_->swapped_tokens(sequence.request.id));
     if (sequences_.empty()) {
-      return kv_cache_->used() + restore <= kv_cache_->capacity();
+      return kv_cache_->fits_blocks(restore_blocks);
     }
-    // The restored sequence itself plus every resident decoder (tracked
-    // incrementally — no rescan per candidate).
-    const double decoders = 1 + static_cast<double>(resident_decoders_);
-    const Bytes growth_headroom = kv_cache_->bytes_per_token() * decoders;
-    return kv_cache_->used() + restore + growth_headroom <=
-           kv_cache_->capacity();
+    // One block of growth headroom for the restored sequence itself plus
+    // every resident decoder (tracked incrementally — no rescan per
+    // candidate).  Conservative at block sizes > 1: a decoder mid-block
+    // needs nothing next step, but headroom is a watermark, not accounting.
+    return kv_cache_->fits_blocks(restore_blocks + 1 + resident_decoders_);
   };
   while (!swapped_.empty() &&
          sequences_.size() < static_cast<std::size_t>(config_.max_batch) &&
@@ -235,14 +248,25 @@ void ContinuousBatchScheduler::swap_in_and_admit(StepRecord* record) {
          admitted < config_.max_prefill_batch) {
     const Request* head = admission_->select(admission_context());
     if (head == nullptr) break;  // policy throttled (e.g. rate caps)
+    KvCacheManager::AdmitOutcome outcome;
     if (!kv_cache_->try_admit(head->id, admission_reserve_tokens(*head),
-                              head->priority)) {
+                              head->priority, head->prefix_id,
+                              head->prefix_len, head->prompt_len, &outcome)) {
       break;
     }
-    // A fresh admission always starts prefilling (prompt_len >= 1), so the
-    // decoder aggregates are untouched here.  Copy BEFORE pop_selected:
-    // `head` points into the policy's storage.
-    sequences_.push_back(Sequence{*head, /*prefilled=*/0, /*generated=*/0});
+    counters_.prefix_lookup_tokens += outcome.lookup_tokens;
+    counters_.prefix_hit_tokens += outcome.prefix_hit_tokens;
+    counters_.prefix_shared_blocks += outcome.shared_blocks;
+    counters_.prefix_cow_blocks += outcome.cow_blocks;
+    // A prefix hit starts prefill mid-sequence: the cached leading tokens
+    // are never pushed through the model again.  The hit is capped at
+    // prompt_len - 1, so a fresh admission always starts prefilling and
+    // the decoder aggregates are untouched here.  Copy BEFORE
+    // pop_selected: `head` points into the policy's storage.
+    sequences_.push_back(Sequence{*head,
+                                  /*prefilled=*/outcome.prefix_hit_tokens,
+                                  /*generated=*/0,
+                                  /*prefix_skipped=*/outcome.prefix_hit_tokens});
     admission_->pop_selected();
     ++admitted;
   }
@@ -283,11 +307,17 @@ void ContinuousBatchScheduler::build_prefill_step(StepRecord* record) {
     // its bucket was already paid for by telescoping).
     if (budget < std::min(remaining, config_.seqlen_bucket)) break;
     const std::int64_t chunk = std::min(remaining, budget);
+    // A prefix-hit sequence's FIRST chunk already starts at a nonzero KV
+    // offset (prev = prefix_skipped); only later chunks mean the prompt
+    // was actually split across steps.
     record->prev_lens.push_back(sequence.prefilled);
     record->chunk_lens.push_back(chunk);
     record->kv_lens.push_back(sequence.prefilled + chunk);
-    if (sequence.prefilled > 0 || chunk < remaining) record->chunked = true;
+    if (sequence.prefilled > sequence.prefix_skipped || chunk < remaining) {
+      record->chunked = true;
+    }
     sequence.prefilled += chunk;
+    kv_cache_->note_prefilled(sequence.request.id, sequence.prefilled);
     budget -= chunk;
     if (!sequence.prefilling()) {
       // Prompt complete: this step emits the sequence's first token.
@@ -325,18 +355,18 @@ void ContinuousBatchScheduler::build_prefill_step(StepRecord* record) {
 bool ContinuousBatchScheduler::build_decode_step(StepRecord* record) {
   record->kind = StepRecord::Kind::kDecode;
 
-  // Growth pressure: make room for every continuing decode participant's
-  // next KV token before the step runs.  The pending-growth count is
-  // tracked incrementally, so each pressure check is O(1) instead of a
-  // scan over all residents.  The manager owns victim selection; the
-  // mechanism depends on the policy — swap victims move to the host pool
-  // with their progress intact, recompute victims re-queue from scratch.
-  // kSwapToHost falls back to recompute when the host pool is full.
+  // Growth pressure: make room for every KV BLOCK the continuing decode
+  // participants must allocate this step (decoders mid-block need
+  // nothing; at block size 1 every growing decoder needs one).  The
+  // pending-growth block count is tracked incrementally, so each pressure
+  // check is O(1) instead of a scan over all residents.  The manager owns
+  // victim selection; the mechanism depends on the policy — swap victims
+  // move to the host pool with their progress intact, recompute victims
+  // re-queue from scratch.  kSwapToHost falls back to recompute when the
+  // host pool is full.
   if (kv_cache_->policy() != EvictionPolicy::kNone) {
     for (;;) {
-      const Bytes need = kv_cache_->bytes_per_token() *
-                         static_cast<double>(growing_decoders_);
-      if (kv_cache_->used() + need <= kv_cache_->capacity()) break;
+      if (kv_cache_->fits_blocks(pending_growth_blocks_)) break;
       CIMTPU_CONFIG_CHECK(sequences_.size() > 1,
                           "request " << sequences_.front().request.id
                                      << " outgrew the whole KV budget");
@@ -393,13 +423,16 @@ bool ContinuousBatchScheduler::build_decode_step(StepRecord* record) {
     record->kv_lens.push_back(sequence.request.prompt_len +
                               sequence.generated);
     const std::int64_t old_bucket = decode_bucket(sequence);
+    // This decoder's pre-advance pending-growth contribution (0 for a
+    // finishing decoder — its growth check looked one token ahead) is
+    // consumed by this advance; the kept branch re-derives the
+    // contribution for the NEXT step after the grow.
+    pending_growth_blocks_ -= growth_blocks(sequence);
     ++sequence.generated;
     if (sequence.generated >= sequence.request.output_len) {
       record->finished_ids.push_back(sequence.request.id);
       kv_cache_->release(sequence.request.id);
       admission_->on_finish(sequence.request, total_steps_);
-      // Leave the aggregates at the pre-advance state: a finishing decoder
-      // was never "growing" (its growth check looked one token ahead).
       --resident_decoders_;
       histogram_remove(old_bucket);
     } else {
@@ -412,9 +445,7 @@ bool ContinuousBatchScheduler::build_decode_step(StepRecord* record) {
         histogram_remove(old_bucket);
         histogram_add(new_bucket);
       }
-      // A kept decoder was growing before the advance; it stops counting
-      // once its NEXT step would be its last.
-      if (!sequence_grows(sequence)) --growing_decoders_;
+      pending_growth_blocks_ += growth_blocks(sequence);
       if (write != read) sequences_[write] = sequence;
       ++write;
     }

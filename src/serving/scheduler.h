@@ -26,8 +26,15 @@
 // scratch; swap victims (kSwapToHost) move their pages to the host pool
 // and resume decoding after re-admission without recomputing the prompt.
 //
+// KV is BLOCK-GRANULAR (kv_block_tokens-sized pages, kv_cache_manager.h):
+// admission, growth, swap, and eviction all account in blocks, decode
+// growth only allocates at block boundaries, and with
+// `enable_prefix_cache` requests tagged with a shared prompt prefix map
+// the cached prefix blocks by reference and START PREFILL MID-SEQUENCE —
+// the first chunk's prev_len is the prefix-hit token count.
+//
 // Hot-path design: the scheduler maintains INCREMENTAL aggregates —
-// resident decoder count, pending-growth token count, and a sorted
+// resident decoder count, pending-growth BLOCK count, and a sorted
 // bucketed-KV histogram over resident decoders — updated on every
 // admit / prefill-completion / decode-advance / finish / preempt / swap
 // transition, so planning a step never rescans all resident sequences.
@@ -60,6 +67,16 @@ struct SchedulerConfig {
   int max_prefill_batch = 8;   ///< max prefill participants (and new
                                ///< admissions) per step
   std::int64_t seqlen_bucket = 128;  ///< cost-cache bucket granularity
+
+  /// KV page size in tokens (KvCacheManager block granularity).  1 — the
+  /// default — reproduces the historical contiguous per-token accounting
+  /// bit for bit; larger blocks trade internal fragmentation for
+  /// allocation granularity and enable meaningful prefix sharing.
+  std::int64_t kv_block_tokens = 1;
+
+  /// Ref-counted prefix caching over Request::prefix_id (see
+  /// kv_cache_manager.h).  Off by default — the golden-pinned behaviour.
+  bool enable_prefix_cache = false;
 
   /// 0 disables chunking (whole-prompt prefill steps).  Otherwise each
   /// prefill step carries at most this many prompt tokens in total and
@@ -117,6 +134,9 @@ struct StepRecord {
 /// order); prefill participants are costed as the telescoped difference
 /// prefill(prev + chunk) - prefill(prev), so a chunked prompt's total
 /// prefill cost is identical to the unchunked cost of the same prompt.
+/// The same telescoping prices chunks that START mid-sequence: a
+/// prefix-cache hit enters prefill with prev = hit tokens, so only the
+/// uncached suffix is ever charged.
 StepCost cost_step(StepCostCache& costs, const StepRecord& step);
 
 /// The continuous-batching state machine.  Time-free: the serving loop owns
@@ -171,6 +191,8 @@ class ContinuousBatchScheduler {
     Request request;
     std::int64_t prefilled = 0;  ///< prompt tokens pushed through the model
     std::int64_t generated = 0;  ///< tokens decoded so far (incl. first)
+    std::int64_t prefix_skipped = 0;  ///< leading tokens served from the
+                                      ///< prefix cache (prefill starts here)
     bool prefilling() const { return prefilled < request.prompt_len; }
   };
 
@@ -182,12 +204,26 @@ class ContinuousBatchScheduler {
   // --- Incremental decoder aggregates ------------------------------------
   // Invariants over `sequences_` entries with !prefilling():
   //   resident_decoders_ = their count,
-  //   growing_decoders_  = those whose NEXT decode step still grows KV
-  //                        (generated + 1 < output_len),
+  //   pending_growth_blocks_ = KV BLOCKS the next decode step must be able
+  //                            to allocate: decoders that still grow
+  //                            (generated + 1 < output_len) AND whose next
+  //                            token crosses a block boundary
+  //                            (KvCacheManager::grow_needs_block).  At
+  //                            block size 1 every growing decoder crosses,
+  //                            so this equals the pre-paging growing count.
   //   decode_kv_histogram_ = sorted (bucket_up(prompt + generated), count)
-  //                          pairs, counts > 0.
+  //                          pairs, counts > 0.  Kept in cost-bucket TOKEN
+  //                          units: it feeds the step-cost cache, whose
+  //                          shapes are token-bucketed, not block-sized.
   bool sequence_grows(const Sequence& sequence) const {
     return sequence.generated + 1 < sequence.request.output_len;
+  }
+  /// Blocks the next decode step must allocate for `sequence` (0 or 1).
+  std::int64_t growth_blocks(const Sequence& sequence) const {
+    return sequence_grows(sequence) &&
+                   kv_cache_->grow_needs_block(sequence.request.id)
+               ? 1
+               : 0;
   }
   std::int64_t decode_bucket(const Sequence& sequence) const {
     return round_up(sequence.request.prompt_len + sequence.generated,
@@ -214,7 +250,7 @@ class ContinuousBatchScheduler {
   std::deque<Sequence> swapped_;    ///< swap-out order (FIFO re-admission)
   std::vector<Sequence> sequences_; ///< resident, admission order
   std::int64_t resident_decoders_ = 0;
-  std::int64_t growing_decoders_ = 0;
+  std::int64_t pending_growth_blocks_ = 0;
   std::vector<std::pair<std::int64_t, std::int64_t>> decode_kv_histogram_;
   bool last_step_prefill_ = false;  ///< interleave state under chunking
   std::int64_t total_steps_ = 0;

@@ -23,6 +23,9 @@ void ServingScenario::validate() const {
                       "host pool capacity must be >= 0");
   CIMTPU_CONFIG_CHECK(max_sim_seconds >= 0,
                       "max_sim_seconds must be >= 0 (0 = run to drain)");
+  CIMTPU_CONFIG_CHECK(kv_budget_override >= 0,
+                      "kv_budget_override must be >= 0 (0 = derive from HBM "
+                      "headroom), got " << format_bytes(kv_budget_override));
   scheduler.validate();
 }
 
@@ -71,7 +74,9 @@ ServingMetrics run_serving(const ServingScenario& scenario,
                 scenario.model, chip.memory().spec().hbm.capacity,
                 scenario.chips);
   KvCacheManager kv_cache(kv_budget, KvCacheManager::token_bytes(scenario.model),
-                          scenario.eviction, scenario.host_pool_capacity);
+                          scenario.eviction, scenario.host_pool_capacity,
+                          scenario.scheduler.kv_block_tokens,
+                          scenario.scheduler.enable_prefix_cache);
   ContinuousBatchScheduler scheduler(scenario.scheduler, &kv_cache);
 
   const std::int64_t layers = scenario.model.num_layers;
@@ -89,6 +94,7 @@ ServingMetrics run_serving(const ServingScenario& scenario,
 
   Seconds now = 0;
   Seconds busy_time = 0;  ///< MXU busy time summed over all stages
+  double fragmentation_sum = 0;  ///< per-step internal-fragmentation samples
   std::size_t next_arrival = 0;
 
   const auto feed_arrivals = [&](Seconds up_to) {
@@ -162,6 +168,9 @@ ServingMetrics run_serving(const ServingScenario& scenario,
     } else {
       metrics.decode_steps += 1;
     }
+    // Paged-KV gauge: last-block waste across resident mappings, sampled
+    // once per engine step (identically 0 at block size 1).
+    fragmentation_sum += kv_cache.internal_fragmentation();
     busy_time += static_cast<double>(layers) * layer_cost.mxu_busy_time;
     metrics.mxu_energy += static_cast<double>(layers) * layer_cost.mxu_energy;
     metrics.total_energy += static_cast<double>(layers) * layer_cost.total_energy;
@@ -190,6 +199,11 @@ ServingMetrics run_serving(const ServingScenario& scenario,
   }
   metrics.counters = scheduler.counters();
   metrics.preemptions = metrics.counters.total_preemptions();
+  metrics.prefix_hit_rate = metrics.counters.prefix_hit_rate();
+  if (metrics.total_steps > 0) {
+    metrics.kv_internal_fragmentation =
+        fragmentation_sum / static_cast<double>(metrics.total_steps);
+  }
 
   // --- Distributional rollups ----------------------------------------------
   std::vector<double> ttft, tpot, e2e;

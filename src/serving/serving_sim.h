@@ -65,7 +65,14 @@ struct ServingMetrics {
   std::int64_t decode_steps = 0;
   std::int64_t preemptions = 0;  ///< recompute + swap (see counters)
   ServingCounters counters;      ///< per-policy preemptions, swap bytes,
-                                 ///< chunked-prefill steps
+                                 ///< chunked-prefill steps, prefix-cache
+                                 ///< hits/shared blocks/CoW copies
+
+  /// Paged-KV gauges (schema-v5 "prefix_cache" block): the fraction of
+  /// eligible prefix tokens served from cached blocks, and the mean
+  /// per-step last-block waste of the block allocator (0 at block size 1).
+  double prefix_hit_rate = 0;
+  double kv_internal_fragmentation = 0;
 
   Seconds makespan = 0;        ///< last token emission time
   LatencySummary ttft;         ///< time to first token

@@ -118,6 +118,12 @@ class StepCostCache {
                 SharedStepCostCache::Store* shared = nullptr);
 
   /// One prefill layer over `batch` prompts of (bucketed) length `seq_len`.
+  /// Chunked prefill costs chunks as differences of these shapes —
+  /// prefill(prev + chunk) - prefill(prev) — which also covers chunks that
+  /// BEGIN at a nonzero KV offset (prev > 0 on a sequence's first chunk):
+  /// a paged-KV prefix hit skips the cached leading tokens, so its first
+  /// chunk attends over the reused prefix exactly like a later chunk
+  /// attends over earlier chunks.
   StepCost prefill_layer(std::int64_t batch, std::int64_t seq_len);
 
   /// One decode layer over `batch` sequences at (bucketed) KV length

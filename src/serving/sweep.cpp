@@ -118,8 +118,22 @@ void ServingSweep::validate() const {
   CIMTPU_CONFIG_CHECK(!policies.empty(), "sweep needs >= 1 policy");
   CIMTPU_CONFIG_CHECK(!admission_policies.empty(),
                       "sweep needs >= 1 admission policy");
+  CIMTPU_CONFIG_CHECK(!kv_block_tokens.empty(),
+                      "sweep needs >= 1 kv_block_tokens value");
+  CIMTPU_CONFIG_CHECK(!prefix_caching.empty(),
+                      "sweep needs >= 1 prefix_caching value");
   for (double rate : arrival_rates) {
     CIMTPU_CONFIG_CHECK(rate > 0, "arrival rate must be positive");
+  }
+  for (std::int64_t block : kv_block_tokens) {
+    CIMTPU_CONFIG_CHECK(block >= 0,
+                        "kv_block_tokens axis values must be >= 0 (0 = "
+                        "inherit base), got " << block);
+  }
+  for (int caching : prefix_caching) {
+    CIMTPU_CONFIG_CHECK(caching >= -1 && caching <= 1,
+                        "prefix_caching axis values must be -1 (inherit), "
+                        "0 (off), or 1 (on), got " << caching);
   }
 }
 
@@ -142,7 +156,8 @@ std::vector<SweepCellResult> run_serving_sweep(const ServingSweep& sweep,
   const std::size_t grid_size =
       sweep.arrival_rates.size() * sweep.models.size() *
       sweep.chip_counts.size() * sweep.policies.size() *
-      sweep.admission_policies.size();
+      sweep.admission_policies.size() * sweep.kv_block_tokens.size() *
+      sweep.prefix_caching.size();
   points.reserve(grid_size);
   cells.reserve(grid_size);
   for (std::size_t r = 0; r < sweep.arrival_rates.size(); ++r) {
@@ -150,30 +165,48 @@ std::vector<SweepCellResult> run_serving_sweep(const ServingSweep& sweep,
       for (int chips : sweep.chip_counts) {
         for (EvictionPolicy policy : sweep.policies) {
           for (const std::string& admission : sweep.admission_policies) {
-            SweepPoint point;
-            point.scenario = sweep.base;
-            point.scenario.model = model;
-            point.scenario.chips = chips;
-            point.scenario.eviction = policy;
-            point.scenario.scheduler.admission.policy = admission;
-            point.requests = &traces[r];
-            std::ostringstream label;
-            label << "rate=" << sweep.arrival_rates[r]
-                  << " model=" << model.name << '/'
-                  << ir::dtype_name(model.dtype) << " chips=" << chips
-                  << " policy=" << eviction_policy_name(policy)
-                  << " admission=" << admission;
-            point.label = label.str();
-            points.push_back(std::move(point));
+            for (std::int64_t block_axis : sweep.kv_block_tokens) {
+              for (int caching_axis : sweep.prefix_caching) {
+                // Sentinels inherit the base scenario's paged-KV knobs so
+                // grids that never mention the new axes expand unchanged.
+                const std::int64_t block =
+                    block_axis == 0 ? sweep.base.scheduler.kv_block_tokens
+                                    : block_axis;
+                const bool caching =
+                    caching_axis < 0
+                        ? sweep.base.scheduler.enable_prefix_cache
+                        : caching_axis > 0;
+                SweepPoint point;
+                point.scenario = sweep.base;
+                point.scenario.model = model;
+                point.scenario.chips = chips;
+                point.scenario.eviction = policy;
+                point.scenario.scheduler.admission.policy = admission;
+                point.scenario.scheduler.kv_block_tokens = block;
+                point.scenario.scheduler.enable_prefix_cache = caching;
+                point.requests = &traces[r];
+                std::ostringstream label;
+                label << "rate=" << sweep.arrival_rates[r]
+                      << " model=" << model.name << '/'
+                      << ir::dtype_name(model.dtype) << " chips=" << chips
+                      << " policy=" << eviction_policy_name(policy)
+                      << " admission=" << admission << " block=" << block
+                      << " prefix_cache=" << (caching ? "on" : "off");
+                point.label = label.str();
+                points.push_back(std::move(point));
 
-            SweepCellResult cell;
-            cell.arrival_rate = sweep.arrival_rates[r];
-            cell.model = model.name;
-            cell.dtype = model.dtype;
-            cell.chips = chips;
-            cell.policy = policy;
-            cell.admission = admission;
-            cells.push_back(std::move(cell));
+                SweepCellResult cell;
+                cell.arrival_rate = sweep.arrival_rates[r];
+                cell.model = model.name;
+                cell.dtype = model.dtype;
+                cell.chips = chips;
+                cell.policy = policy;
+                cell.admission = admission;
+                cell.kv_block_tokens = block;
+                cell.prefix_caching = caching;
+                cells.push_back(std::move(cell));
+              }
+            }
           }
         }
       }

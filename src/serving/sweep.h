@@ -3,7 +3,8 @@
 //
 // A sweep is a flat list of (scenario, request trace) points — typically
 // the cross product of arrival rate x model x chip count x eviction
-// policy x admission policy — run on a small worker pool.  Every point is an independent deterministic
+// policy x admission policy x KV block size x prefix caching — run on a
+// small worker pool.  Every point is an independent deterministic
 // simulation, so parallel execution is embarrassingly safe; the driver
 // guarantees:
 //
@@ -62,8 +63,8 @@ struct SweepPoint {
 std::vector<ServingMetrics> run_sweep(const std::vector<SweepPoint>& points,
                                       const SweepOptions& options = {});
 
-/// Declarative grid: the cross product of the five axes, expanded with
-/// arrival rate outermost and admission policy innermost (deterministic
+/// Declarative grid: the cross product of the seven axes, expanded with
+/// arrival rate outermost and prefix caching innermost (deterministic
 /// order).  One request trace is generated per arrival rate and shared by
 /// every point at that rate, so models/chips/policies compare on
 /// identical traffic.
@@ -78,9 +79,15 @@ struct ServingSweep {
   /// `base.scheduler.admission` — only the policy NAME is overridden per
   /// cell.
   std::vector<std::string> admission_policies = {"fifo"};
+  /// Paged-KV axes.  The 0 / -1 sentinels mean "inherit the base
+  /// scenario's value", so pre-existing grids expand unchanged; explicit
+  /// values override SchedulerConfig::kv_block_tokens /
+  /// enable_prefix_cache per cell (prefix_caching: 0 = off, 1 = on).
+  std::vector<std::int64_t> kv_block_tokens = {0};
+  std::vector<int> prefix_caching = {-1};
 
-  ServingScenario base;        ///< prototype; model/chips/eviction/admission
-                               ///< overridden
+  ServingScenario base;        ///< prototype; model/chips/eviction/admission/
+                               ///< paged-KV knobs overridden
   RequestStreamConfig stream;  ///< prototype; arrival_rate overridden
 
   void validate() const;
@@ -96,11 +103,14 @@ struct SweepCellResult {
   int chips = 1;
   EvictionPolicy policy = EvictionPolicy::kPreemptNewest;
   std::string admission = "fifo";
+  std::int64_t kv_block_tokens = 1;  ///< effective (sentinels resolved)
+  bool prefix_caching = false;       ///< effective (sentinels resolved)
   ServingMetrics metrics;
 };
 
 /// Expands the grid and runs it via run_sweep.  Results are in grid order
-/// (rate-major, admission-minor) and bit-identical to serial execution.
+/// (rate-major, prefix-caching-minor) and bit-identical to serial
+/// execution.
 std::vector<SweepCellResult> run_serving_sweep(
     const ServingSweep& sweep, const SweepOptions& options = {});
 

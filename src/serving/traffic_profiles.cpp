@@ -110,6 +110,68 @@ ServingScenario multi_tenant_fairness_scenario(
   return scenario;
 }
 
+RequestStreamConfig prefix_chatbot_stream(std::uint64_t seed,
+                                          std::int64_t num_requests,
+                                          double arrival_rate,
+                                          std::int64_t prefix_pool,
+                                          std::int64_t prefix_len) {
+  RequestStreamConfig stream;
+  stream.seed = seed;
+  stream.num_requests = num_requests;
+  stream.arrival_rate = arrival_rate;
+  stream.process = ArrivalProcess::kPoisson;
+  stream.prompt.kind = LengthDistribution::kZipf;
+  stream.prompt.min_len = 16;
+  stream.prompt.max_len = 512;
+  stream.prompt.zipf_alpha = 1.05;
+  stream.output.kind = LengthDistribution::kZipf;
+  stream.output.min_len = 16;
+  stream.output.max_len = 256;
+  stream.output.zipf_alpha = 1.05;
+  stream.prefix_pool_size = prefix_pool;
+  stream.prefix_len_tokens = prefix_len;
+  return stream;
+}
+
+ServingScenario prefix_cache_scenario(ir::DType dtype,
+                                      bool enable_prefix_cache,
+                                      std::int64_t kv_block_tokens,
+                                      std::int64_t kv_budget_tokens) {
+  ServingScenario scenario = llama7b_baseline_scenario(/*chips=*/1, dtype);
+  scenario.scheduler.kv_block_tokens = kv_block_tokens;
+  scenario.scheduler.enable_prefix_cache = enable_prefix_cache;
+  scenario.kv_budget_override =
+      KvCacheManager::token_bytes(scenario.model) *
+      static_cast<double>(kv_budget_tokens);
+  return scenario;
+}
+
+std::vector<SweepPoint> prefix_cache_grid_points(
+    const models::TransformerConfig& model,
+    const std::vector<Request>* requests, std::int64_t kv_budget_tokens) {
+  // Off/on at the canonical block size, plus a larger-block caching-on
+  // point so the fragmentation / hit-rate tradeoff is visible on one grid.
+  const struct {
+    std::int64_t block;
+    bool caching;
+  } cells[] = {{16, false}, {16, true}, {64, true}};
+  std::vector<SweepPoint> points;
+  for (const auto& cell : cells) {
+    SweepPoint point;
+    point.label = "block=" + std::to_string(cell.block) +
+                  " prefix_cache=" + (cell.caching ? "on" : "off");
+    point.scenario = prefix_cache_scenario(model.dtype, cell.caching,
+                                           cell.block, kv_budget_tokens);
+    point.scenario.model = model;
+    point.scenario.kv_budget_override =
+        KvCacheManager::token_bytes(model) *
+        static_cast<double>(kv_budget_tokens);
+    point.requests = requests;
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
 std::vector<SweepPoint> multi_tenant_fairness_points(
     const models::TransformerConfig& model,
     const std::vector<Request>* requests) {

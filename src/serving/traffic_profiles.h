@@ -91,4 +91,43 @@ inline const std::vector<double>& multi_tenant_fairness_weights() {
 }
 constexpr Seconds kMultiTenantFairnessHorizon = 30.0;
 
+/// The pool size / prefix length the canonical chatbot stream uses.  The
+/// prefix length is deliberately NOT a multiple of the studied block
+/// sizes (16, 64), so the shared partial tail block — and its
+/// copy-on-write path — is exercised on every full prefix hit.
+constexpr std::int64_t kPrefixChatbotPool = 4;
+constexpr std::int64_t kPrefixChatbotPrefixLen = 1000;
+
+/// Canonical prefix-heavy chatbot stream for paged-KV prefix-cache
+/// studies: every request opens with one of `prefix_pool` shared
+/// `prefix_len`-token system prompts (drawn from the decoupled fourth rng
+/// stream), followed by a Zipf user turn of 16..512 tokens and a Zipf
+/// 16..256-token reply — the workload class where cross-request prefix
+/// reuse dominates prefill work.  Shared by bench_serving's
+/// "prefix_cache" block, the serving_traffic demo, and the prefix tests.
+RequestStreamConfig prefix_chatbot_stream(
+    std::uint64_t seed, std::int64_t num_requests, double arrival_rate,
+    std::int64_t prefix_pool = kPrefixChatbotPool,
+    std::int64_t prefix_len = kPrefixChatbotPrefixLen);
+
+/// The canonical paged-KV deployment for the chatbot stream: the llama2-7b
+/// baseline with `kv_block_tokens`-sized pages, prefix caching switched by
+/// `enable_prefix_cache`, under a `kv_budget_tokens` device budget tight
+/// enough that block reuse matters (default admits the prefix pool plus a
+/// working set, ~1/4 of HBM headroom).
+ServingScenario prefix_cache_scenario(ir::DType dtype,
+                                      bool enable_prefix_cache,
+                                      std::int64_t kv_block_tokens = 16,
+                                      std::int64_t kv_budget_tokens = 20000);
+
+/// The canonical prefix-cache study as sweep points: caching off/on at
+/// block size 16, plus caching on at block 64 (fragmentation tradeoff),
+/// all replaying `*requests` (caller-owned, must outlive the sweep).
+/// Shared by bench_serving and serving_traffic so the two binaries always
+/// study the SAME grid, in the same order.
+std::vector<SweepPoint> prefix_cache_grid_points(
+    const models::TransformerConfig& model,
+    const std::vector<Request>* requests,
+    std::int64_t kv_budget_tokens = 20000);
+
 }  // namespace cimtpu::serving

@@ -1079,12 +1079,20 @@ TEST(PolicyEndToEndTest, ChunkingBoundsTpotUnderLongPrompts) {
 // drift in the scheduler, admission path, cost model, or KV manager fails
 // ctest.  The pins run under the DEFAULT "fifo" admission policy — the
 // exact pre-admission-API waiting-queue behaviour — and correspond to the
-// per-policy rows of bench_serving's schema-v4 BENCH_serving.json.  The
-// admission-policy dimension ("priority", "wfq") is deliberately NOT
-// golden-pinned: its QoS behaviour is asserted functionally by the
-// AdmissionPolicyTest wall above (starvation freedom, share
-// proportionality, Jain index), and its aggregate numbers land in the
-// JSON's "fairness" block instead.
+// per-policy rows of bench_serving's schema-v5 BENCH_serving.json.  They
+// ALSO run under the paged-KV defaults (kv_block_tokens = 1, prefix
+// caching off), which the block allocator reproduces bit for bit — the
+// PagedContiguousLockstepTest wall in serving_paged_kv_test.cpp pins that
+// equivalence operation by operation.  Two dimensions are deliberately
+// NOT golden-pinned:
+//   * the admission-policy dimension ("priority", "wfq") — asserted
+//     functionally by the AdmissionPolicyTest wall above (starvation
+//     freedom, share proportionality, Jain index), aggregates in the
+//     JSON's "fairness" block;
+//   * the paged-KV dimension (block sizes > 1, prefix caching on) —
+//     asserted functionally by serving_paged_kv_test.cpp (hit rate,
+//     blocks saved, CoW, fragmentation), aggregates in the schema-v5
+//     "prefix_cache" block.
 //
 // UPDATE PROCEDURE (only after an INTENTIONAL behaviour change):
 //   1. Re-run:  ./serving_policy_test --gtest_also_run_disabled_tests \
@@ -1093,7 +1101,9 @@ TEST(PolicyEndToEndTest, ChunkingBoundsTpotUnderLongPrompts) {
 //   3. Explain the drift (which change moved which metric) in your PR.
 //   4. If the drift also moves bench_serving output, refresh the committed
 //      BENCH_serving.json baseline at the repo root (the CI perf-smoke job
-//      gates steps_per_second against it).
+//      gates steps_per_second against it).  The baseline is schema v5:
+//      "baseline" / "policies" / "fairness" / "prefix_cache" blocks plus
+//      the "sweep" wall-clock block (baseline + policy grids only).
 
 struct Golden {
   EvictionPolicy policy;
