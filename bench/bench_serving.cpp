@@ -11,7 +11,7 @@
 // step-cost cache, and the simulated metrics are bit-identical to serial
 // execution.
 //
-// Emits BENCH_serving.json (schema_version 5):
+// Emits BENCH_serving.json (schema_version 6; --out overrides the path):
 //   "baseline" — goodput + p99 TTFT/TPOT across 3 arrival rates x 2 chip
 //                counts, with per-row sim_wall_seconds and
 //                steps_per_second (the simulator-performance trajectory),
@@ -21,22 +21,36 @@
 //                queueing, 2 tenants at 3:1 weights over a fixed overload
 //                window) with per-tenant goodput rows and the
 //                weight-normalized Jain fairness index,
-//   "prefix_cache" — NEW in v5: the paged-KV prefix-caching study on the
+//   "prefix_cache" — the paged-KV prefix-caching study on the
 //                prefix-heavy chatbot stream (shared system prompts):
 //                caching off vs on at block 16 plus block 64, with prefix
 //                hit rate, blocks saved, CoW copies, and the
 //                internal-fragmentation gauge per row,
+//   "observability" — NEW in v6: one TRACED re-run of the prefix-cache
+//                block-16 point (event counts by type, the trace-vs-
+//                metrics TTFT/e2e reconciliation, the time-series samples,
+//                and the full end-of-run metrics registry including
+//                cost-cache and KV-manager stats).  The traced run is a
+//                separate point; every pinned row above runs untraced,
 //   "sweep"    — wall-clock of the baseline + policy grids and the worker
 //                count, the headline number for hot-path optimizations
 //                (the CI perf-smoke job gates steps_per_second against
 //                the committed repo-root baseline copy of this file).
+//
+// Flags (stripped before google-benchmark sees argv):
+//   --out <path>        JSON output path (default BENCH_serving.json)
+//   --trace-dir <path>  also write the traced run's Perfetto/JSONL files
 
 #include <chrono>
+#include <cstring>
 #include <fstream>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "serving/sweep.h"
+#include "serving/trace.h"
 #include "serving/traffic_profiles.h"
 
 using namespace cimtpu;
@@ -70,6 +84,22 @@ BENCHMARK(BM_serving_small_stream);
 int main(int argc, char** argv) {
   bench::banner("Serving", "continuous-batching goodput and tail latency");
 
+  // Custom flags, stripped from argv before google-benchmark parses it
+  // (ReportUnrecognizedArguments would otherwise reject them).
+  std::string out_path = "BENCH_serving.json";
+  std::string trace_dir;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-dir") == 0 && i + 1 < argc) {
+      trace_dir = argv[++i];
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
   const std::vector<double> rates = {5.0, 10.0, 20.0};
   const std::vector<int> chip_counts = {1, 4};
   // One shared cost cache across BOTH grids: they run the same chip /
@@ -101,8 +131,8 @@ int main(int argc, char** argv) {
   table.set_header({"rate (req/s)", "chips", "tokens/s", "TTFT p99",
                     "TPOT p99", "J/token", "MXU util"});
 
-  std::ofstream json("BENCH_serving.json");
-  json << "{\n  \"bench\": \"serving\",\n  \"schema_version\": 5,\n"
+  std::ofstream json(out_path);
+  json << "{\n  \"bench\": \"serving\",\n  \"schema_version\": 6,\n"
        << "  \"model\": \"llama2-7b\",\n"
        << "  \"dtype\": \"int4\",\n  \"requests\": 2000,\n  \"seed\": 42,\n"
        << "  \"baseline\": [\n";
@@ -135,6 +165,10 @@ int main(int argc, char** argv) {
          << ", \"ttft_p99_s\": " << metrics.ttft.p99
          << ", \"tpot_p99_s\": " << metrics.tpot.p99
          << ", \"energy_per_token_j\": " << metrics.energy_per_token
+         << ", \"cost_cache_hits\": " << metrics.cost_cache_hits
+         << ", \"cost_cache_misses\": " << metrics.cost_cache_misses
+         << ", \"cost_cache_entries\": " << metrics.cost_cache_entries
+         << ", \"cost_cache_occupancy\": " << metrics.cost_cache_occupancy
          << ", \"sim_wall_seconds\": " << metrics.sim_wall_seconds
          << ", \"steps_per_second\": " << metrics.steps_per_second << "}";
   }
@@ -346,6 +380,77 @@ int main(int argc, char** argv) {
          << ", \"steps_per_second\": " << metrics.steps_per_second << "}";
   }
   json << "\n  ]},\n";
+
+  // --- Observability: one traced re-run of the prefix block-16 point ---------
+  // Tracing is contractually metrics-neutral, so this re-run's numbers
+  // equal the pinned prefix-cache row; the block reports what ONLY the
+  // trace can see (event stream, time series, registry) plus the
+  // trace-vs-metrics reconciliation the acceptance gate checks.
+  {
+    serving::ServingScenario traced = prefix_points[1].scenario;
+    traced.trace.enabled = true;
+    traced.trace.sample_interval = 0.5;
+    traced.trace.label = "bench_prefix_block16";
+    traced.trace.dir = trace_dir;  // empty: in-memory only
+    traced.trace.write_jsonl = true;
+    serving::ServingTrace trace;
+    const serving::ServingMetrics metrics =
+        serving::run_serving(traced, prefix_requests, &shared_costs, &trace);
+
+    std::map<std::string, std::int64_t> event_counts;
+    for (const serving::TraceEvent& event : trace.events()) {
+      event_counts[serving::trace_event_type_name(event.type)] += 1;
+    }
+    std::vector<double> ttft, e2e;
+    for (const serving::RequestTimeline& timeline :
+         serving::trace_request_timelines(trace.events())) {
+      if (timeline.first_token >= 0) {
+        ttft.push_back(timeline.first_token - timeline.arrival);
+      }
+      if (timeline.completion >= 0) {
+        e2e.push_back(timeline.completion - timeline.arrival);
+      }
+    }
+    const serving::LatencySummary trace_ttft =
+        serving::summarize_latencies(ttft);
+    const serving::LatencySummary trace_e2e = serving::summarize_latencies(e2e);
+    const bool ttft_matches = trace_ttft.count == metrics.ttft.count &&
+                              trace_ttft.mean == metrics.ttft.mean &&
+                              trace_ttft.p50 == metrics.ttft.p50 &&
+                              trace_ttft.p99 == metrics.ttft.p99 &&
+                              trace_ttft.max == metrics.ttft.max;
+    const bool e2e_matches = trace_e2e.count == metrics.e2e.count &&
+                             trace_e2e.mean == metrics.e2e.mean &&
+                             trace_e2e.p50 == metrics.e2e.p50 &&
+                             trace_e2e.p99 == metrics.e2e.p99 &&
+                             trace_e2e.max == metrics.e2e.max;
+
+    json << "  \"observability\": {\"sample_interval_s\": "
+         << traced.trace.sample_interval << ", \"events\": {";
+    bool first_count = true;
+    for (const auto& [name, count] : event_counts) {
+      if (!first_count) json << ", ";
+      first_count = false;
+      json << '"' << name << "\": " << count;
+    }
+    json << "}, \"reconciliation\": {\"ttft_matches\": "
+         << (ttft_matches ? "true" : "false")
+         << ", \"e2e_matches\": " << (e2e_matches ? "true" : "false")
+         << ", \"requests_traced\": "
+         << serving::trace_request_timelines(trace.events()).size()
+         << "},\n  \"timeseries\": "
+         << serving::time_samples_json(metrics.timeseries)
+         << ",\n  \"registry\": " << metrics.registry.to_json() << "},\n";
+
+    const std::string trace_note =
+        trace_dir.empty()
+            ? std::string()
+            : " -> " + trace_dir + "/bench_prefix_block16.trace.json";
+    std::printf("  observability: %zu events, ttft %s, e2e %s, %zu samples%s\n",
+                trace.events().size(), ttft_matches ? "reconciled" : "MISMATCH",
+                e2e_matches ? "reconciled" : "MISMATCH",
+                metrics.timeseries.size(), trace_note.c_str());
+  }
 
   std::int64_t total_steps = 0;
   for (const serving::SweepCellResult& result : baseline) {

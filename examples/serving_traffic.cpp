@@ -14,28 +14,48 @@
 //
 // Usage:
 //   ./serving_traffic [model] [requests] [rate_req_s] [seed] [process] [dtype]
+//                     [--trace-dir <dir>]
 //   ./serving_traffic llama2-7b 10000 20 42 poisson int4
+//   ./serving_traffic llama2-7b 2000 20 42 poisson int4 --trace-dir traces
 //
 // A fixed seed reproduces bit-identical metrics run to run; everything on
-// stdout is deterministic (wall-clock timing and thread count go to
-// stderr), so CI diffs two runs — or a serial run against a parallel one —
-// byte for byte.
+// stdout is deterministic (wall-clock timing, thread count, and trace file
+// paths go to stderr), so CI diffs two runs — or a serial run against a
+// parallel one — byte for byte.  With --trace-dir the observability demo
+// additionally writes Perfetto trace files there (open them in
+// https://ui.perfetto.dev); those files are deterministic too.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <string>
 
 #include "common/status.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "models/model_zoo.h"
 #include "serving/sweep.h"
+#include "serving/trace.h"
 #include "serving/traffic_profiles.h"
 
 using namespace cimtpu;
 
 int main(int argc, char** argv) {
+  // Strip flag arguments first so the positional [model] [requests] ...
+  // interface keeps working with or without flags, in any position.
+  std::string trace_dir;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-dir") == 0 && i + 1 < argc) {
+      trace_dir = argv[++i];
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
   serving::RequestStreamConfig stream = serving::zipf_chat_stream(
       /*seed=*/argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 42,
       /*num_requests=*/argc > 2 ? std::atoll(argv[2]) : 10000,
@@ -267,6 +287,107 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
   prefix_table.print();
+
+  // --- Observability: traced replay of the prefix-cache deployment -----------
+  // Re-run the block-16 caching-on point with event tracing and 0.5 s
+  // time-series sampling.  Tracing is contractually metrics-neutral, so
+  // this run's metrics equal the untraced sweep row above bit for bit —
+  // checked and printed.  The trace is then reconciled against the
+  // metrics: TTFT/e2e summaries recomputed purely from trace events must
+  // match ServingMetrics exactly.
+  serving::ServingScenario traced = prefix_points[1].scenario;
+  traced.trace.enabled = true;
+  traced.trace.sample_interval = 0.5;
+  traced.trace.dir = trace_dir;  // empty: in-memory only
+  traced.trace.label = "prefix_block16";
+  traced.trace.write_jsonl = true;
+  serving::ServingTrace trace;
+  const serving::ServingMetrics traced_metrics =
+      serving::run_serving(traced, prefix_requests, &shared_costs, &trace);
+  const serving::ServingMetrics& untraced_metrics = prefix_results[1];
+
+  std::map<std::string, std::int64_t> event_counts;
+  for (const serving::TraceEvent& event : trace.events()) {
+    event_counts[serving::trace_event_type_name(event.type)] += 1;
+  }
+  std::vector<double> trace_ttft_values, trace_e2e_values;
+  const std::vector<serving::RequestTimeline> timelines =
+      serving::trace_request_timelines(trace.events());
+  for (const serving::RequestTimeline& timeline : timelines) {
+    if (timeline.first_token >= 0) {
+      trace_ttft_values.push_back(timeline.first_token - timeline.arrival);
+    }
+    if (timeline.completion >= 0) {
+      trace_e2e_values.push_back(timeline.completion - timeline.arrival);
+    }
+  }
+  const serving::LatencySummary trace_ttft =
+      serving::summarize_latencies(trace_ttft_values);
+  const serving::LatencySummary trace_e2e =
+      serving::summarize_latencies(trace_e2e_values);
+  const bool metrics_neutral =
+      traced_metrics.goodput_tokens_per_second ==
+          untraced_metrics.goodput_tokens_per_second &&
+      traced_metrics.ttft.p99 == untraced_metrics.ttft.p99 &&
+      traced_metrics.e2e.p99 == untraced_metrics.e2e.p99 &&
+      traced_metrics.preemptions == untraced_metrics.preemptions &&
+      traced_metrics.completed == untraced_metrics.completed;
+  const bool ttft_reconciles = trace_ttft.count == traced_metrics.ttft.count &&
+                               trace_ttft.mean == traced_metrics.ttft.mean &&
+                               trace_ttft.p50 == traced_metrics.ttft.p50 &&
+                               trace_ttft.p99 == traced_metrics.ttft.p99 &&
+                               trace_ttft.max == traced_metrics.ttft.max;
+  const bool e2e_reconciles = trace_e2e.count == traced_metrics.e2e.count &&
+                              trace_e2e.mean == traced_metrics.e2e.mean &&
+                              trace_e2e.p50 == traced_metrics.e2e.p50 &&
+                              trace_e2e.p99 == traced_metrics.e2e.p99 &&
+                              trace_e2e.max == traced_metrics.e2e.max;
+
+  std::printf("\nObservability — traced replay of prefix_cache=on block=16:\n");
+  std::printf("  events:");
+  for (const auto& [name, count] : event_counts) {
+    std::printf(" %s=%lld", name.c_str(), static_cast<long long>(count));
+  }
+  std::printf("\n  timeseries samples: %zu (0.5 s interval)\n",
+              traced_metrics.timeseries.size());
+  std::printf("  tracing metrics-neutral vs untraced run: %s\n",
+              metrics_neutral ? "yes" : "NO — BUG");
+  std::printf("  trace-vs-metrics TTFT reconciliation: %s (count %lld, "
+              "p99 %.9f s)\n",
+              ttft_reconciles ? "exact" : "MISMATCH",
+              static_cast<long long>(trace_ttft.count), trace_ttft.p99);
+  std::printf("  trace-vs-metrics e2e reconciliation: %s (count %lld, "
+              "p99 %.9f s)\n",
+              e2e_reconciles ? "exact" : "MISMATCH",
+              static_cast<long long>(trace_e2e.count), trace_e2e.p99);
+
+  if (!trace_dir.empty()) {
+    // Paths are environment-dependent: stderr, like the timing footer.
+    std::fprintf(stderr, "trace files: %s/prefix_block16.trace.json, "
+                         "%s/prefix_block16.jsonl\n",
+                 trace_dir.c_str(), trace_dir.c_str());
+
+    // Traced SWEEP demo: run_serving_sweep derives one trace label per
+    // grid cell, so every point lands in its own file set — and because
+    // events carry only simulated time, the files are byte-identical
+    // whatever CIMTPU_SWEEP_THREADS says (the CI determinism job diffs
+    // them across thread counts).
+    serving::ServingSweep traced_sweep;
+    traced_sweep.arrival_rates = {30.0};
+    traced_sweep.models = {scenario.model};
+    traced_sweep.chip_counts = {1};
+    traced_sweep.policies = {serving::EvictionPolicy::kPreemptNewest,
+                             serving::EvictionPolicy::kSwapToHost};
+    traced_sweep.base = traced;
+    traced_sweep.base.trace.label = "sweep";
+    traced_sweep.base.trace.sample_interval = 0;  // events only
+    traced_sweep.stream = serving::prefix_chatbot_stream(
+        stream.seed, /*num_requests=*/400, /*arrival_rate=*/30.0);
+    const std::vector<serving::SweepCellResult> traced_cells =
+        serving::run_serving_sweep(traced_sweep, sweep_options);
+    std::fprintf(stderr, "traced sweep: %zu per-point trace files in %s\n",
+                 traced_cells.size(), trace_dir.c_str());
+  }
 
   const auto wall_end = std::chrono::steady_clock::now();
   // stderr: timing and thread count are run-dependent; everything on

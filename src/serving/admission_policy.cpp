@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/status.h"
+#include "serving/obs_registry.h"
 
 namespace cimtpu::serving {
 
@@ -27,6 +28,10 @@ void AdmissionConfig::validate() const {
 void AdmissionPolicy::on_finish(const Request& request, std::int64_t step) {
   (void)request;
   (void)step;
+}
+
+void AdmissionPolicy::publish(MetricsRegistry* registry) const {
+  (void)registry;  // nothing policy-specific by default
 }
 
 // --- FifoAdmission -----------------------------------------------------------
@@ -154,6 +159,19 @@ void WeightedFairAdmission::on_finish(const Request& request,
   const auto it = tenant_states_.find(request.tenant_id);
   if (it != tenant_states_.end() && it->second.in_flight > 0) {
     --it->second.in_flight;
+  }
+}
+
+void WeightedFairAdmission::publish(MetricsRegistry* registry) const {
+  CIMTPU_CHECK(registry != nullptr);
+  registry->set_counter("admission.waiting",
+                        static_cast<std::int64_t>(waiting_total_));
+  for (const auto& [tenant_id, state] : tenant_states_) {
+    std::ostringstream prefix;
+    prefix << "admission.tenant" << tenant_id;
+    registry->set_gauge(prefix.str() + ".admitted_tokens",
+                        state.admitted_tokens);
+    registry->set_gauge(prefix.str() + ".virtual_work", state.virtual_work);
   }
 }
 

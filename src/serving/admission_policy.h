@@ -54,6 +54,8 @@
 
 namespace cimtpu::serving {
 
+class MetricsRegistry;
+
 /// What the scheduler can tell a policy about the capacity an admission
 /// would have to fit into.  Refreshed before every `select` call.
 struct AdmissionContext {
@@ -126,6 +128,11 @@ class AdmissionPolicy {
 
   /// A previously admitted request completed (observer, default no-op).
   virtual void on_finish(const Request& request, std::int64_t step);
+
+  /// Publishes policy-specific end-of-run observability into `registry`
+  /// under "admission.*" names (serving/obs_registry.h).  Default no-op;
+  /// WFQ reports per-tenant admitted tokens and virtual work.
+  virtual void publish(MetricsRegistry* registry) const;
 
   virtual bool empty() const = 0;
   virtual std::size_t size() const = 0;
@@ -207,6 +214,10 @@ class WeightedFairAdmission : public AdmissionPolicy {
   TenantShare share(std::int64_t tenant_id) const;
 
   void on_finish(const Request& request, std::int64_t step) override;
+
+  /// Per-tenant "admission.tenant<k>.admitted_tokens" / ".virtual_work"
+  /// gauges plus "admission.waiting" (ascending tenant id).
+  void publish(MetricsRegistry* registry) const override;
 
  private:
   struct TenantState {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/status.h"
+#include "serving/obs_registry.h"
 
 namespace cimtpu::serving {
 
@@ -95,6 +96,7 @@ void KvCacheManager::victim_index_erase(std::int64_t id, const Entry& entry) {
 }
 
 void KvCacheManager::reclaim_cached(std::int64_t blocks) {
+  cached_blocks_reclaimed_total_ += blocks;
   for (std::int64_t i = 0; i < blocks; ++i) {
     CIMTPU_CHECK(!cached_lru_.empty());
     const auto oldest = cached_lru_.begin();
@@ -215,6 +217,7 @@ bool KvCacheManager::try_admit(std::int64_t request_id, std::int64_t tokens,
   entry.shared = hit_blocks;
   entry.private_blocks = new_blocks;
   private_used_ += new_blocks;
+  blocks_allocated_total_ += new_blocks;
 
   // --- Register missed full prefix blocks so later requests can share -------
   if (prefix_eligible) {
@@ -275,6 +278,7 @@ bool KvCacheManager::try_grow(std::int64_t request_id, std::int64_t tokens) {
     if (new_blocks > free_now) reclaim_cached(new_blocks - free_now);
     entry.private_blocks += new_blocks;
     private_used_ += new_blocks;
+    blocks_allocated_total_ += new_blocks;
     entry_block_tokens_ += new_blocks * block_tokens_;
   }
   if (policy_ == EvictionPolicy::kPriorityVictim) {
@@ -343,6 +347,7 @@ bool KvCacheManager::try_swap_in(std::int64_t request_id) {
   Entry entry = it->second;
   entry.admit_seq = next_seq_++;  // re-entry: counts as the newest admission
   private_used_ += blocks;
+  blocks_allocated_total_ += blocks;
   mapped_tokens_ += entry.tokens;
   entry_block_tokens_ += blocks * block_tokens_;
   host_used_blocks_ -= blocks;
@@ -508,6 +513,19 @@ bool KvCacheManager::audit() const {
   }
   return host_sum == host_used_blocks_ &&
          host_used_blocks_ <= host_capacity_blocks_;
+}
+
+void KvCacheManager::publish(MetricsRegistry* registry) const {
+  CIMTPU_CHECK(registry != nullptr);
+  registry->set_counter("kv.capacity_blocks", capacity_blocks_);
+  registry->set_counter("kv.occupied_blocks", occupied_blocks());
+  registry->set_counter("kv.referenced_blocks", referenced_blocks());
+  registry->set_counter("kv.cached_blocks", cached_block_count());
+  registry->set_counter("kv.blocks_allocated_total", blocks_allocated_total_);
+  registry->set_counter("kv.cached_blocks_reclaimed_total",
+                        cached_blocks_reclaimed_total_);
+  registry->set_counter("kv.host_used_blocks", host_used_blocks_);
+  registry->set_gauge("kv.internal_fragmentation", internal_fragmentation());
 }
 
 }  // namespace cimtpu::serving

@@ -52,6 +52,8 @@
 
 namespace cimtpu::serving {
 
+class MetricsRegistry;
+
 /// What to do when a resident request cannot grow its KV cache.
 enum class EvictionPolicy {
   kNone,            ///< never evict; admission simply blocks until releases
@@ -214,6 +216,23 @@ class KvCacheManager {
                            static_cast<double>(entry_block_tokens_);
   }
 
+  /// Cumulative device blocks allocated over the manager's lifetime
+  /// (admission reservations, decode growth, swap-ins; prefix-shared
+  /// mappings reuse a block and do not count).  Monotone — per-step churn
+  /// is the delta between two reads.
+  std::int64_t blocks_allocated_total() const {
+    return blocks_allocated_total_;
+  }
+  /// Cumulative cached (refcount-0) prefix blocks reclaimed under
+  /// allocation pressure.  Monotone.
+  std::int64_t cached_blocks_reclaimed_total() const {
+    return cached_blocks_reclaimed_total_;
+  }
+
+  /// Publishes capacity/occupancy/churn gauges and counters into
+  /// `registry` under "kv.*" names (serving/obs_registry.h).
+  void publish(MetricsRegistry* registry) const;
+
   Bytes used() const {
     return block_bytes_ * static_cast<double>(referenced_blocks());
   }
@@ -291,6 +310,8 @@ class KvCacheManager {
   std::int64_t capacity_blocks_;
   std::int64_t host_capacity_blocks_;
 
+  std::int64_t blocks_allocated_total_ = 0;         ///< lifetime counter
+  std::int64_t cached_blocks_reclaimed_total_ = 0;  ///< lifetime counter
   std::int64_t private_used_ = 0;      ///< device blocks owned privately
   std::int64_t host_used_blocks_ = 0;  ///< host-pool blocks
   std::int64_t mapped_tokens_ = 0;     ///< sum of resident entry tokens

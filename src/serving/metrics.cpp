@@ -1,34 +1,11 @@
 #include "serving/metrics.h"
 
 #include <algorithm>
-#include <cmath>
 
 #include "common/status.h"
+#include "serving/obs_registry.h"
 
 namespace cimtpu::serving {
-
-namespace {
-
-/// Percentile of an already-sorted, non-empty sample.
-double percentile_sorted(const std::vector<double>& sorted, double p) {
-  CIMTPU_CONFIG_CHECK(p >= 0.0 && p <= 100.0,
-                      "percentile " << p << " outside [0, 100]");
-  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
-  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
-  const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
-}
-
-}  // namespace
-
-double percentile(std::vector<double> values, double p) {
-  CIMTPU_CONFIG_CHECK(p >= 0.0 && p <= 100.0,
-                      "percentile " << p << " outside [0, 100]");
-  if (values.empty()) return 0;
-  std::sort(values.begin(), values.end());
-  return percentile_sorted(values, p);
-}
 
 std::int64_t ServingCounters::total_preemptions() const {
   return preemptions_recompute + preemptions_swap;
@@ -43,6 +20,25 @@ double ServingCounters::prefix_hit_rate() const {
              ? 0.0
              : static_cast<double>(prefix_hit_tokens) /
                    static_cast<double>(prefix_lookup_tokens);
+}
+
+void ServingCounters::publish(MetricsRegistry* registry) const {
+  CIMTPU_CHECK(registry != nullptr);
+  registry->set_counter("scheduler.preemptions_recompute",
+                        preemptions_recompute);
+  registry->set_counter("scheduler.preemptions_swap", preemptions_swap);
+  registry->set_counter("scheduler.swap_ins", swap_ins);
+  registry->set_gauge("scheduler.swap_out_bytes", swap_out_bytes);
+  registry->set_gauge("scheduler.swap_in_bytes", swap_in_bytes);
+  registry->set_counter("scheduler.chunked_prefill_steps",
+                        chunked_prefill_steps);
+  registry->set_counter("scheduler.prefix_lookup_tokens",
+                        prefix_lookup_tokens);
+  registry->set_counter("scheduler.prefix_hit_tokens", prefix_hit_tokens);
+  registry->set_counter("scheduler.prefix_shared_blocks",
+                        prefix_shared_blocks);
+  registry->set_counter("scheduler.prefix_cow_blocks", prefix_cow_blocks);
+  registry->set_gauge("scheduler.prefix_hit_rate", prefix_hit_rate());
 }
 
 double jain_fairness_index(const std::vector<double>& values) {

@@ -10,14 +10,11 @@
 #include <vector>
 
 #include "common/units.h"
+#include "serving/stats.h"  // percentile math (shared with the registry)
 
 namespace cimtpu::serving {
 
-/// Percentile of `values` with linear interpolation between closest ranks
-/// (the same convention as numpy.percentile's default).  `p` is in
-/// [0, 100].  Returns 0 for an empty set.  `values` is taken by value and
-/// sorted internally.
-double percentile(std::vector<double> values, double p);
+class MetricsRegistry;
 
 /// Five-number summary of a latency sample.
 struct LatencySummary {
@@ -83,6 +80,10 @@ struct ServingCounters {
   /// prefix_hit_tokens / prefix_lookup_tokens; 0 when nothing was looked
   /// up (cache disabled or no tagged requests).
   double prefix_hit_rate() const;
+
+  /// Publishes every counter into `registry` under "scheduler.*" names
+  /// (serving/obs_registry.h).
+  void publish(MetricsRegistry* registry) const;
 };
 
 }  // namespace cimtpu::serving

@@ -1,0 +1,119 @@
+#include "serving/obs_registry.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/status.h"
+#include "sim/trace.h"
+
+namespace cimtpu::serving {
+
+std::string json_double(double value) {
+  if (!std::isfinite(value)) return "0";
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << value;
+  return out.str();
+}
+
+FixedBucketHistogram& MetricsRegistry::histogram(
+    const std::string& name, std::vector<double> upper_bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_
+      .emplace(name, FixedBucketHistogram(std::move(upper_bounds)))
+      .first->second;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << sim::json_escape(name) << "\":" << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << sim::json_escape(name) << "\":" << json_double(value);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << sim::json_escape(name) << "\":{"
+        << "\"count\":" << histogram.count()
+        << ",\"sum\":" << json_double(histogram.sum())
+        << ",\"min\":" << json_double(histogram.min())
+        << ",\"max\":" << json_double(histogram.max())
+        << ",\"mean\":" << json_double(histogram.mean())
+        << ",\"p50\":" << json_double(histogram.quantile(50))
+        << ",\"p95\":" << json_double(histogram.quantile(95))
+        << ",\"p99\":" << json_double(histogram.quantile(99))
+        << ",\"bounds\":[";
+    for (std::size_t i = 0; i < histogram.upper_bounds().size(); ++i) {
+      if (i > 0) out << ',';
+      out << json_double(histogram.upper_bounds()[i]);
+    }
+    out << "],\"bucket_counts\":[";
+    for (std::size_t i = 0; i < histogram.bucket_counts().size(); ++i) {
+      if (i > 0) out << ',';
+      out << histogram.bucket_counts()[i];
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+TimeSeriesSampler::TimeSeriesSampler(Seconds interval) : interval_(interval) {
+  CIMTPU_CONFIG_CHECK(interval >= 0,
+                      "sample interval must be >= 0 (0 = disabled), got "
+                          << interval);
+}
+
+void TimeSeriesSampler::record(TimeSample sample) {
+  CIMTPU_CHECK(enabled());
+  // Advance past the sample time: a step that crossed several intervals
+  // yields this one sample and the schedule re-anchors after it.
+  while (next_ <= sample.time) next_ += interval_;
+  samples_.push_back(std::move(sample));
+}
+
+std::string time_samples_json(const std::vector<TimeSample>& samples) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const TimeSample& sample = samples[i];
+    if (i > 0) out << ',';
+    out << "{\"time\":" << json_double(sample.time)
+        << ",\"step\":" << sample.step
+        << ",\"queue_depth\":" << sample.queue_depth
+        << ",\"resident_sequences\":" << sample.resident_sequences
+        << ",\"resident_decoders\":" << sample.resident_decoders
+        << ",\"swapped_sequences\":" << sample.swapped_sequences
+        << ",\"kv_referenced_blocks\":" << sample.kv_referenced_blocks
+        << ",\"kv_occupied_blocks\":" << sample.kv_occupied_blocks
+        << ",\"kv_capacity_blocks\":" << sample.kv_capacity_blocks
+        << ",\"kv_internal_fragmentation\":"
+        << json_double(sample.kv_internal_fragmentation)
+        << ",\"prefix_hit_rate\":" << json_double(sample.prefix_hit_rate)
+        << ",\"tenant_admitted_tokens\":{";
+    for (std::size_t t = 0; t < sample.tenant_admitted_tokens.size(); ++t) {
+      if (t > 0) out << ',';
+      out << '"' << sample.tenant_admitted_tokens[t].first
+          << "\":" << sample.tenant_admitted_tokens[t].second;
+    }
+    out << "}}";
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace cimtpu::serving

@@ -165,6 +165,9 @@ void ContinuousBatchScheduler::decoder_enter(const Sequence& sequence) {
   ++resident_decoders_;
   pending_growth_blocks_ += growth_blocks(sequence);
   histogram_add(decode_bucket(sequence));
+  if (trace_) {
+    trace_->on_decode_enter(sequence.request.id, decode_bucket(sequence));
+  }
 }
 
 void ContinuousBatchScheduler::decoder_leave(const Sequence& sequence) {
@@ -234,6 +237,7 @@ void ContinuousBatchScheduler::swap_in_and_admit(StepRecord* record) {
     record->swap_bytes += bytes;
     counters_.swap_ins += 1;
     counters_.swap_in_bytes += bytes;
+    if (trace_) trace_->on_swap_in(sequence.request.id, bytes);
     if (!sequence.prefilling()) decoder_enter(sequence);
     sequences_.push_back(sequence);
   }
@@ -258,6 +262,13 @@ void ContinuousBatchScheduler::swap_in_and_admit(StepRecord* record) {
     counters_.prefix_hit_tokens += outcome.prefix_hit_tokens;
     counters_.prefix_shared_blocks += outcome.shared_blocks;
     counters_.prefix_cow_blocks += outcome.cow_blocks;
+    if (trace_) {
+      // While `head` still points into the policy's storage (pop_selected
+      // below invalidates it).
+      trace_->on_admit(*head, outcome.lookup_tokens,
+                       outcome.prefix_hit_tokens, outcome.shared_blocks,
+                       outcome.cow_blocks);
+    }
     // A prefix hit starts prefill mid-sequence: the cached leading tokens
     // are never pushed through the model again.  The hit is capped at
     // prompt_len - 1, so a fresh admission always starts prefilling and
@@ -313,6 +324,10 @@ void ContinuousBatchScheduler::build_prefill_step(StepRecord* record) {
     record->prev_lens.push_back(sequence.prefilled);
     record->chunk_lens.push_back(chunk);
     record->kv_lens.push_back(sequence.prefilled + chunk);
+    if (trace_) {
+      trace_->on_prefill_chunk(sequence.request.id, sequence.prefilled,
+                               chunk);
+    }
     if (sequence.prefilled > sequence.prefix_skipped || chunk < remaining) {
       record->chunked = true;
     }
@@ -392,12 +407,14 @@ bool ContinuousBatchScheduler::build_decode_step(StepRecord* record) {
         record->swap_bytes += bytes;
         counters_.preemptions_swap += 1;
         counters_.swap_out_bytes += bytes;
+        if (trace_) trace_->on_swap_out(victim_id, bytes);
       } else {
         kv_cache_->release(victim_id);
         // The policy decides where a recompute victim waits (FIFO: front).
         admission_->on_preempt_requeue(victim.request, total_steps_);
         record->preempted_ids.push_back(victim_id);
         counters_.preemptions_recompute += 1;
+        if (trace_) trace_->on_preempt(victim_id);
       }
     }
   }

@@ -58,6 +58,7 @@
 #include "serving/metrics.h"
 #include "serving/request_gen.h"
 #include "serving/step_cost_cache.h"
+#include "serving/trace.h"
 
 namespace cimtpu::serving {
 
@@ -178,9 +179,19 @@ class ContinuousBatchScheduler {
   /// the hot path.
   bool aggregates_consistent() const;
 
+  /// Attaches an observability sink (serving/trace.h); nullptr detaches.
+  /// The scheduler emits admit / prefill-chunk / decode-enter / preempt /
+  /// swap transitions into it.  With no sink attached (the default) every
+  /// emission site is a single null check — zero allocation, zero
+  /// behavioural effect; the sink NEVER influences scheduling decisions.
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+
   std::size_t waiting_count() const { return admission_->size(); }
   std::size_t running_count() const { return sequences_.size(); }
   std::size_t swapped_count() const { return swapped_.size(); }
+  /// Residents past prefill (the decode batch size), tracked
+  /// incrementally — the time-series sampler reads this per sample.
+  std::int64_t resident_decoder_count() const { return resident_decoders_; }
   std::int64_t total_steps() const { return total_steps_; }
   std::int64_t preemptions() const { return counters_.total_preemptions(); }
   const ServingCounters& counters() const { return counters_; }
@@ -246,6 +257,7 @@ class ContinuousBatchScheduler {
   SchedulerConfig config_;
   KvCacheManager* kv_cache_;
   std::unique_ptr<AdmissionPolicy> admission_;  ///< owns the waiting set
+  TraceSink* trace_ = nullptr;      ///< optional observer (never scheduling)
   Seconds now_ = 0;                 ///< simulated clock (see set_time)
   std::deque<Sequence> swapped_;    ///< swap-out order (FIFO re-admission)
   std::vector<Sequence> sequences_; ///< resident, admission order

@@ -27,6 +27,7 @@ void ServingScenario::validate() const {
                       "kv_budget_override must be >= 0 (0 = derive from HBM "
                       "headroom), got " << format_bytes(kv_budget_override));
   scheduler.validate();
+  trace.validate();
 }
 
 namespace {
@@ -52,7 +53,8 @@ struct TenantAccum {
 
 ServingMetrics run_serving(const ServingScenario& scenario,
                            const std::vector<Request>& requests,
-                           SharedStepCostCache* shared_costs) {
+                           SharedStepCostCache* shared_costs,
+                           ServingTrace* trace_out) {
   scenario.validate();
   const auto wall_start = std::chrono::steady_clock::now();
 
@@ -79,6 +81,19 @@ ServingMetrics run_serving(const ServingScenario& scenario,
                           scenario.scheduler.enable_prefix_cache);
   ContinuousBatchScheduler scheduler(scenario.scheduler, &kv_cache);
 
+  // Observability: the trace sink attaches only when event tracing or
+  // time-series sampling is on — otherwise the scheduler's trace pointer
+  // stays null and the loop below skips every trace branch (the
+  // zero-allocation-when-disabled contract).  `tracing`/`sampling` are
+  // hoisted so the hot loop branches on locals, never on config fields.
+  ServingTrace local_trace;
+  ServingTrace* trace = trace_out != nullptr ? trace_out : &local_trace;
+  *trace = ServingTrace(scenario.trace);
+  TimeSeriesSampler sampler(scenario.trace.sample_interval);
+  const bool tracing = scenario.trace.enabled;
+  const bool sampling = sampler.enabled();
+  if (tracing || sampling) scheduler.set_trace_sink(trace);
+
   const std::int64_t layers = scenario.model.num_layers;
   const std::int64_t stage_layers = ceil_div<std::int64_t>(layers, scenario.chips);
   const int boundaries = scenario.chips - 1;
@@ -91,6 +106,15 @@ ServingMetrics run_serving(const ServingScenario& scenario,
   ServingMetrics metrics;
   metrics.chips = scenario.chips;
   metrics.num_requests = static_cast<std::int64_t>(requests.size());
+
+  // Registry instruments resolved ONCE (map references are stable), so
+  // per-step observation is an increment — no name lookups in the loop.
+  // Always on: they depend only on the deterministic step sequence, so
+  // metrics stay bit-identical with tracing on or off.
+  FixedBucketHistogram& step_latency_histogram = metrics.registry.histogram(
+      "engine.step_latency_s", exponential_bounds(1e-4, 2.0, 20));
+  FixedBucketHistogram& step_batch_histogram = metrics.registry.histogram(
+      "engine.step_batch", exponential_bounds(1, 2.0, 10));
 
   Seconds now = 0;
   Seconds busy_time = 0;  ///< MXU busy time summed over all stages
@@ -107,6 +131,7 @@ ServingMetrics run_serving(const ServingScenario& scenario,
           "request trace must be sorted by arrival time");
       traces[request.id] =
           RequestTrace{request.arrival_time, request.output_len, -1, -1};
+      if (tracing) trace->on_arrive(request);
       scheduler.enqueue(request);
       ++next_arrival;
     }
@@ -127,6 +152,15 @@ ServingMetrics run_serving(const ServingScenario& scenario,
       continue;
     }
 
+    std::int64_t kv_alloc_before = 0;
+    std::int64_t kv_reclaim_before = 0;
+    if (tracing) {
+      // Mid-step scheduler events are stamped with this step's start
+      // time; KV churn is the delta across the step.
+      trace->begin_step(metrics.total_steps, now);
+      kv_alloc_before = kv_cache.blocks_allocated_total();
+      kv_reclaim_before = kv_cache.cached_blocks_reclaimed_total();
+    }
     scheduler.set_time(now);  // rate-capped admission reads the sim clock
     const bool stepped = scheduler.next_step(&step);
     CIMTPU_CHECK(stepped);
@@ -159,7 +193,8 @@ ServingMetrics run_serving(const ServingScenario& scenario,
         static_cast<double>(stage_layers) * layer_cost.latency + transfer;
     const Seconds emit_extra = static_cast<double>(boundaries) * stage_time;
 
-    now += stage_time + swap_time;
+    const Seconds step_latency = stage_time + swap_time;
+    now += step_latency;
     const Seconds emit_time = now + emit_extra;
 
     metrics.total_steps += 1;
@@ -167,6 +202,15 @@ ServingMetrics run_serving(const ServingScenario& scenario,
       metrics.prefill_steps += 1;
     } else {
       metrics.decode_steps += 1;
+    }
+    step_latency_histogram.observe(step_latency);
+    step_batch_histogram.observe(static_cast<double>(step.batch));
+    if (tracing) {
+      trace->end_step(is_prefill, step.batch, now, step_latency,
+                      kv_cache.referenced_blocks(),
+                      kv_cache.blocks_allocated_total() - kv_alloc_before,
+                      kv_cache.cached_blocks_reclaimed_total() -
+                          kv_reclaim_before);
     }
     // Paged-KV gauge: last-block waste across resident mappings, sampled
     // once per engine step (identically 0 at block size 1).
@@ -180,21 +224,63 @@ ServingMetrics run_serving(const ServingScenario& scenario,
     }
 
     for (std::int64_t id : step.first_token_ids) {
-      RequestTrace& trace = traces.at(id);
+      RequestTrace& request_trace = traces.at(id);
       // Preempted-and-recomputed requests already streamed their first
       // token to the user; keep the original TTFT.
-      if (trace.first_token < 0) trace.first_token = emit_time;
+      if (request_trace.first_token < 0) {
+        request_trace.first_token = emit_time;
+        // The trace's kFirstToken is exactly the metrics' TTFT reference
+        // point — recorded once, re-emissions after recompute excluded —
+        // so timelines reconcile with ServingMetrics identically.
+        if (tracing) trace->on_first_token(id, emit_time);
+      }
     }
     for (std::int64_t id : step.finished_ids) {
-      RequestTrace& trace = traces.at(id);
+      RequestTrace& request_trace = traces.at(id);
       // Each step's traversal extra is derived from that step's own stage
       // time, so a cheap decode step after an expensive prefill step could
       // nominally "exit" earlier in absolute time.  Real pipelines preserve
       // per-request emission order: clamp so completion >= first token.
-      trace.completion = std::max(emit_time, trace.first_token);
+      request_trace.completion = std::max(emit_time, request_trace.first_token);
       metrics.completed += 1;
-      metrics.generated_tokens += trace.output_len;
-      metrics.makespan = std::max(metrics.makespan, trace.completion);
+      metrics.generated_tokens += request_trace.output_len;
+      metrics.makespan = std::max(metrics.makespan, request_trace.completion);
+      if (tracing) {
+        trace->on_finish(id, request_trace.completion,
+                         request_trace.output_len);
+      }
+    }
+
+    if (sampling && sampler.due(now)) {
+      TimeSample sample;
+      sample.time = now;
+      sample.step = metrics.total_steps;
+      sample.queue_depth =
+          static_cast<std::int64_t>(scheduler.waiting_count());
+      sample.resident_sequences =
+          static_cast<std::int64_t>(scheduler.running_count());
+      sample.resident_decoders = scheduler.resident_decoder_count();
+      sample.swapped_sequences =
+          static_cast<std::int64_t>(scheduler.swapped_count());
+      sample.kv_referenced_blocks = kv_cache.referenced_blocks();
+      sample.kv_occupied_blocks = kv_cache.occupied_blocks();
+      sample.kv_capacity_blocks = kv_cache.capacity_blocks();
+      sample.kv_internal_fragmentation = kv_cache.internal_fragmentation();
+      sample.prefix_hit_rate = scheduler.counters().prefix_hit_rate();
+      const auto& tenants = trace->tenant_admitted_tokens();
+      sample.tenant_admitted_tokens.assign(tenants.begin(), tenants.end());
+      sampler.record(std::move(sample));
+    }
+  }
+
+  // Horizon-cut runs shed whatever is still in flight: the trace closes
+  // those lifecycles explicitly so every traced request has a terminal
+  // event.
+  if (tracing && scenario.max_sim_seconds > 0) {
+    for (const Request& request : requests) {
+      const auto trace_it = traces.find(request.id);
+      if (trace_it == traces.end()) continue;  // never arrived
+      if (trace_it->second.completion < 0) trace->on_shed(request.id, now);
     }
   }
   metrics.counters = scheduler.counters();
@@ -221,25 +307,25 @@ ServingMetrics run_serving(const ServingScenario& scenario,
     // the horizon never participated and must not drag the index down.
     TenantAccum& accum = tenant_accums[request.tenant_id];
     accum.num_requests += 1;
-    const RequestTrace& trace = trace_it->second;
+    const RequestTrace& request_trace = trace_it->second;
     // TTFT is determined the moment the first token leaves the pipeline,
     // so horizon-cut runs keep every emitted first token in the TTFT
     // sample — dropping still-in-flight requests would censor exactly the
     // slow admissions an overload study is trying to measure.  (Without a
     // horizon every fed request completes, so this changes nothing.)
-    if (trace.first_token >= 0) {
-      ttft.push_back(trace.first_token - trace.arrival);
-      accum.ttft.push_back(trace.first_token - trace.arrival);
+    if (request_trace.first_token >= 0) {
+      ttft.push_back(request_trace.first_token - request_trace.arrival);
+      accum.ttft.push_back(request_trace.first_token - request_trace.arrival);
     }
-    if (trace.completion < 0) continue;  // in flight at the horizon
-    e2e.push_back(trace.completion - trace.arrival);
-    if (trace.output_len > 1) {
-      tpot.push_back((trace.completion - trace.first_token) /
-                     static_cast<double>(trace.output_len - 1));
+    if (request_trace.completion < 0) continue;  // in flight at the horizon
+    e2e.push_back(request_trace.completion - request_trace.arrival);
+    if (request_trace.output_len > 1) {
+      tpot.push_back((request_trace.completion - request_trace.first_token) /
+                     static_cast<double>(request_trace.output_len - 1));
     }
     accum.completed += 1;
-    accum.generated_tokens += trace.output_len;
-    accum.e2e.push_back(trace.completion - trace.arrival);
+    accum.generated_tokens += request_trace.output_len;
+    accum.e2e.push_back(request_trace.completion - request_trace.arrival);
   }
   metrics.ttft = summarize_latencies(ttft);
   metrics.tpot = summarize_latencies(tpot);
@@ -289,6 +375,27 @@ ServingMetrics run_serving(const ServingScenario& scenario,
   metrics.cost_cache_entries = costs.size();
   metrics.cost_cache_hits = costs.hits();
   metrics.cost_cache_misses = costs.misses();
+  metrics.cost_cache_occupancy = costs.occupancy();
+
+  // --- Observability rollup -------------------------------------------------
+  // Every subsystem publishes into the run's registry; all inputs are
+  // deterministic simulated state, so the registry (like every metric
+  // above) is bit-identical with tracing on or off.
+  metrics.registry.set_counter("engine.total_steps", metrics.total_steps);
+  metrics.registry.set_counter("engine.prefill_steps", metrics.prefill_steps);
+  metrics.registry.set_counter("engine.decode_steps", metrics.decode_steps);
+  metrics.registry.set_counter("engine.completed", metrics.completed);
+  metrics.registry.set_counter("engine.generated_tokens",
+                               metrics.generated_tokens);
+  metrics.registry.set_gauge("engine.makespan_s", metrics.makespan);
+  metrics.counters.publish(&metrics.registry);
+  costs.publish(&metrics.registry);
+  kv_cache.publish(&metrics.registry);
+  scheduler.admission_policy().publish(&metrics.registry);
+
+  metrics.timeseries = sampler.take();
+  write_trace_files(*trace, metrics.timeseries);  // no-op without a dir
+
   metrics.sim_wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
@@ -302,8 +409,10 @@ ServingMetrics run_serving(const ServingScenario& scenario,
 
 ServingMetrics run_serving(const ServingScenario& scenario,
                            const RequestStreamConfig& stream,
-                           SharedStepCostCache* shared_costs) {
-  return run_serving(scenario, generate_requests(stream), shared_costs);
+                           SharedStepCostCache* shared_costs,
+                           ServingTrace* trace_out) {
+  return run_serving(scenario, generate_requests(stream), shared_costs,
+                     trace_out);
 }
 
 }  // namespace cimtpu::serving

@@ -22,8 +22,10 @@
 
 #include "arch/tpu_config.h"
 #include "serving/metrics.h"
+#include "serving/obs_registry.h"
 #include "serving/request_gen.h"
 #include "serving/scheduler.h"
+#include "serving/trace.h"
 
 namespace cimtpu::serving {
 
@@ -49,6 +51,11 @@ struct ServingScenario {
   /// its work, so only a fixed OVERLOADED window makes an admission
   /// policy's share enforcement visible in per-tenant goodput.
   Seconds max_sim_seconds = 0;
+
+  /// Observability (serving/trace.h): event tracing, trace-file output,
+  /// and time-series sampling.  Default-off — zero hot-path allocation
+  /// and bit-identical metrics either way.
+  TraceConfig trace;
 
   void validate() const;
 };
@@ -96,6 +103,17 @@ struct ServingMetrics {
   std::size_t cost_cache_entries = 0;
   std::int64_t cost_cache_hits = 0;
   std::int64_t cost_cache_misses = 0;
+  double cost_cache_occupancy = 0;  ///< flat-table load factor at run end
+
+  /// End-of-run observability registry (schema-v6 "registry" block):
+  /// every subsystem's published counters/gauges/histograms — scheduler
+  /// counters, cost cache, KV manager, admission policy, step-latency and
+  /// batch-size histograms.  Deterministic (fed only by simulated state).
+  MetricsRegistry registry;
+
+  /// Time-series samples (empty unless ServingScenario::trace
+  /// .sample_interval > 0).  Deterministic.
+  std::vector<TimeSample> timeseries;
 
   /// Simulator performance (schema-v3 perf trajectory): wall-clock seconds
   /// this run_serving call spent and engine steps simulated per wall
@@ -108,14 +126,20 @@ struct ServingMetrics {
 /// Replays `requests` (must be sorted by arrival time) through the
 /// deployment.  `shared_costs` (optional) lets sweeps share computed step
 /// costs across runs with the same (chip, model, bucket) signature; it
-/// never changes the simulated metrics, only wall-clock.
+/// never changes the simulated metrics, only wall-clock.  `trace_out`
+/// (optional) receives the run's event trace when
+/// `scenario.trace.enabled` — pass one to inspect events in memory;
+/// without it the trace lives (and, with a configured dir, is written)
+/// internally.
 ServingMetrics run_serving(const ServingScenario& scenario,
                            const std::vector<Request>& requests,
-                           SharedStepCostCache* shared_costs = nullptr);
+                           SharedStepCostCache* shared_costs = nullptr,
+                           ServingTrace* trace_out = nullptr);
 
 /// Generates the trace from `stream` and replays it.
 ServingMetrics run_serving(const ServingScenario& scenario,
                            const RequestStreamConfig& stream,
-                           SharedStepCostCache* shared_costs = nullptr);
+                           SharedStepCostCache* shared_costs = nullptr,
+                           ServingTrace* trace_out = nullptr);
 
 }  // namespace cimtpu::serving

@@ -4,6 +4,7 @@
 
 #include "common/status.h"
 #include "ir/dtype.h"
+#include "serving/obs_registry.h"
 
 namespace cimtpu::serving {
 
@@ -207,6 +208,15 @@ StepCost StepCostCache::lookup(bool prefill, std::int64_t batch,
   }
   local_.insert(key, cost);
   return cost;
+}
+
+void StepCostCache::publish(MetricsRegistry* registry) const {
+  CIMTPU_CHECK(registry != nullptr);
+  registry->set_counter("cost_cache.entries",
+                        static_cast<std::int64_t>(size()));
+  registry->set_counter("cost_cache.hits", hits_);
+  registry->set_counter("cost_cache.misses", misses_);
+  registry->set_gauge("cost_cache.occupancy", occupancy());
 }
 
 }  // namespace cimtpu::serving

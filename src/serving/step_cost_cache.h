@@ -34,6 +34,8 @@
 
 namespace cimtpu::serving {
 
+class MetricsRegistry;
+
 /// Per-layer cost of one engine step shape.
 struct StepCost {
   Seconds latency = 0;
@@ -57,6 +59,7 @@ class FlatCostTable {
   void insert(std::uint64_t key, const StepCost& cost);
 
   std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
 
  private:
   struct Slot {
@@ -143,6 +146,18 @@ class StepCostCache {
   std::size_t size() const { return local_.size(); }
   std::int64_t hits() const { return hits_; }
   std::int64_t misses() const { return misses_; }
+  /// Load factor of the local flat table (size / slot capacity), in
+  /// [0, ~0.7) — the probe-length health gauge the bench JSON reports.
+  double occupancy() const {
+    return local_.capacity() == 0
+               ? 0.0
+               : static_cast<double>(local_.size()) /
+                     static_cast<double>(local_.capacity());
+  }
+
+  /// Publishes entries/hits/misses/occupancy into `registry` under
+  /// "cost_cache.*" names (serving/obs_registry.h).
+  void publish(MetricsRegistry* registry) const;
 
   /// Reusable scratch for cost_step's decode grouping (per-run, never
   /// shared across threads).

@@ -71,8 +71,17 @@ std::vector<ServingMetrics> run_sweep(const std::vector<SweepPoint>& points,
         return message.str();
       };
       try {
-        results[i] =
-            run_serving(points[i].scenario, *points[i].requests, shared_costs);
+        if (options.force_trace_off && (points[i].scenario.trace.enabled ||
+                                        points[i].scenario.trace
+                                                .sample_interval > 0)) {
+          ServingScenario scenario = points[i].scenario;
+          scenario.trace.enabled = false;
+          scenario.trace.sample_interval = 0;
+          results[i] = run_serving(scenario, *points[i].requests, shared_costs);
+        } else {
+          results[i] = run_serving(points[i].scenario, *points[i].requests,
+                                   shared_costs);
+        }
       } catch (const ConfigError& error) {
         errors[i] = std::make_exception_ptr(ConfigError(describe(error.what())));
       } catch (const InternalError& error) {
@@ -193,6 +202,16 @@ std::vector<SweepCellResult> run_serving_sweep(const ServingSweep& sweep,
                       << " admission=" << admission << " block=" << block
                       << " prefix_cache=" << (caching ? "on" : "off");
                 point.label = label.str();
+                // Traced grids write one file set per cell: derive each
+                // point's trace label from its grid coordinates (base label
+                // prefix kept) so cells never overwrite each other's files.
+                if ((point.scenario.trace.enabled ||
+                     point.scenario.trace.sample_interval > 0) &&
+                    !point.scenario.trace.dir.empty()) {
+                  point.scenario.trace.label =
+                      point.scenario.trace.label + "." +
+                      sanitize_trace_label(point.label);
+                }
                 points.push_back(std::move(point));
 
                 SweepCellResult cell;

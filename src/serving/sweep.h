@@ -42,6 +42,12 @@ struct SweepOptions {
   /// nullptr -> one internal cache per run_sweep call.  Ignored when
   /// share_cost_cache is false.
   SharedStepCostCache* shared_cache = nullptr;
+  /// Force event tracing and time-series sampling OFF for every point,
+  /// whatever the scenarios say — the "sweeps stay fast" override for
+  /// grids built from a traced base scenario.  Metrics are bit-identical
+  /// either way (the tracing contract); this only saves event buffers and
+  /// file output.
+  bool force_trace_off = false;
 };
 
 /// Resolves the effective worker count (see SweepOptions::threads).

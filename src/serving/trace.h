@@ -1,0 +1,246 @@
+#pragma once
+// Opt-in per-request event tracing for the serving simulator, in the
+// spirit of vLLM's request-level metrics and the timeline analyses the
+// chunked-prefill / disaggregation papers are argued from: every request
+// lifecycle transition (arrive, admit, prefix hit, prefill chunk, first
+// token, decode entry, preempt, swap out/in, finish, shed) and every
+// engine step (kind, batch, latency, KV block churn) becomes a typed
+// event stamped with SIMULATED time, so traces are deterministic —
+// byte-identical across runs, platforms, and sweep thread counts.
+//
+// Three layers:
+//   * TraceSink — the narrow interface the scheduler emits into.  The
+//     scheduler holds a nullable pointer and guards every call, so with
+//     tracing off the hot path pays one null check per transition and
+//     allocates NOTHING.
+//   * ServingTrace — the standard sink: an append-only event buffer plus
+//     driver hooks (arrive / step bracketing / first token / finish /
+//     shed) that only run_serving calls.  It also keeps the cumulative
+//     per-tenant admitted-token tally the time-series sampler reads,
+//     which stays on even when event recording is off (sampling without
+//     tracing is a supported mode).
+//   * Exporters — Chrome/Perfetto trace-event JSON (load the file in
+//     https://ui.perfetto.dev or chrome://tracing: one track per request,
+//     one for engine steps, counter tracks from the time-series samples)
+//     and flat JSONL for scripting, plus a per-request timeline
+//     reconstruction used to reconcile traces against ServingMetrics.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "serving/obs_registry.h"
+#include "serving/request_gen.h"
+
+namespace cimtpu::serving {
+
+/// Tracing knobs, carried by ServingScenario.  Default-constructed =
+/// everything off — the golden-pinned configuration.
+struct TraceConfig {
+  /// Record lifecycle/step events.  Off: the scheduler's sink pointer
+  /// stays null and the run loop skips every trace branch.
+  bool enabled = false;
+
+  /// Simulated-time interval between TimeSamples; 0 disables sampling.
+  /// Sampling works with `enabled` false (cheap gauges, no event buffer).
+  Seconds sample_interval = 0;
+
+  /// When `enabled` and non-empty, run_serving writes the trace here
+  /// (created on demand): "<dir>/<label>.trace.json" (Perfetto) and,
+  /// with `write_jsonl`, "<dir>/<label>.jsonl".  Empty: events stay
+  /// in-memory only (tests, reconciliation).
+  std::string dir;
+  std::string label = "serving";
+  bool write_perfetto = true;
+  bool write_jsonl = false;
+
+  void validate() const;
+};
+
+/// Typed lifecycle/step events.  kStep and kPrefillChunk are SPANS
+/// (time .. end_time); everything else is an instant.
+enum class TraceEventType {
+  kArrive,        ///< request entered the waiting queue
+  kAdmit,         ///< joined the running batch (tokens=prompt, prev=prefix hit)
+  kPrefixHit,     ///< admission reused cached prefix KV (with kAdmit)
+  kPrefillChunk,  ///< prompt tokens [prev, prev+tokens) pushed this step
+  kFirstToken,    ///< first output token left the pipeline (TTFT point)
+  kDecodeEnter,   ///< prompt complete; joined the decode batch
+  kPreempt,       ///< evicted for recompute (KV dropped, re-queued)
+  kSwapOut,       ///< KV pages moved to the host pool
+  kSwapIn,        ///< KV pages restored from the host pool
+  kFinish,        ///< last output token emitted (e2e point)
+  kShed,          ///< in flight at the simulated-time horizon; never done
+  kStep,          ///< one engine step (batch composition + cost + KV churn)
+};
+
+/// Stable lowercase name ("arrive", "prefill_chunk", ...), used by both
+/// exporters and asserted on by trace-content tests.
+const char* trace_event_type_name(TraceEventType type);
+
+/// One recorded event.  Semi-generic payload fields; meaning by type:
+///   kArrive        tokens=prompt_len  prev_tokens=output_len  aux=tenant_id
+///   kAdmit         tokens=prompt_len  prev_tokens=prefix_hit_tokens
+///                  aux=tenant_id
+///   kPrefixHit     tokens=lookup_tokens  prev_tokens=hit_tokens
+///                  blocks=shared_blocks  blocks2=cow_blocks
+///   kPrefillChunk  prev_tokens=tokens already prefilled  tokens=chunk
+///   kFirstToken    (time = emission time, TTFT reference)
+///   kDecodeEnter   tokens=bucketed KV length at entry
+///   kPreempt       —
+///   kSwapOut/In    bytes=PCIe traffic
+///   kFinish        tokens=generated output tokens
+///   kShed          —
+///   kStep          batch  aux=kind (0 prefill, 1 decode)  value=latency s
+///                  blocks=KV blocks allocated  blocks2=blocks reclaimed
+///                  tokens=KV blocks referenced after the step
+struct TraceEvent {
+  TraceEventType type = TraceEventType::kArrive;
+  std::int64_t step = -1;  ///< engine step index; -1 = outside any step
+  Seconds time = 0;
+  Seconds end_time = 0;  ///< spans only; == time for instants
+  std::int64_t request_id = -1;  ///< -1 for kStep
+  std::int64_t tokens = 0;
+  std::int64_t prev_tokens = 0;
+  std::int64_t blocks = 0;
+  std::int64_t blocks2 = 0;
+  std::int64_t batch = 0;
+  std::int64_t aux = 0;
+  Bytes bytes = 0;
+  double value = 0;
+};
+
+/// What the scheduler can emit mid-step.  Split from ServingTrace so the
+/// scheduler depends only on this narrow surface (and tests can stub it).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// A waiting request joined the running batch.  Outcome fields are the
+  /// KvCacheManager::AdmitOutcome of the admission (all 0 when the
+  /// prefix cache is off).
+  virtual void on_admit(const Request& request, std::int64_t lookup_tokens,
+                        std::int64_t prefix_hit_tokens,
+                        std::int64_t shared_blocks,
+                        std::int64_t cow_blocks) = 0;
+  /// A prefill participant pushed prompt tokens [prev, prev + chunk).
+  virtual void on_prefill_chunk(std::int64_t request_id, std::int64_t prev,
+                                std::int64_t chunk) = 0;
+  /// A resident finished prefilling (or swapped back in mid-decode) and
+  /// joined the decode batch at bucketed KV length `kv_bucket`.
+  virtual void on_decode_enter(std::int64_t request_id,
+                               std::int64_t kv_bucket) = 0;
+  virtual void on_preempt(std::int64_t request_id) = 0;
+  virtual void on_swap_out(std::int64_t request_id, Bytes bytes) = 0;
+  virtual void on_swap_in(std::int64_t request_id, Bytes bytes) = 0;
+};
+
+/// The standard sink + the driver-side hooks run_serving calls.  Events
+/// emitted by the scheduler mid-step are stamped with the step's START
+/// time (the simulated instant the scheduler planned them at); span end
+/// times are patched when the driver closes the step, once its cost is
+/// known.
+class ServingTrace final : public TraceSink {
+ public:
+  ServingTrace() = default;
+  explicit ServingTrace(TraceConfig config);
+
+  const TraceConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled; }
+
+  // --- Driver hooks (run_serving) ----------------------------------------
+  void on_arrive(const Request& request);
+  /// Opens step `step_index` at simulated time `start`; mid-step sink
+  /// events are stamped with (step_index, start).
+  void begin_step(std::int64_t step_index, Seconds start);
+  /// Closes the open step: records the kStep span and patches the end
+  /// time of this step's prefill-chunk spans.
+  void end_step(bool prefill, std::int64_t batch, Seconds end,
+                double latency_s, std::int64_t kv_referenced_blocks,
+                std::int64_t blocks_allocated, std::int64_t blocks_reclaimed);
+  void on_first_token(std::int64_t request_id, Seconds emit_time);
+  void on_finish(std::int64_t request_id, Seconds completion,
+                 std::int64_t generated_tokens);
+  void on_shed(std::int64_t request_id, Seconds horizon);
+
+  // --- TraceSink (scheduler) ---------------------------------------------
+  void on_admit(const Request& request, std::int64_t lookup_tokens,
+                std::int64_t prefix_hit_tokens, std::int64_t shared_blocks,
+                std::int64_t cow_blocks) override;
+  void on_prefill_chunk(std::int64_t request_id, std::int64_t prev,
+                        std::int64_t chunk) override;
+  void on_decode_enter(std::int64_t request_id,
+                       std::int64_t kv_bucket) override;
+  void on_preempt(std::int64_t request_id) override;
+  void on_swap_out(std::int64_t request_id, Bytes bytes) override;
+  void on_swap_in(std::int64_t request_id, Bytes bytes) override;
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Cumulative admitted prompt+output tokens per tenant — maintained
+  /// even with event recording off, because the time-series sampler
+  /// reads it (ascending tenant id by map order).
+  const std::map<std::int64_t, std::int64_t>& tenant_admitted_tokens() const {
+    return tenant_admitted_tokens_;
+  }
+
+ private:
+  TraceEvent& push(TraceEventType type, std::int64_t request_id);
+
+  TraceConfig config_;
+  std::vector<TraceEvent> events_;
+  std::map<std::int64_t, std::int64_t> tenant_admitted_tokens_;
+  std::int64_t current_step_ = -1;
+  Seconds current_time_ = 0;
+  std::size_t step_first_event_ = 0;  ///< events_ index at begin_step
+};
+
+// --- Exporters ---------------------------------------------------------------
+
+/// Chrome/Perfetto trace-event JSON: complete ("X") spans for queued
+/// waits, prefill chunks, and decode phases on one track per request
+/// (pid 1, tid = request id), instants for the lifecycle transitions,
+/// kStep spans on the engine track (pid 2), and counter ("C") tracks
+/// built from `samples` (pass {} for none).  Timestamps are simulated
+/// microseconds.  Deterministic byte-for-byte for identical inputs.
+std::string perfetto_trace_json(const std::vector<TraceEvent>& events,
+                                const std::vector<TimeSample>& samples);
+
+/// Flat JSONL: one {"type": ..., ...} object per line, in recording
+/// order, only the fields meaningful for each type.
+std::string trace_jsonl(const std::vector<TraceEvent>& events);
+
+/// Per-request lifecycle rebuilt from a trace, for reconciling against
+/// ServingMetrics: TTFT = first_token - arrival, e2e = completion -
+/// arrival.  One entry per traced request, ascending by id.
+struct RequestTimeline {
+  std::int64_t request_id = -1;
+  Seconds arrival = -1;
+  Seconds first_admit = -1;
+  Seconds first_token = -1;  ///< < 0: never emitted
+  Seconds completion = -1;   ///< < 0: shed or still in flight
+  std::int64_t generated_tokens = 0;
+  std::int64_t prefill_chunks = 0;
+  std::int64_t preemptions = 0;  ///< recompute + swap-out
+  bool shed = false;
+};
+
+std::vector<RequestTimeline> trace_request_timelines(
+    const std::vector<TraceEvent>& events);
+
+/// Writes the configured trace artifacts for `trace` into
+/// `trace.config().dir` (created on demand, permissions 0755): the
+/// Perfetto JSON and/or JSONL per TraceConfig.  Returns the paths
+/// written.  No-op (empty result) when the config has no dir or tracing
+/// is disabled.
+std::vector<std::string> write_trace_files(
+    const ServingTrace& trace, const std::vector<TimeSample>& samples);
+
+/// Collapses an arbitrary human-readable label (e.g. a sweep cell's
+/// "rate=2 model=llama2-7b/int8 ...") into a filename-safe trace label:
+/// [A-Za-z0-9._-] kept, every other run of characters becomes one '_'.
+std::string sanitize_trace_label(const std::string& label);
+
+}  // namespace cimtpu::serving
