@@ -11,7 +11,7 @@
 // step-cost cache, and the simulated metrics are bit-identical to serial
 // execution.
 //
-// Emits BENCH_serving.json (schema_version 6; --out overrides the path):
+// Emits BENCH_serving.json (schema_version 7; --out overrides the path):
 //   "baseline" — goodput + p99 TTFT/TPOT across 3 arrival rates x 2 chip
 //                counts, with per-row sim_wall_seconds and
 //                steps_per_second (the simulator-performance trajectory),
@@ -26,12 +26,18 @@
 //                caching off vs on at block 16 plus block 64, with prefix
 //                hit rate, blocks saved, CoW copies, and the
 //                internal-fragmentation gauge per row,
-//   "observability" — NEW in v6: one TRACED re-run of the prefix-cache
+//   "observability" — one TRACED re-run of the prefix-cache
 //                block-16 point (event counts by type, the trace-vs-
 //                metrics TTFT/e2e reconciliation, the time-series samples,
 //                and the full end-of-run metrics registry including
 //                cost-cache and KV-manager stats).  The traced run is a
 //                separate point; every pinned row above runs untraced,
+//   "slo_frontier" — NEW in v7: the SLO-aware scheduling study (arrival
+//                rate x {fifo, edf} over the canonical deadline-carrying
+//                chat stream, 30 s overload window) with per-cell SLO
+//                attainment, deadline-meeting goodput, and shed counts —
+//                the grid where EDF admission control's shedding beats
+//                head-of-line FIFO under overload,
 //   "sweep"    — wall-clock of the baseline + policy grids and the worker
 //                count, the headline number for hot-path optimizations
 //                (the CI perf-smoke job gates steps_per_second against
@@ -132,7 +138,7 @@ int main(int argc, char** argv) {
                     "TPOT p99", "J/token", "MXU util"});
 
   std::ofstream json(out_path);
-  json << "{\n  \"bench\": \"serving\",\n  \"schema_version\": 6,\n"
+  json << "{\n  \"bench\": \"serving\",\n  \"schema_version\": 7,\n"
        << "  \"model\": \"llama2-7b\",\n"
        << "  \"dtype\": \"int4\",\n  \"requests\": 2000,\n  \"seed\": 42,\n"
        << "  \"baseline\": [\n";
@@ -452,6 +458,67 @@ int main(int argc, char** argv) {
                 metrics.timeseries.size(), trace_note.c_str());
   }
 
+  // --- SLO frontier: arrival rate x {fifo, edf} with deadlines ---------------
+  // The canonical grid (traffic_profiles.h): deadline-carrying chat
+  // traffic over a 30-simulated-second overload window.  FIFO serves
+  // head-of-line and lets queueing delay blow every TTFT deadline under
+  // overload; EDF sheds provably-late requests instead of spending
+  // prefill on them, so its SLO attainment must strictly win at the
+  // highest rate — the acceptance gate pins that ordering.
+  const serving::ServingSweep slo_sweep =
+      serving::slo_frontier_sweep(scenario_for(1).model, /*seed=*/42);
+  const std::vector<serving::SweepCellResult> slo_cells =
+      serving::run_serving_sweep(slo_sweep, sweep_options);
+
+  AsciiTable slo_table(
+      "SLO frontier — TTFT " + cell_f(serving::kSloTtftDeadline, 1) +
+      " s / TPOT " + cell_f(serving::kSloTpotDeadline, 2) + " s deadlines, " +
+      cell_f(serving::kSloFrontierHorizon, 0) + " s window");
+  slo_table.set_header({"rate (req/s)", "admission", "attainment",
+                        "SLO tokens/s", "tokens/s", "done", "shed dl",
+                        "shed hz", "TTFT p50"});
+  json << "  \"slo_frontier\": {\"ttft_deadline_s\": "
+       << serving::kSloTtftDeadline
+       << ", \"tpot_deadline_s\": " << serving::kSloTpotDeadline
+       << ", \"horizon_s\": " << serving::kSloFrontierHorizon
+       << ", \"requests\": " << serving::kSloFrontierRequests
+       << ", \"rows\": [\n";
+  first = true;
+  for (const serving::SweepCellResult& cell : slo_cells) {
+    const serving::ServingMetrics& metrics = cell.metrics;
+    // Every arrived request either completed or was shed (deadline or
+    // horizon), so the arrived count falls out of the counters.
+    const std::int64_t arrived =
+        metrics.completed + metrics.counters.total_shed();
+    slo_table.add_row(
+        {cell_f(cell.arrival_rate, 1), cell.admission,
+         cell_f(metrics.slo_attainment, 4),
+         cell_f(metrics.slo_goodput_tokens_per_second, 1),
+         cell_f(metrics.goodput_tokens_per_second, 1),
+         cell_i(metrics.completed), cell_i(metrics.counters.shed_deadline),
+         cell_i(metrics.counters.shed_horizon), format_time(metrics.ttft.p50)});
+    if (!first) json << ",\n";
+    first = false;
+    json << "    {\"arrival_rate\": " << cell.arrival_rate
+         << ", \"admission\": \"" << cell.admission
+         << "\", \"arrived\": " << arrived
+         << ", \"completed\": " << metrics.completed
+         << ", \"shed_deadline\": " << metrics.counters.shed_deadline
+         << ", \"shed_horizon\": " << metrics.counters.shed_horizon
+         << ", \"slo_met\": " << metrics.slo_met
+         << ", \"slo_attainment\": " << metrics.slo_attainment
+         << ", \"slo_goodput_tokens_per_s\": "
+         << metrics.slo_goodput_tokens_per_second
+         << ", \"goodput_tokens_per_s\": "
+         << metrics.goodput_tokens_per_second
+         << ", \"ttft_p50_s\": " << metrics.ttft.p50
+         << ", \"ttft_p99_s\": " << metrics.ttft.p99
+         << ", \"tpot_p99_s\": " << metrics.tpot.p99
+         << ", \"sim_wall_seconds\": " << metrics.sim_wall_seconds
+         << ", \"steps_per_second\": " << metrics.steps_per_second << "}";
+  }
+  json << "\n  ]},\n";
+
   std::int64_t total_steps = 0;
   for (const serving::SweepCellResult& result : baseline) {
     total_steps += result.metrics.total_steps;
@@ -481,6 +548,7 @@ int main(int argc, char** argv) {
   policy_table.print();
   fairness_table.print();
   prefix_table.print();
+  slo_table.print();
   std::printf("  wrote BENCH_serving.json (%zu sweep points, %d/%d threads, "
               "%.3f s wall, %lld steps)\n",
               baseline.size() + policy_points.size(), baseline_threads,
@@ -495,6 +563,17 @@ int main(int argc, char** argv) {
               prefix_results[1].prefix_hit_rate,
               prefix_results[1].goodput_tokens_per_second,
               prefix_results[0].goodput_tokens_per_second);
+  // Grid order is rate-major with admission {fifo, edf} innermost, so the
+  // last two cells are the highest rate's fifo/edf pair.
+  std::printf("  slo frontier: at %.0f req/s attainment edf %.4f vs fifo "
+              "%.4f (SLO goodput %.1f vs %.1f tokens/s)\n",
+              slo_cells[slo_cells.size() - 2].arrival_rate,
+              slo_cells[slo_cells.size() - 1].metrics.slo_attainment,
+              slo_cells[slo_cells.size() - 2].metrics.slo_attainment,
+              slo_cells[slo_cells.size() - 1]
+                  .metrics.slo_goodput_tokens_per_second,
+              slo_cells[slo_cells.size() - 2]
+                  .metrics.slo_goodput_tokens_per_second);
 
   return bench::run_microbenchmarks(argc, argv);
 }

@@ -6,7 +6,10 @@
 // a single chip and a 4-chip pipeline, followed by a preemption-policy x
 // chunked-prefill comparison under a deliberately tight KV budget, and a
 // multi-tenant admission demo (FIFO vs weighted fair queueing at 3:1
-// tenant weights) with per-tenant goodput shares and Jain fairness.
+// tenant weights) with per-tenant goodput shares and Jain fairness, and an
+// SLO-aware scheduling demo (FIFO vs earliest-deadline-first admission on
+// deadline-carrying traffic, with a JSONL request-trace round-trip and a
+// staggered diurnal tenant mix).
 //
 // All deployments run on the deterministic parallel sweep driver
 // (serving/sweep.h): CIMTPU_SWEEP_THREADS sets the worker count, and the
@@ -36,6 +39,7 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "models/model_zoo.h"
+#include "serving/request_trace.h"
 #include "serving/sweep.h"
 #include "serving/trace.h"
 #include "serving/traffic_profiles.h"
@@ -287,6 +291,97 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
   prefix_table.print();
+
+  // --- SLO-aware scheduling: FIFO vs EDF on deadline-carrying traffic --------
+  // The canonical SLO frontier (traffic_profiles.h): every request carries
+  // jittered TTFT/TPOT deadlines, and the grid sweeps arrival rate x
+  // admission {fifo, edf} over a 30-simulated-second overload window.
+  // FIFO serves head-of-line, so under overload queueing delay blows every
+  // TTFT deadline; EDF admission control sheds provably-late requests
+  // instead of spending prefill on them, and its attainment / SLO goodput
+  // pull ahead as the rate climbs.
+  const serving::ServingSweep slo_sweep =
+      serving::slo_frontier_sweep(scenario.model, stream.seed);
+  const std::vector<serving::SweepCellResult> slo_cells =
+      serving::run_serving_sweep(slo_sweep, sweep_options);
+
+  AsciiTable slo_table(
+      "SLO frontier — TTFT " + cell_f(serving::kSloTtftDeadline, 1) +
+      " s / TPOT " + cell_f(serving::kSloTpotDeadline, 2) +
+      " s deadlines, 30 s overload window");
+  slo_table.set_header({"rate (req/s)", "admission", "attainment",
+                        "SLO tokens/s", "tokens/s", "done", "shed dl",
+                        "shed hz", "TTFT p50", "TTFT p99"});
+  std::printf("\n");
+  for (const serving::SweepCellResult& cell : slo_cells) {
+    const serving::ServingMetrics& metrics = cell.metrics;
+    const std::int64_t arrived =
+        metrics.completed + metrics.counters.total_shed();
+    slo_table.add_row(
+        {cell_f(cell.arrival_rate, 1), cell.admission,
+         cell_f(metrics.slo_attainment, 4),
+         cell_f(metrics.slo_goodput_tokens_per_second, 1),
+         cell_f(metrics.goodput_tokens_per_second, 1),
+         cell_i(metrics.completed), cell_i(metrics.counters.shed_deadline),
+         cell_i(metrics.counters.shed_horizon),
+         format_time(metrics.ttft.p50), format_time(metrics.ttft.p99)});
+    std::printf(
+        "admission=%s rate=%.0f: slo attainment %.4f (%lld of %lld arrived "
+        "met deadlines), shed %lld deadline + %lld horizon\n",
+        cell.admission.c_str(), cell.arrival_rate, metrics.slo_attainment,
+        static_cast<long long>(metrics.slo_met),
+        static_cast<long long>(arrived),
+        static_cast<long long>(metrics.counters.shed_deadline),
+        static_cast<long long>(metrics.counters.shed_horizon));
+  }
+  std::printf("\n");
+  slo_table.print();
+
+  // Replayable trace format: the frontier's deadline-carrying stream
+  // serialized to JSONL and parsed back must survive bit for bit — the
+  // production workflow is "capture a trace once, replay it against every
+  // candidate deployment".
+  serving::RequestStreamConfig slo_stream = slo_sweep.stream;
+  slo_stream.arrival_rate = slo_sweep.arrival_rates.back();
+  const std::vector<serving::Request> slo_requests =
+      serving::generate_requests(slo_stream);
+  const std::vector<serving::Request> reloaded =
+      serving::parse_request_trace_jsonl(
+          serving::request_trace_jsonl(slo_requests));
+  bool trace_round_trips = reloaded.size() == slo_requests.size();
+  for (std::size_t i = 0; trace_round_trips && i < reloaded.size(); ++i) {
+    trace_round_trips = reloaded[i].id == slo_requests[i].id &&
+                        reloaded[i].arrival_time ==
+                            slo_requests[i].arrival_time &&
+                        reloaded[i].prompt_len == slo_requests[i].prompt_len &&
+                        reloaded[i].output_len == slo_requests[i].output_len &&
+                        reloaded[i].ttft_deadline ==
+                            slo_requests[i].ttft_deadline &&
+                        reloaded[i].tpot_deadline ==
+                            slo_requests[i].tpot_deadline;
+  }
+  std::printf("\nrequest trace JSONL round-trip: %s (%zu requests)\n",
+              trace_round_trips ? "bit-identical" : "MISMATCH",
+              reloaded.size());
+
+  // Production-shaped mix: three tenants on staggered diurnal cycles —
+  // time-zone-offset populations whose peaks sweep around the period.
+  const std::vector<serving::Request> diurnal_requests =
+      serving::diurnal_tenant_mix_requests(stream.seed,
+                                           /*requests_per_tenant=*/200,
+                                           /*per_tenant_rate=*/5.0,
+                                           /*num_tenants=*/3);
+  std::int64_t diurnal_per_tenant[3] = {0, 0, 0};
+  for (const serving::Request& request : diurnal_requests) {
+    diurnal_per_tenant[request.tenant_id] += 1;
+  }
+  std::printf("diurnal tenant mix: %zu requests over %s (3 tenants x "
+              "%lld/%lld/%lld, staggered peaks)\n",
+              diurnal_requests.size(),
+              format_time(diurnal_requests.back().arrival_time).c_str(),
+              static_cast<long long>(diurnal_per_tenant[0]),
+              static_cast<long long>(diurnal_per_tenant[1]),
+              static_cast<long long>(diurnal_per_tenant[2]));
 
   // --- Observability: traced replay of the prefix-cache deployment -----------
   // Re-run the block-16 caching-on point with event tracing and 0.5 s

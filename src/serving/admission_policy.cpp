@@ -10,6 +10,9 @@
 namespace cimtpu::serving {
 
 void TenantShare::validate() const {
+  CIMTPU_CONFIG_CHECK(tenant_id >= -1,
+                      "tenant_id must be >= 0 or -1 (bind to index), got "
+                          << tenant_id);
   CIMTPU_CONFIG_CHECK(weight > 0, "tenant weight must be positive, got "
                                       << weight);
   CIMTPU_CONFIG_CHECK(token_rate_cap >= 0,
@@ -18,11 +21,49 @@ void TenantShare::validate() const {
                       "burst_tokens must be >= 0, got " << burst_tokens);
 }
 
+namespace {
+
+/// The Request::tenant_id a share entry applies to: explicit when set,
+/// else the entry's own index (the historical positional convention).
+std::int64_t resolved_tenant_id(const TenantShare& share, std::size_t index) {
+  return share.tenant_id >= 0 ? share.tenant_id
+                              : static_cast<std::int64_t>(index);
+}
+
+}  // namespace
+
+TenantShare resolve_tenant_share(const std::vector<TenantShare>& tenants,
+                                 std::int64_t tenant_id) {
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    if (resolved_tenant_id(tenants[i], i) == tenant_id) return tenants[i];
+  }
+  return TenantShare{};  // weight 1, uncapped
+}
+
+TenantShare AdmissionConfig::share_for(std::int64_t tenant_id) const {
+  return resolve_tenant_share(tenants, tenant_id);
+}
+
 void AdmissionConfig::validate() const {
   CIMTPU_CONFIG_CHECK(!policy.empty(), "admission policy name is empty");
   CIMTPU_CONFIG_CHECK(aging_rate >= 0,
                       "aging_rate must be >= 0, got " << aging_rate);
+  CIMTPU_CONFIG_CHECK(edf_shed_slack_s >= 0,
+                      "edf_shed_slack_s must be >= 0, got "
+                          << edf_shed_slack_s);
   for (const TenantShare& share : tenants) share.validate();
+  // Two entries naming the same tenant would make weight resolution
+  // order-dependent; reject loudly rather than silently preferring one.
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    for (std::size_t j = i + 1; j < tenants.size(); ++j) {
+      CIMTPU_CONFIG_CHECK(
+          resolved_tenant_id(tenants[i], i) !=
+              resolved_tenant_id(tenants[j], j),
+          "tenant share entries " << i << " and " << j
+                                  << " both resolve to tenant_id "
+                                  << resolved_tenant_id(tenants[i], i));
+    }
+  }
 }
 
 void AdmissionPolicy::on_finish(const Request& request, std::int64_t step) {
@@ -32,6 +73,10 @@ void AdmissionPolicy::on_finish(const Request& request, std::int64_t step) {
 
 void AdmissionPolicy::publish(MetricsRegistry* registry) const {
   (void)registry;  // nothing policy-specific by default
+}
+
+void AdmissionPolicy::drain_shed(std::vector<Request>* out) {
+  (void)out;  // non-shedding policies drop nothing
 }
 
 // --- FifoAdmission -----------------------------------------------------------
@@ -107,11 +152,7 @@ void PriorityAdmission::pop_selected() {
 // --- WeightedFairAdmission ---------------------------------------------------
 
 TenantShare WeightedFairAdmission::share(std::int64_t tenant_id) const {
-  if (tenant_id >= 0 &&
-      tenant_id < static_cast<std::int64_t>(shares_.size())) {
-    return shares_[static_cast<std::size_t>(tenant_id)];
-  }
-  return TenantShare{};  // weight 1, uncapped
+  return resolve_tenant_share(shares_, tenant_id);
 }
 
 void WeightedFairAdmission::clamp_to_virtual_time(TenantState& state) {
@@ -228,6 +269,76 @@ void WeightedFairAdmission::pop_selected() {
   selected_tenant_ = nullptr;
 }
 
+// --- EdfAdmission ------------------------------------------------------------
+
+double EdfAdmission::absolute_deadline(const Request& request) {
+  return request.ttft_deadline > 0
+             ? request.arrival_time + request.ttft_deadline
+             : std::numeric_limits<double>::infinity();
+}
+
+void EdfAdmission::on_enqueue(const Request& request, std::int64_t step) {
+  (void)step;
+  waiting_.push_back(Waiting{request, next_seq_++, /*resumed=*/false});
+}
+
+void EdfAdmission::on_preempt_requeue(const Request& request,
+                                      std::int64_t step) {
+  (void)step;
+  // A recompute victim keeps competing by its (settled) deadline but is
+  // exempt from shedding: its first token already streamed, so dropping
+  // it now would discard finished decode progress for no SLO gain.
+  waiting_.push_back(Waiting{request, next_seq_++, /*resumed=*/true});
+}
+
+const Request* EdfAdmission::select(const AdmissionContext& context) {
+  // Shed pass first: drop every fresh request whose TTFT deadline is
+  // provably unreachable (now + slack past it) so the EDF scan below only
+  // ranks requests that can still be served in time.  swap-and-pop keeps
+  // the pass linear; ordering does not matter because selection re-scans.
+  for (std::size_t i = 0; i < waiting_.size();) {
+    const Waiting& waiting = waiting_[i];
+    const double deadline = absolute_deadline(waiting.request);
+    if (!waiting.resumed && context.now + shed_slack_ > deadline) {
+      shed_.push_back(waiting.request);
+      waiting_[i] = waiting_.back();
+      waiting_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  if (waiting_.empty()) return nullptr;
+  double best_deadline = std::numeric_limits<double>::infinity();
+  std::int64_t best_seq = std::numeric_limits<std::int64_t>::max();
+  bool found = false;
+  for (std::size_t i = 0; i < waiting_.size(); ++i) {
+    const double deadline = absolute_deadline(waiting_[i].request);
+    const std::int64_t seq = waiting_[i].seq;
+    // Earliest absolute deadline wins; among equals (including the +inf
+    // deadline-free tail) the earliest enqueue wins, so deadline-free
+    // traffic stays FIFO.
+    if (!found || deadline < best_deadline ||
+        (deadline == best_deadline && seq < best_seq)) {
+      best_deadline = deadline;
+      best_seq = seq;
+      selected_ = i;
+      found = true;
+    }
+  }
+  return &waiting_[selected_].request;
+}
+
+void EdfAdmission::pop_selected() {
+  CIMTPU_CHECK(selected_ < waiting_.size());
+  waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(selected_));
+}
+
+void EdfAdmission::drain_shed(std::vector<Request>* out) {
+  CIMTPU_CHECK(out != nullptr);
+  out->insert(out->end(), shed_.begin(), shed_.end());
+  shed_.clear();
+}
+
 // --- Registry ----------------------------------------------------------------
 
 namespace {
@@ -245,6 +356,10 @@ std::map<std::string, AdmissionPolicyFactory>& registry() {
       {"wfq",
        [](const AdmissionConfig& config) {
          return std::make_unique<WeightedFairAdmission>(config.tenants);
+       }},
+      {"edf",
+       [](const AdmissionConfig& config) {
+         return std::make_unique<EdfAdmission>(config.edf_shed_slack_s);
        }},
   };
   return policies;

@@ -26,7 +26,7 @@
 //      for this step (head-of-line blocking on the policy's OWN choice —
 //      the exact semantics the FIFO baseline always had).
 //
-// Three disciplines ship on the interface (see the registry at the
+// Four disciplines ship on the interface (see the registry at the
 // bottom):
 //   * "fifo"     — arrival order, preempted requests re-queue at the
 //                  front.  Bit-identical to the pre-API scheduler.
@@ -40,6 +40,10 @@
 //                  backlogged tenant with the least virtual work admits
 //                  next, start-time-fair-queueing style, with optional
 //                  per-tenant token-rate caps against the simulated clock.
+//   * "edf"      — earliest absolute TTFT deadline first, with admission
+//                  control that SHEDS requests that provably cannot meet
+//                  their deadline (see EdfAdmission), converting raw
+//                  throughput into SLO attainment under overload.
 
 #include <cstdint>
 #include <deque>
@@ -69,10 +73,16 @@ struct AdmissionContext {
   std::int64_t step = 0;      ///< engine steps planned so far (aging)
 };
 
-/// Per-tenant share for WeightedFairAdmission, indexed by
-/// Request::tenant_id.  Tenants beyond the configured vector default to
-/// weight 1 and no cap.
+/// Per-tenant share for WeightedFairAdmission and the per-tenant metrics
+/// rollup.  A share names its tenant via `tenant_id`; entries left at the
+/// -1 default bind to their index in AdmissionConfig::tenants (the
+/// historical positional convention), so sparse or non-contiguous tenant
+/// ids can be configured explicitly while dense configs stay unchanged.
+/// Tenants no share names default to weight 1 and no cap.
 struct TenantShare {
+  std::int64_t tenant_id = -1;  ///< Request::tenant_id this share applies
+                                ///< to; -1 = the entry's own index
+
   double weight = 1.0;  ///< relative admitted-token share (> 0)
 
   /// Admitted prompt+output tokens per simulated second; 0 disables the
@@ -84,6 +94,14 @@ struct TenantShare {
   void validate() const;
 };
 
+/// The share `tenants` assigns to `tenant_id` (explicit tenant_id entries
+/// first, index-bound entries otherwise), or the default share (weight 1,
+/// uncapped) when no entry names it.  Shared by WeightedFairAdmission and
+/// the per-tenant metrics rollup so Jain normalization and admission use
+/// the same weights.
+TenantShare resolve_tenant_share(const std::vector<TenantShare>& tenants,
+                                 std::int64_t tenant_id);
+
 /// Policy selection + knobs, carried by SchedulerConfig.  `policy` is a
 /// registry key (see admission_policy_names / register_admission_policy).
 struct AdmissionConfig {
@@ -93,8 +111,21 @@ struct AdmissionConfig {
   /// 0 disables aging (pure static priority, can starve).
   double aging_rate = 0.01;
 
-  /// "wfq": shares indexed by tenant_id.
+  /// "wfq" + per-tenant metrics: shares, resolved by TenantShare::tenant_id
+  /// (entries left at -1 bind to their index — see resolve_tenant_share).
   std::vector<TenantShare> tenants;
+
+  /// "edf": conservative floor on the service time still ahead of a
+  /// waiting request.  Admission control sheds a never-admitted request
+  /// once now + edf_shed_slack_s exceeds its absolute TTFT deadline — it
+  /// provably cannot stream its first token in time, so prefilling it
+  /// would only steal capacity from requests that can still meet theirs.
+  /// 0 (the default) sheds only requests whose deadline already passed.
+  Seconds edf_shed_slack_s = 0;
+
+  /// The share this config assigns `tenant_id` (resolve_tenant_share over
+  /// `tenants`).
+  TenantShare share_for(std::int64_t tenant_id) const;
 
   void validate() const;
 };
@@ -133,6 +164,14 @@ class AdmissionPolicy {
   /// under "admission.*" names (serving/obs_registry.h).  Default no-op;
   /// WFQ reports per-tenant admitted tokens and virtual work.
   virtual void publish(MetricsRegistry* registry) const;
+
+  /// Moves the requests this policy dropped via admission control since
+  /// the last drain into `out` (appended).  Shedding policies (EDF) stash
+  /// hopeless requests during `select`; the scheduler drains them every
+  /// step, bumps ServingCounters::shed_deadline, and reports them in
+  /// StepRecord::shed_ids.  A shed request is gone: it never admits and
+  /// never completes.  Default: drains nothing.
+  virtual void drain_shed(std::vector<Request>* out);
 
   virtual bool empty() const = 0;
   virtual std::size_t size() const = 0;
@@ -244,6 +283,52 @@ class WeightedFairAdmission : public AdmissionPolicy {
   double virtual_time_ = 0;  ///< virtual work of the last admission
   std::size_t waiting_total_ = 0;
   TenantState* selected_tenant_ = nullptr;
+};
+
+/// Earliest-deadline-first with load shedding, the SLO-aware discipline:
+/// the waiting request with the earliest ABSOLUTE TTFT deadline
+/// (arrival_time + Request::ttft_deadline) admits next; deadline-free
+/// requests sort after every deadline and stay FIFO among themselves.
+/// Admission control sheds: at each `select` the policy drops every
+/// never-admitted request whose deadline can provably no longer be met
+/// (now + edf_shed_slack past the absolute deadline), freeing prefill
+/// capacity for requests that still can — under overload that converts
+/// throughput into SLO attainment, which is the whole point.  Preempted
+/// requests are shed-exempt: they already streamed a first token, so
+/// their TTFT verdict is settled and dropping them would waste paid-for
+/// prefill work.  Shed requests accumulate until the scheduler calls
+/// `drain_shed`.
+class EdfAdmission : public AdmissionPolicy {
+ public:
+  explicit EdfAdmission(Seconds shed_slack) : shed_slack_(shed_slack) {}
+
+  std::string name() const override { return "edf"; }
+  void on_enqueue(const Request& request, std::int64_t step) override;
+  void on_preempt_requeue(const Request& request, std::int64_t step) override;
+  const Request* select(const AdmissionContext& context) override;
+  void pop_selected() override;
+  void drain_shed(std::vector<Request>* out) override;
+  bool empty() const override { return waiting_.empty() && shed_.empty(); }
+  std::size_t size() const override {
+    return waiting_.size() + shed_.size();
+  }
+
+ private:
+  struct Waiting {
+    Request request;
+    std::int64_t seq = 0;    ///< tie break: earliest enqueue first
+    bool resumed = false;    ///< preempt-requeued: shed-exempt
+  };
+
+  /// Absolute TTFT deadline; +inf for deadline-free requests (they queue
+  /// behind every deadline, FIFO among themselves via seq).
+  static double absolute_deadline(const Request& request);
+
+  Seconds shed_slack_;
+  std::int64_t next_seq_ = 0;
+  std::vector<Waiting> waiting_;
+  std::vector<Request> shed_;  ///< dropped, awaiting drain_shed
+  std::size_t selected_ = 0;   ///< index of the last select() winner
 };
 
 // --- Registry ----------------------------------------------------------------

@@ -15,6 +15,10 @@ Bytes ServingCounters::total_swap_bytes() const {
   return swap_out_bytes + swap_in_bytes;
 }
 
+std::int64_t ServingCounters::total_shed() const {
+  return shed_deadline + shed_horizon;
+}
+
 double ServingCounters::prefix_hit_rate() const {
   return prefix_lookup_tokens == 0
              ? 0.0
@@ -39,6 +43,8 @@ void ServingCounters::publish(MetricsRegistry* registry) const {
                         prefix_shared_blocks);
   registry->set_counter("scheduler.prefix_cow_blocks", prefix_cow_blocks);
   registry->set_gauge("scheduler.prefix_hit_rate", prefix_hit_rate());
+  registry->set_counter("scheduler.shed_deadline", shed_deadline);
+  registry->set_counter("scheduler.shed_horizon", shed_horizon);
 }
 
 double jain_fairness_index(const std::vector<double>& values) {

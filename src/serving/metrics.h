@@ -75,7 +75,18 @@ struct ServingCounters {
   std::int64_t prefix_shared_blocks = 0;
   std::int64_t prefix_cow_blocks = 0;
 
+  // Load shedding, split by cause.  A shed request arrived but will never
+  // complete; both counters advance whether or not tracing is enabled
+  // (tracing only adds events, never counters).  `shed_deadline` counts
+  // requests dropped by admission control because their TTFT deadline
+  // provably could not be met (EDF shedding); `shed_horizon` counts
+  // requests still waiting or in flight when `max_sim_seconds` stopped
+  // the run.
+  std::int64_t shed_deadline = 0;
+  std::int64_t shed_horizon = 0;
+
   std::int64_t total_preemptions() const;
+  std::int64_t total_shed() const;
   Bytes total_swap_bytes() const;
   /// prefix_hit_tokens / prefix_lookup_tokens; 0 when nothing was looked
   /// up (cache disabled or no tagged requests).

@@ -11,6 +11,7 @@ std::string arrival_process_name(ArrivalProcess process) {
   switch (process) {
     case ArrivalProcess::kPoisson: return "poisson";
     case ArrivalProcess::kBursty: return "bursty";
+    case ArrivalProcess::kDiurnal: return "diurnal";
   }
   return "?";
 }
@@ -61,6 +62,24 @@ void RequestStreamConfig::validate() const {
     CIMTPU_CONFIG_CHECK(burst_fraction > 0 && burst_fraction < 1,
                         "burst_fraction must be in (0, 1)");
   }
+  if (process == ArrivalProcess::kDiurnal) {
+    CIMTPU_CONFIG_CHECK(diurnal_period_s > 0,
+                        "diurnal_period_s must be positive");
+    // amplitude 1 lets the rate touch zero at the trough; beyond 1 the
+    // "rate" would go negative, which thinning cannot represent.
+    CIMTPU_CONFIG_CHECK(diurnal_amplitude >= 0 && diurnal_amplitude <= 1,
+                        "diurnal_amplitude must be in [0, 1], got "
+                            << diurnal_amplitude);
+  }
+  CIMTPU_CONFIG_CHECK(ttft_deadline_s >= 0,
+                      "ttft_deadline_s must be >= 0 (0 disables)");
+  CIMTPU_CONFIG_CHECK(tpot_deadline_s >= 0,
+                      "tpot_deadline_s must be >= 0 (0 disables)");
+  if (ttft_deadline_s > 0 || tpot_deadline_s > 0) {
+    CIMTPU_CONFIG_CHECK(deadline_jitter >= 0 && deadline_jitter < 1,
+                        "deadline_jitter must be in [0, 1), got "
+                            << deadline_jitter);
+  }
   prompt.validate();
   output.validate();
 }
@@ -103,6 +122,25 @@ Seconds exponential(Rng& rng, double rate) {
   return -std::log(1.0 - rng.uniform()) / rate;
 }
 
+constexpr double kTwoPi = 6.283185307179586;
+
+/// Next arrival of a sinusoidally modulated Poisson process after `now`,
+/// via Lewis-Shedler thinning: candidates at the constant peak rate, each
+/// accepted with probability rate(candidate) / peak.
+Seconds diurnal_arrival(Rng& rng, const RequestStreamConfig& config,
+                        Seconds now) {
+  const double peak = config.arrival_rate * (1.0 + config.diurnal_amplitude);
+  for (;;) {
+    now += exponential(rng, peak);
+    const double rate =
+        config.arrival_rate *
+        (1.0 + config.diurnal_amplitude *
+                   std::sin(kTwoPi * now / config.diurnal_period_s +
+                            config.diurnal_phase));
+    if (rng.uniform() * peak <= rate) return now;
+  }
+}
+
 }  // namespace
 
 std::vector<Request> generate_requests(const RequestStreamConfig& config) {
@@ -117,6 +155,11 @@ std::vector<Request> generate_requests(const RequestStreamConfig& config) {
   // Fourth decoupled stream for shared-prefix assignment: enabling system
   // prompts never perturbs any other field of the trace.
   Rng prefix_rng(config.seed ^ 0x517e0fcafe5eed11ull);
+  // Fifth decoupled stream for SLO deadline jitter: consulted only when
+  // deadlines are enabled, so every pre-SLO stream is bit-identical.
+  Rng deadline_rng(config.seed ^ 0x7d1f5105d11e5eedull);
+  const bool deadlines =
+      config.ttft_deadline_s > 0 || config.tpot_deadline_s > 0;
   const LengthSampler prompt_sampler(config.prompt);
   const LengthSampler output_sampler(config.output);
   // Cumulative tenant weights for the skewed-assignment draw.
@@ -152,6 +195,8 @@ std::vector<Request> generate_requests(const RequestStreamConfig& config) {
   for (std::int64_t id = 0; id < config.num_requests; ++id) {
     if (config.process == ArrivalProcess::kPoisson) {
       now += exponential(rng, config.arrival_rate);
+    } else if (config.process == ArrivalProcess::kDiurnal) {
+      now = diurnal_arrival(rng, config, now);
     } else {
       // Draw the next arrival in the current state; cross state boundaries
       // until the arrival lands inside the active state's window.
@@ -196,9 +241,39 @@ std::vector<Request> generate_requests(const RequestStreamConfig& config) {
       request.prefix_len = config.prefix_len_tokens;
       request.prompt_len += config.prefix_len_tokens;
     }
+    if (deadlines) {
+      // One shared jitter factor per request: a request that tolerates a
+      // loose TTFT also tolerates a loose TPOT (per-class SLOs, not
+      // per-metric noise).
+      const double scale =
+          1.0 + config.deadline_jitter * (2.0 * deadline_rng.uniform() - 1.0);
+      request.ttft_deadline = config.ttft_deadline_s * scale;
+      request.tpot_deadline = config.tpot_deadline_s * scale;
+    }
     requests.push_back(request);
   }
   return requests;
+}
+
+std::vector<Request> merge_request_traces(
+    const std::vector<std::vector<Request>>& streams) {
+  std::vector<Request> merged;
+  std::size_t total = 0;
+  for (const std::vector<Request>& stream : streams) total += stream.size();
+  merged.reserve(total);
+  for (const std::vector<Request>& stream : streams) {
+    merged.insert(merged.end(), stream.begin(), stream.end());
+  }
+  // stable_sort keeps concatenation order among equal arrivals, so the
+  // merge is deterministic whatever the per-stream phases do.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival_time < b.arrival_time;
+                   });
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    merged[i].id = static_cast<std::int64_t>(i);
+  }
+  return merged;
 }
 
 }  // namespace cimtpu::serving

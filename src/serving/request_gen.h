@@ -35,12 +35,18 @@ struct Request {
                                 ///< prefix cache); -1 = unique prompt
   std::int64_t prefix_len = 0;  ///< leading prompt tokens covered by the
                                 ///< shared prefix (<= prompt_len)
+  Seconds ttft_deadline = 0;    ///< SLO: first token must stream within this
+                                ///< many seconds of arrival; 0 = no deadline
+  Seconds tpot_deadline = 0;    ///< SLO: steady-state decode must average at
+                                ///< most this many seconds per token after the
+                                ///< first; 0 = no deadline
 };
 
 /// Arrival process of the stream.
 enum class ArrivalProcess {
   kPoisson,  ///< exponential inter-arrivals at `arrival_rate`
   kBursty,   ///< two-state Markov-modulated Poisson (flash crowds)
+  kDiurnal,  ///< sinusoidally rate-modulated Poisson (day/night cycles)
 };
 
 std::string arrival_process_name(ArrivalProcess process);
@@ -76,6 +82,17 @@ struct RequestStreamConfig {
   double burst_factor = 8.0;    ///< burst rate / calm rate
   double burst_fraction = 0.1;  ///< fraction of time spent in bursts
 
+  // kDiurnal: the instantaneous rate follows
+  //   rate(t) = arrival_rate * (1 + amplitude * sin(2*pi*t/period + phase))
+  // sampled by Lewis-Shedler thinning at the peak rate, so the long-run
+  // average stays `arrival_rate`.  Only consulted when the process is
+  // kDiurnal; rng draws happen only on that path, so kPoisson/kBursty
+  // streams stay bit-identical for a given seed.
+  Seconds diurnal_period_s = 60.0;  ///< one full day/night cycle
+  double diurnal_amplitude = 0.8;   ///< peak swing, in [0, 1]
+  double diurnal_phase = 0.0;       ///< radians; shifts the peak (per-tenant
+                                    ///< mixes stagger their peaks with this)
+
   LengthSpec prompt;
   LengthSpec output;
 
@@ -104,6 +121,17 @@ struct RequestStreamConfig {
   std::int64_t prefix_pool_size = 0;
   std::int64_t prefix_len_tokens = 0;
 
+  // Per-request SLO deadlines (TTFT/TPOT): when either base value is > 0,
+  // every request carries both deadlines scaled by a shared jitter factor
+  // drawn uniformly from [1 - deadline_jitter, 1 + deadline_jitter].  The
+  // jitter comes from a FIFTH decoupled rng stream that is consulted only
+  // when deadlines are enabled, so arrivals, lengths, priorities, tenants,
+  // and prefixes stay bit-identical for a given seed — deadline-free
+  // streams (the default) are untouched byte for byte.
+  Seconds ttft_deadline_s = 0;   ///< base TTFT deadline; 0 disables
+  Seconds tpot_deadline_s = 0;   ///< base TPOT deadline; 0 disables
+  double deadline_jitter = 0.2;  ///< fractional spread, in [0, 1)
+
   void validate() const;
 };
 
@@ -123,5 +151,12 @@ class LengthSampler {
 /// Generates the full arrival trace for `config`: `num_requests` requests
 /// sorted by arrival time, ids dense in [0, num_requests).
 std::vector<Request> generate_requests(const RequestStreamConfig& config);
+
+/// Merges several arrival traces (e.g. one per tenant, each with its own
+/// diurnal phase) into one trace sorted by arrival time with dense ids.
+/// Ties keep the input order (stream 0 before stream 1); every other field
+/// is preserved, so per-stream tenant ids / deadlines survive the merge.
+std::vector<Request> merge_request_traces(
+    const std::vector<std::vector<Request>>& streams);
 
 }  // namespace cimtpu::serving

@@ -1,0 +1,199 @@
+#include "serving/request_trace.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/status.h"
+
+namespace cimtpu::serving {
+
+namespace {
+
+/// %.17g round-trips every finite double bit for bit through strtod.
+void append_double(std::string* out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out->append(buffer);
+}
+
+void append_int(std::string* out, std::int64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%lld",
+                static_cast<long long>(value));
+  out->append(buffer);
+}
+
+/// Minimal parser state over one JSONL line.  The grammar is a single flat
+/// object of string keys and number values — no nesting, strings, bools —
+/// so a hand scanner beats pulling in a JSON dependency.
+struct LineScanner {
+  const char* cursor;
+  const char* line_start;
+  std::size_t line_number;
+
+  void skip_spaces() {
+    while (*cursor == ' ' || *cursor == '\t') ++cursor;
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    CIMTPU_CONFIG_CHECK(false, "request trace line "
+                                   << line_number << ": " << what
+                                   << " (at byte "
+                                   << (cursor - line_start) << ")");
+    std::abort();  // unreachable: CONFIG_CHECK(false) throws
+  }
+
+  void expect(char c) {
+    skip_spaces();
+    if (*cursor != c) fail(std::string("expected '") + c + "'");
+    ++cursor;
+  }
+
+  bool consume(char c) {
+    skip_spaces();
+    if (*cursor != c) return false;
+    ++cursor;
+    return true;
+  }
+
+  std::string key() {
+    expect('"');
+    const char* begin = cursor;
+    while (*cursor != '"' && *cursor != '\0') ++cursor;
+    if (*cursor != '"') fail("unterminated key");
+    std::string name(begin, cursor);
+    ++cursor;
+    expect(':');
+    return name;
+  }
+
+  double number() {
+    skip_spaces();
+    char* end = nullptr;
+    errno = 0;
+    const double value = std::strtod(cursor, &end);
+    if (end == cursor || errno == ERANGE) fail("expected a number");
+    cursor = end;
+    return value;
+  }
+};
+
+Request parse_line(const char* line, std::size_t line_number) {
+  LineScanner scan{line, line, line_number};
+  Request request;
+  scan.expect('{');
+  if (!scan.consume('}')) {
+    do {
+      const std::string key = scan.key();
+      const double value = scan.number();
+      const auto as_int = [&] { return static_cast<std::int64_t>(value); };
+      if (key == "id") request.id = as_int();
+      else if (key == "arrival_s") request.arrival_time = value;
+      else if (key == "prompt") request.prompt_len = as_int();
+      else if (key == "output") request.output_len = as_int();
+      else if (key == "priority") request.priority = as_int();
+      else if (key == "tenant") request.tenant_id = as_int();
+      else if (key == "prefix_id") request.prefix_id = as_int();
+      else if (key == "prefix_len") request.prefix_len = as_int();
+      else if (key == "ttft_deadline_s") request.ttft_deadline = value;
+      else if (key == "tpot_deadline_s") request.tpot_deadline = value;
+      else scan.fail("unknown key \"" + key + "\"");
+    } while (scan.consume(','));
+    scan.expect('}');
+  }
+  scan.skip_spaces();
+  if (*scan.cursor != '\0') scan.fail("trailing garbage after object");
+  return request;
+}
+
+}  // namespace
+
+std::string request_trace_jsonl(const std::vector<Request>& requests) {
+  std::string out;
+  out.reserve(requests.size() * 96);
+  for (const Request& request : requests) {
+    out += "{\"id\": ";
+    append_int(&out, request.id);
+    out += ", \"arrival_s\": ";
+    append_double(&out, request.arrival_time);
+    out += ", \"prompt\": ";
+    append_int(&out, request.prompt_len);
+    out += ", \"output\": ";
+    append_int(&out, request.output_len);
+    out += ", \"priority\": ";
+    append_int(&out, request.priority);
+    out += ", \"tenant\": ";
+    append_int(&out, request.tenant_id);
+    out += ", \"prefix_id\": ";
+    append_int(&out, request.prefix_id);
+    out += ", \"prefix_len\": ";
+    append_int(&out, request.prefix_len);
+    out += ", \"ttft_deadline_s\": ";
+    append_double(&out, request.ttft_deadline);
+    out += ", \"tpot_deadline_s\": ";
+    append_double(&out, request.tpot_deadline);
+    out += "}\n";
+  }
+  return out;
+}
+
+std::vector<Request> parse_request_trace_jsonl(const std::string& text) {
+  std::vector<Request> requests;
+  std::size_t line_number = 0;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    ++line_number;
+    std::string line = text.substr(begin, end - begin);
+    begin = end + 1;
+    // Tolerate blank lines and \r\n traces from other platforms.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    bool blank = true;
+    for (char c : line) {
+      if (c != ' ' && c != '\t') { blank = false; break; }
+    }
+    if (blank) continue;
+    requests.push_back(parse_line(line.c_str(), line_number));
+    if (requests.size() > 1) {
+      const Request& prev = requests[requests.size() - 2];
+      const Request& curr = requests.back();
+      CIMTPU_CONFIG_CHECK(
+          curr.arrival_time >= prev.arrival_time,
+          "request trace line " << line_number
+                                << ": arrivals out of order ("
+                                << curr.arrival_time << " after "
+                                << prev.arrival_time
+                                << "); run_serving replays sorted traces");
+    }
+  }
+  return requests;
+}
+
+void save_request_trace(const std::string& path,
+                        const std::vector<Request>& requests) {
+  std::ofstream file(path, std::ios::binary);
+  CIMTPU_CONFIG_CHECK(file.good(),
+                      "cannot open request trace for writing: " << path);
+  const std::string text = request_trace_jsonl(requests);
+  file.write(text.data(), static_cast<std::streamsize>(text.size()));
+  file.flush();
+  CIMTPU_CONFIG_CHECK(file.good(),
+                      "failed writing request trace: " << path);
+}
+
+std::vector<Request> load_request_trace(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  CIMTPU_CONFIG_CHECK(file.good(),
+                      "cannot open request trace for reading: " << path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  CIMTPU_CONFIG_CHECK(!file.bad(), "failed reading request trace: " << path);
+  return parse_request_trace_jsonl(buffer.str());
+}
+
+}  // namespace cimtpu::serving

@@ -35,6 +35,7 @@ void StepRecord::clear() {
   preempted_ids.clear();
   swapped_out_ids.clear();
   swapped_in_ids.clear();
+  shed_ids.clear();
   swap_bytes = 0;
   chunked = false;
 }
@@ -283,6 +284,18 @@ void ContinuousBatchScheduler::swap_in_and_admit(StepRecord* record) {
   }
 }
 
+void ContinuousBatchScheduler::drain_shed(StepRecord* record) {
+  // Deadline sheds accumulate inside the policy during select(); pull them
+  // out every step so counters, trace events, and the step record agree.
+  shed_scratch_.clear();
+  admission_->drain_shed(&shed_scratch_);
+  for (const Request& request : shed_scratch_) {
+    record->shed_ids.push_back(request.id);
+    counters_.shed_deadline += 1;
+    if (trace_) trace_->on_shed(request.id);
+  }
+}
+
 AdmissionContext ContinuousBatchScheduler::admission_context() const {
   AdmissionContext context;
   context.free_batch_slots =
@@ -483,14 +496,20 @@ bool ContinuousBatchScheduler::next_step(StepRecord* record) {
   if (idle()) return false;
 
   swap_in_and_admit(record);
+  drain_shed(record);
 
   if (sequences_.empty()) {
+    CIMTPU_CHECK(swapped_.empty());
+    if (admission_->empty()) {
+      // Admission control shed every waiting request (a deadline-driven
+      // policy can empty the engine): no step runs.  The sheds are in
+      // record->shed_ids; the driver advances the clock and re-enters.
+      return false;
+    }
     // A swapped sequence always fits an empty device (it fit before it was
     // swapped out), so reaching here means the policy's chosen candidate
     // can never be admitted: the request is unservable at this capacity.
     // (Policies may not throttle an empty device, so select() is non-null.)
-    CIMTPU_CHECK(swapped_.empty());
-    CIMTPU_CHECK(!admission_->empty());
     const Request* head = admission_->select(admission_context());
     CIMTPU_CHECK(head != nullptr);
     CIMTPU_CONFIG_CHECK(

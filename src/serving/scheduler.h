@@ -122,6 +122,9 @@ struct StepRecord {
   std::vector<std::int64_t> preempted_ids;    ///< evicted for recompute
   std::vector<std::int64_t> swapped_out_ids;  ///< KV moved to the host pool
   std::vector<std::int64_t> swapped_in_ids;   ///< KV restored from the host
+  std::vector<std::int64_t> shed_ids;  ///< dropped by admission control
+                                       ///< (EDF deadline shed): never
+                                       ///< admitted, never complete
   Bytes swap_bytes = 0;  ///< PCIe traffic (out + in) charged to this step
   bool chunked = false;  ///< some participant's prompt was split
 
@@ -166,7 +169,10 @@ class ContinuousBatchScheduler {
   /// pass the same record every step to reuse its vectors).  Admission
   /// happens here: swapped-out sequences are restored first (FIFO), then
   /// waiting requests are pulled into the batch while KV pages and batch
-  /// slots allow.  Returns false when idle.
+  /// slots allow.  Returns false when idle — including when admission
+  /// control shed EVERY waiting request this call (a shedding policy can
+  /// empty the engine; the sheds are reported in record->shed_ids, and no
+  /// step ran).  For non-shedding policies a non-idle engine always steps.
   bool next_step(StepRecord* record);
 
   /// Convenience wrapper allocating a fresh record per step.
@@ -249,6 +255,9 @@ class ContinuousBatchScheduler {
   AdmissionContext admission_context() const;
 
   void swap_in_and_admit(StepRecord* record);
+  /// Drains the admission policy's deadline sheds into `record->shed_ids`,
+  /// counting them and emitting trace events.
+  void drain_shed(StepRecord* record);
   void build_prefill_step(StepRecord* record);
   /// Returns false when KV pressure evicted every decode participant (the
   /// caller falls back to a prefill step).
@@ -267,6 +276,7 @@ class ContinuousBatchScheduler {
   bool last_step_prefill_ = false;  ///< interleave state under chunking
   std::int64_t total_steps_ = 0;
   ServingCounters counters_;
+  std::vector<Request> shed_scratch_;  ///< drain_shed buffer (reused)
 };
 
 }  // namespace cimtpu::serving

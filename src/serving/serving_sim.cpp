@@ -38,6 +38,7 @@ struct RequestTrace {
   std::int64_t output_len = 0;
   Seconds first_token = -1;  ///< < 0 until the first token is emitted
   Seconds completion = -1;
+  bool shed = false;  ///< dropped by admission control (never completes)
 };
 
 /// Per-tenant accumulator for the schema-v4 breakdown.
@@ -147,8 +148,15 @@ ServingMetrics run_serving(const ServingScenario& scenario,
     }
     feed_arrivals(now);
     if (scheduler.idle()) {
-      // Nothing to do until the next request arrives.
-      now = std::max(now, requests[next_arrival].arrival_time);
+      // Nothing to do until the next request arrives — but never advance
+      // past the horizon: an arrival gap straddling it must leave the
+      // final clock (and every shed timestamp) AT the horizon, not at the
+      // far side of the gap.
+      Seconds next_time = requests[next_arrival].arrival_time;
+      if (scenario.max_sim_seconds > 0) {
+        next_time = std::min(next_time, scenario.max_sim_seconds);
+      }
+      now = std::max(now, next_time);
       continue;
     }
 
@@ -163,7 +171,17 @@ ServingMetrics run_serving(const ServingScenario& scenario,
     }
     scheduler.set_time(now);  // rate-capped admission reads the sim clock
     const bool stepped = scheduler.next_step(&step);
-    CIMTPU_CHECK(stepped);
+    // Deadline sheds (EDF admission control) surface here whether or not a
+    // step ran; a shed request arrived but will never be admitted.
+    for (std::int64_t id : step.shed_ids) {
+      traces.at(id).shed = true;
+    }
+    if (!stepped) {
+      // Admission control shed every waiting request: nothing ran and the
+      // clock is unchanged.  No kStep event is recorded (no step
+      // happened); the loop idle-advances to the next arrival or exits.
+      continue;
+    }
 
     const bool is_prefill = step.kind == StepRecord::Kind::kPrefill;
     // Per-sequence costing: each participant's attention at its own
@@ -273,17 +291,24 @@ ServingMetrics run_serving(const ServingScenario& scenario,
     }
   }
 
-  // Horizon-cut runs shed whatever is still in flight: the trace closes
-  // those lifecycles explicitly so every traced request has a terminal
-  // event.
-  if (tracing && scenario.max_sim_seconds > 0) {
+  metrics.counters = scheduler.counters();
+  metrics.sim_end_seconds = now;
+  // Horizon-cut runs shed whatever arrived but never completed — waiting,
+  // in flight, it makes no difference: the horizon ended its story.  The
+  // counter advances UNCONDITIONALLY (metrics and traces must agree);
+  // tracing only adds the terminal event so every traced request has one.
+  // Requests already shed by admission control got their event (and their
+  // shed_deadline count) at shed time and are skipped here.
+  if (scenario.max_sim_seconds > 0) {
     for (const Request& request : requests) {
       const auto trace_it = traces.find(request.id);
       if (trace_it == traces.end()) continue;  // never arrived
-      if (trace_it->second.completion < 0) trace->on_shed(request.id, now);
+      const RequestTrace& request_trace = trace_it->second;
+      if (request_trace.completion >= 0 || request_trace.shed) continue;
+      metrics.counters.shed_horizon += 1;
+      if (tracing) trace->on_shed(request.id, now);
     }
   }
-  metrics.counters = scheduler.counters();
   metrics.preemptions = metrics.counters.total_preemptions();
   metrics.prefix_hit_rate = metrics.counters.prefix_hit_rate();
   if (metrics.total_steps > 0) {
@@ -297,10 +322,13 @@ ServingMetrics run_serving(const ServingScenario& scenario,
   tpot.reserve(traces.size());
   e2e.reserve(traces.size());
   std::map<std::int64_t, TenantAccum> tenant_accums;  // ascending tenant id
+  std::int64_t arrived = 0;
+  std::int64_t slo_tokens = 0;  ///< output tokens of deadline-meeting requests
   // Iterate requests (not the hash map) for platform-independent order.
   for (const Request& request : requests) {
     const auto trace_it = traces.find(request.id);
     if (trace_it == traces.end()) continue;  // never arrived (horizon cut)
+    arrived += 1;
     // The accumulator (and hence the tenant's metrics row / Jain entry)
     // exists only once the tenant has a request that actually ARRIVED
     // within the simulated window — a tenant whose traffic all lands past
@@ -317,11 +345,28 @@ ServingMetrics run_serving(const ServingScenario& scenario,
       ttft.push_back(request_trace.first_token - request_trace.arrival);
       accum.ttft.push_back(request_trace.first_token - request_trace.arrival);
     }
-    if (request_trace.completion < 0) continue;  // in flight at the horizon
+    if (request_trace.completion < 0) continue;  // shed or cut: misses SLO
     e2e.push_back(request_trace.completion - request_trace.arrival);
     if (request_trace.output_len > 1) {
       tpot.push_back((request_trace.completion - request_trace.first_token) /
                      static_cast<double>(request_trace.output_len - 1));
+    }
+    // SLO verdict: completed AND every deadline the request carries holds.
+    // Deadline-free completed requests meet vacuously, so deadline-free
+    // streams report attainment 1.0 and slo_goodput == goodput.
+    bool met = true;
+    if (request.ttft_deadline > 0) {
+      met = request_trace.first_token - request_trace.arrival <=
+            request.ttft_deadline;
+    }
+    if (met && request.tpot_deadline > 0 && request_trace.output_len > 1) {
+      met = (request_trace.completion - request_trace.first_token) /
+                static_cast<double>(request_trace.output_len - 1) <=
+            request.tpot_deadline;
+    }
+    if (met) {
+      metrics.slo_met += 1;
+      slo_tokens += request_trace.output_len;
     }
     accum.completed += 1;
     accum.generated_tokens += request_trace.output_len;
@@ -330,21 +375,24 @@ ServingMetrics run_serving(const ServingScenario& scenario,
   metrics.ttft = summarize_latencies(ttft);
   metrics.tpot = summarize_latencies(tpot);
   metrics.e2e = summarize_latencies(e2e);
+  if (arrived > 0) {
+    metrics.slo_attainment = static_cast<double>(metrics.slo_met) /
+                             static_cast<double>(arrived);
+  }
 
   // --- Per-tenant breakdown (schema-v4) -------------------------------------
-  // Weights come from the deployment's admission shares (WFQ); tenants the
-  // config does not name weigh 1.  Jain's index runs over weight-normalized
-  // goodput, so a perfectly-enforcing WFQ scores ~1 whatever the weights.
-  const auto& shares = scenario.scheduler.admission.tenants;
+  // Weights resolve by the tenant id the config actually names
+  // (TenantShare::tenant_id, index-bound when left at -1) — the SAME
+  // resolution WFQ admission uses — so sparse or non-contiguous tenant ids
+  // can never make Jain normalization and enforcement disagree.  Tenants
+  // the config does not name weigh 1.
+  const AdmissionConfig& admission_config = scenario.scheduler.admission;
   std::vector<double> normalized_goodput;
   normalized_goodput.reserve(tenant_accums.size());
   for (const auto& [tenant_id, accum] : tenant_accums) {
     TenantMetrics tenant;
     tenant.tenant_id = tenant_id;
-    if (tenant_id >= 0 &&
-        tenant_id < static_cast<std::int64_t>(shares.size())) {
-      tenant.weight = shares[static_cast<std::size_t>(tenant_id)].weight;
-    }
+    tenant.weight = admission_config.share_for(tenant_id).weight;
     tenant.num_requests = accum.num_requests;
     tenant.completed = accum.completed;
     tenant.generated_tokens = accum.generated_tokens;
@@ -365,6 +413,8 @@ ServingMetrics run_serving(const ServingScenario& scenario,
   if (metrics.makespan > 0) {
     metrics.goodput_tokens_per_second =
         static_cast<double>(metrics.generated_tokens) / metrics.makespan;
+    metrics.slo_goodput_tokens_per_second =
+        static_cast<double>(slo_tokens) / metrics.makespan;
     metrics.mxu_utilization =
         busy_time / (metrics.makespan * static_cast<double>(scenario.chips));
   }
@@ -388,6 +438,10 @@ ServingMetrics run_serving(const ServingScenario& scenario,
   metrics.registry.set_counter("engine.generated_tokens",
                                metrics.generated_tokens);
   metrics.registry.set_gauge("engine.makespan_s", metrics.makespan);
+  metrics.registry.set_gauge("engine.sim_end_s", metrics.sim_end_seconds);
+  metrics.registry.set_gauge("engine.slo_attainment", metrics.slo_attainment);
+  metrics.registry.set_gauge("engine.slo_goodput_tokens_per_s",
+                             metrics.slo_goodput_tokens_per_second);
   metrics.counters.publish(&metrics.registry);
   costs.publish(&metrics.registry);
   kv_cache.publish(&metrics.registry);

@@ -82,11 +82,28 @@ struct ServingMetrics {
   double kv_internal_fragmentation = 0;
 
   Seconds makespan = 0;        ///< last token emission time
+  Seconds sim_end_seconds = 0; ///< simulated clock when the engine stopped:
+                               ///< never past max_sim_seconds when a horizon
+                               ///< is set (>= makespan either way)
   LatencySummary ttft;         ///< time to first token
   LatencySummary tpot;         ///< time per output token (steady decode)
   LatencySummary e2e;          ///< request completion latency
 
   double goodput_tokens_per_second = 0;
+
+  /// SLO attainment (schema-v7 "slo_frontier" block): a request MEETS its
+  /// SLO when it completed inside the window and every deadline it
+  /// carries holds — TTFT (first token within Request::ttft_deadline of
+  /// arrival) and TPOT (steady decode within Request::tpot_deadline per
+  /// token).  Deadline-free completed requests count as meeting; shed or
+  /// never-completed requests count as missing.  `slo_attainment` is
+  /// met / arrived (1.0 when nothing arrived);
+  /// `slo_goodput_tokens_per_second` counts ONLY deadline-meeting
+  /// requests' tokens over the makespan — the DistServe-style goodput
+  /// that a shedding policy trades raw throughput for.
+  std::int64_t slo_met = 0;
+  double slo_attainment = 1.0;
+  double slo_goodput_tokens_per_second = 0;
 
   /// Per-tenant QoS breakdown (schema-v4): one row per tenant id with at
   /// least one request arriving inside the simulated window, ascending,

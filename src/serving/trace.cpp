@@ -111,6 +111,15 @@ void ServingTrace::on_shed(std::int64_t request_id, Seconds horizon) {
   event.step = -1;
   event.time = horizon;
   event.end_time = horizon;
+  event.aux = 1;  // horizon cut
+}
+
+void ServingTrace::on_shed(std::int64_t request_id) {
+  if (!config_.enabled) return;
+  // Deadline shed from the scheduler: stamped with the current step's
+  // start time by push(); aux 0 distinguishes it from a horizon cut.
+  TraceEvent& event = push(TraceEventType::kShed, request_id);
+  event.aux = 0;
 }
 
 void ServingTrace::on_admit(const Request& request,
@@ -445,9 +454,12 @@ std::string trace_jsonl(const std::vector<TraceEvent>& events) {
             << ",\"kv_blocks_allocated\":" << event.blocks
             << ",\"kv_blocks_reclaimed\":" << event.blocks2;
         break;
+      case TraceEventType::kShed:
+        out << ",\"cause\":\""
+            << (event.aux == 0 ? "deadline" : "horizon") << '"';
+        break;
       case TraceEventType::kFirstToken:
       case TraceEventType::kPreempt:
-      case TraceEventType::kShed:
         break;
     }
     out << '}';

@@ -72,7 +72,9 @@ enum class TraceEventType {
   kSwapOut,       ///< KV pages moved to the host pool
   kSwapIn,        ///< KV pages restored from the host pool
   kFinish,        ///< last output token emitted (e2e point)
-  kShed,          ///< in flight at the simulated-time horizon; never done
+  kShed,          ///< never completes: dropped by admission control (EDF
+                  ///< deadline shed, aux=0) or cut by the simulated-time
+                  ///< horizon while waiting/in flight (aux=1)
   kStep,          ///< one engine step (batch composition + cost + KV churn)
 };
 
@@ -92,7 +94,7 @@ const char* trace_event_type_name(TraceEventType type);
 ///   kPreempt       —
 ///   kSwapOut/In    bytes=PCIe traffic
 ///   kFinish        tokens=generated output tokens
-///   kShed          —
+///   kShed          aux=cause (0 deadline shed, 1 horizon cut)
 ///   kStep          batch  aux=kind (0 prefill, 1 decode)  value=latency s
 ///                  blocks=KV blocks allocated  blocks2=blocks reclaimed
 ///                  tokens=KV blocks referenced after the step
@@ -135,6 +137,9 @@ class TraceSink {
   virtual void on_preempt(std::int64_t request_id) = 0;
   virtual void on_swap_out(std::int64_t request_id, Bytes bytes) = 0;
   virtual void on_swap_in(std::int64_t request_id, Bytes bytes) = 0;
+  /// Admission control dropped a waiting request (EDF deadline shed): it
+  /// will never be admitted.  Stamped with the current step's time.
+  virtual void on_shed(std::int64_t request_id) = 0;
 };
 
 /// The standard sink + the driver-side hooks run_serving calls.  Events
@@ -176,6 +181,7 @@ class ServingTrace final : public TraceSink {
   void on_preempt(std::int64_t request_id) override;
   void on_swap_out(std::int64_t request_id, Bytes bytes) override;
   void on_swap_in(std::int64_t request_id, Bytes bytes) override;
+  void on_shed(std::int64_t request_id) override;
 
   const std::vector<TraceEvent>& events() const { return events_; }
 

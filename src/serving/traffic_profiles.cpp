@@ -1,5 +1,6 @@
 #include "serving/traffic_profiles.h"
 
+#include "common/status.h"
 #include "models/model_zoo.h"
 
 namespace cimtpu::serving {
@@ -191,6 +192,90 @@ std::vector<SweepPoint> multi_tenant_fairness_points(
     points.push_back(std::move(point));
   }
   return points;
+}
+
+RequestStreamConfig slo_chat_stream(std::uint64_t seed,
+                                    std::int64_t num_requests,
+                                    double arrival_rate,
+                                    Seconds ttft_deadline_s,
+                                    Seconds tpot_deadline_s) {
+  RequestStreamConfig stream = multi_tenant_pressure_stream(
+      seed, num_requests, arrival_rate, /*num_tenants=*/1);
+  stream.ttft_deadline_s = ttft_deadline_s;
+  stream.tpot_deadline_s = tpot_deadline_s;
+  return stream;
+}
+
+ServingScenario slo_scenario(ir::DType dtype, const std::string& admission,
+                             Seconds horizon_seconds,
+                             std::int64_t kv_budget_tokens) {
+  ServingScenario scenario = llama7b_pressured_scenario(
+      /*chips=*/1, dtype, EvictionPolicy::kPreemptNewest, /*chunk_tokens=*/0,
+      kv_budget_tokens);
+  scenario.scheduler.admission.policy = admission;
+  // Shed only requests that are provably lost: with zero slack, EDF drops
+  // a request once even an IMMEDIATE first token would miss its TTFT
+  // deadline.  The win over FIFO comes purely from not spending prefill
+  // on work that can no longer count.
+  scenario.scheduler.admission.edf_shed_slack_s = 0;
+  scenario.max_sim_seconds = horizon_seconds;
+  return scenario;
+}
+
+ServingSweep slo_frontier_sweep(const models::TransformerConfig& model,
+                                std::uint64_t seed) {
+  ServingSweep sweep;
+  sweep.arrival_rates = slo_frontier_rates();
+  sweep.models = {model};
+  sweep.chip_counts = {1};
+  sweep.policies = {EvictionPolicy::kPreemptNewest};
+  sweep.admission_policies = {"fifo", "edf"};
+  sweep.base = slo_scenario(model.dtype, /*admission=*/"fifo");
+  sweep.base.model = model;
+  // Re-derive the 4000-token budget in the chosen model's own token-bytes
+  // (the canonical scenario sized it for llama2-7b).
+  sweep.base.kv_budget_override = KvCacheManager::token_bytes(model) * 4000.0;
+  sweep.stream =
+      slo_chat_stream(seed, kSloFrontierRequests, /*arrival_rate=*/1.0);
+  return sweep;
+}
+
+std::vector<Request> diurnal_tenant_mix_requests(
+    std::uint64_t seed, std::int64_t requests_per_tenant,
+    double per_tenant_rate, std::int64_t num_tenants, Seconds period_s,
+    double amplitude) {
+  CIMTPU_CONFIG_CHECK(num_tenants >= 1, "diurnal mix needs >= 1 tenant, got "
+                                            << num_tenants);
+  constexpr double kTwoPi = 6.283185307179586;
+  std::vector<std::vector<Request>> streams;
+  streams.reserve(static_cast<std::size_t>(num_tenants));
+  for (std::int64_t tenant = 0; tenant < num_tenants; ++tenant) {
+    RequestStreamConfig stream = multi_tenant_pressure_stream(
+        seed + static_cast<std::uint64_t>(tenant) * 0x9e3779b97f4a7c15ull,
+        requests_per_tenant, per_tenant_rate, /*num_tenants=*/1);
+    stream.process = ArrivalProcess::kDiurnal;
+    stream.diurnal_period_s = period_s;
+    stream.diurnal_amplitude = amplitude;
+    stream.diurnal_phase =
+        kTwoPi * static_cast<double>(tenant) / static_cast<double>(num_tenants);
+    std::vector<Request> requests = generate_requests(stream);
+    for (Request& request : requests) {
+      request.tenant_id = tenant;
+    }
+    streams.push_back(std::move(requests));
+  }
+  return merge_request_traces(streams);
+}
+
+RequestStreamConfig flash_crowd_stream(std::uint64_t seed,
+                                       std::int64_t num_requests,
+                                       double arrival_rate) {
+  RequestStreamConfig stream =
+      slo_chat_stream(seed, num_requests, arrival_rate);
+  stream.process = ArrivalProcess::kBursty;
+  stream.burst_factor = 16.0;
+  stream.burst_fraction = 0.05;
+  return stream;
 }
 
 }  // namespace cimtpu::serving

@@ -130,4 +130,71 @@ std::vector<SweepPoint> prefix_cache_grid_points(
     const std::vector<Request>* requests,
     std::int64_t kv_budget_tokens = 20000);
 
+/// The deadlines / horizon / trace size the canonical SLO frontier uses.
+/// TTFT 2 s / TPOT 100 ms are interactive-chat targets (DistServe-style);
+/// the 30-simulated-second horizon keeps the overloaded cells bounded.
+constexpr Seconds kSloTtftDeadline = 2.0;
+constexpr Seconds kSloTpotDeadline = 0.1;
+constexpr Seconds kSloFrontierHorizon = 30.0;
+constexpr std::int64_t kSloFrontierRequests = 400;
+
+/// The arrival rates the canonical SLO frontier sweeps (req/s): from
+/// comfortably served through saturation to heavy overload, where
+/// admission control separates the policies.
+inline const std::vector<double>& slo_frontier_rates() {
+  static const std::vector<double> rates = {4.0, 10.0, 25.0};
+  return rates;
+}
+
+/// Canonical deadline-carrying chat stream for SLO studies: the
+/// multi-tenant pressure lengths (uniform prompts 128..256, outputs
+/// 64..128 — low variance, so attainment differences reflect scheduling,
+/// not length luck) with every request carrying jittered TTFT/TPOT
+/// deadlines from the decoupled fifth rng stream.  Shared by
+/// bench_serving's "slo_frontier" block, the serving_traffic SLO demo,
+/// and the EDF tests.
+RequestStreamConfig slo_chat_stream(std::uint64_t seed,
+                                    std::int64_t num_requests,
+                                    double arrival_rate,
+                                    Seconds ttft_deadline_s = kSloTtftDeadline,
+                                    Seconds tpot_deadline_s = kSloTpotDeadline);
+
+/// The canonical SLO deployment: the pressured llama2-7b scenario (4000
+/// cached tokens — tight enough that queueing delay, not compute, is what
+/// blows deadlines under overload) run under `admission` ("fifo" for the
+/// head-of-line baseline, "edf" for deadline-driven admission with
+/// shedding) to a `horizon_seconds` simulated-time cut.
+ServingScenario slo_scenario(ir::DType dtype, const std::string& admission,
+                             Seconds horizon_seconds = kSloFrontierHorizon,
+                             std::int64_t kv_budget_tokens = 4000);
+
+/// The canonical SLO frontier as a ready-to-run sweep grid: arrival rate
+/// (slo_frontier_rates) x admission {"fifo", "edf"} over the slo_scenario
+/// deployment replaying slo_chat_stream traffic (one shared trace per
+/// rate, generated by run_serving_sweep).  Shared by bench_serving's
+/// "slo_frontier" block and serving_traffic's SLO demo so the two
+/// binaries always study the SAME grid, in the same (rate-major) order.
+ServingSweep slo_frontier_sweep(const models::TransformerConfig& model,
+                                std::uint64_t seed);
+
+/// Production-shaped diurnal multi-tenant mix: one kDiurnal stream per
+/// tenant, peaks staggered evenly around the day/night cycle (tenant t
+/// gets phase 2*pi*t/num_tenants — time-zone-offset tenant populations),
+/// merged into one dense-id trace sorted by arrival.  Each per-tenant
+/// stream uses the multi-tenant pressure lengths and a decoupled seed, so
+/// adding a tenant never perturbs the others' traffic.
+std::vector<Request> diurnal_tenant_mix_requests(std::uint64_t seed,
+                                                 std::int64_t requests_per_tenant,
+                                                 double per_tenant_rate,
+                                                 std::int64_t num_tenants,
+                                                 Seconds period_s = 60.0,
+                                                 double amplitude = 0.8);
+
+/// Flash-crowd stream: the SLO chat lengths under a two-state bursty
+/// arrival process with a 16x burst rate for 5% of the time — the
+/// incident-shaped traffic that deadline-aware shedding is for.
+RequestStreamConfig flash_crowd_stream(std::uint64_t seed,
+                                       std::int64_t num_requests,
+                                       double arrival_rate);
+
 }  // namespace cimtpu::serving

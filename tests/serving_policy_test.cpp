@@ -515,6 +515,7 @@ TEST(AdmissionPolicyTest, RegistryNamesAreStableAndUnknownThrows) {
   EXPECT_NE(std::find(names.begin(), names.end(), "fifo"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "priority"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "wfq"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "edf"), names.end());
   AdmissionConfig config;
   config.policy = "fifo";
   EXPECT_EQ(make_admission_policy(config)->name(), "fifo");
@@ -522,6 +523,8 @@ TEST(AdmissionPolicyTest, RegistryNamesAreStableAndUnknownThrows) {
   EXPECT_EQ(make_admission_policy(config)->name(), "priority");
   config.policy = "wfq";
   EXPECT_EQ(make_admission_policy(config)->name(), "wfq");
+  config.policy = "edf";
+  EXPECT_EQ(make_admission_policy(config)->name(), "edf");
   config.policy = "no_such_policy";
   EXPECT_THROW(make_admission_policy(config), ConfigError);
   config.policy = "";
@@ -1101,9 +1104,12 @@ TEST(PolicyEndToEndTest, ChunkingBoundsTpotUnderLongPrompts) {
 //   3. Explain the drift (which change moved which metric) in your PR.
 //   4. If the drift also moves bench_serving output, refresh the committed
 //      BENCH_serving.json baseline at the repo root (the CI perf-smoke job
-//      gates steps_per_second against it).  The baseline is schema v5:
-//      "baseline" / "policies" / "fairness" / "prefix_cache" blocks plus
-//      the "sweep" wall-clock block (baseline + policy grids only).
+//      gates steps_per_second against it).  The baseline is schema v7:
+//      "baseline" / "policies" / "fairness" / "prefix_cache" /
+//      "observability" / "slo_frontier" blocks plus the "sweep" wall-clock
+//      block (baseline + policy grids only).  The slo_frontier rows must
+//      keep EDF's slo_attainment strictly above FIFO's at the highest
+//      swept arrival rate (serving_slo_test pins the ordering).
 
 struct Golden {
   EvictionPolicy policy;
