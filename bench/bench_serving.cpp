@@ -32,12 +32,19 @@
 //                and the full end-of-run metrics registry including
 //                cost-cache and KV-manager stats).  The traced run is a
 //                separate point; every pinned row above runs untraced,
-//   "slo_frontier" — NEW in v7: the SLO-aware scheduling study (arrival
+//   "slo_frontier" — the SLO-aware scheduling study (arrival
 //                rate x {fifo, edf} over the canonical deadline-carrying
 //                chat stream, 30 s overload window) with per-cell SLO
 //                attainment, deadline-meeting goodput, and shed counts —
 //                the grid where EDF admission control's shedding beats
 //                head-of-line FIFO under overload,
+//   "resilience" — NEW in v8: the fault-injection study (the canonical
+//                fault storm at fault-rate scales x recovery on/off via
+//                the sweep's resilience axes) with per-cell availability,
+//                MTTR, retries, fault sheds, wasted recompute tokens, and
+//                recovery-policy goodput — the frontier where backoff
+//                re-admission + host-shadow KV restore strictly beat
+//                dropping every fault-hit request,
 //   "sweep"    — wall-clock of the baseline + policy grids and the worker
 //                count, the headline number for hot-path optimizations
 //                (the CI perf-smoke job gates steps_per_second against
@@ -90,8 +97,11 @@ BENCHMARK(BM_serving_small_stream);
 int main(int argc, char** argv) {
   bench::banner("Serving", "continuous-batching goodput and tail latency");
 
-  // Custom flags, stripped from argv before google-benchmark parses it
-  // (ReportUnrecognizedArguments would otherwise reject them).
+  // Custom flags, stripped from argv before google-benchmark parses it.
+  // Unknown "--" flags are rejected HERE, loudly: silently forwarding a
+  // typo ("--trace-dri") to google-benchmark used to discard it, so the
+  // run looked fine but never wrote the files the caller asked for.  Only
+  // google-benchmark's own "--benchmark*" flags pass through.
   std::string out_path = "BENCH_serving.json";
   std::string trace_dir;
   int kept = 1;
@@ -100,6 +110,14 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-dir") == 0 && i + 1 < argc) {
       trace_dir = argv[++i];
+    } else if (std::strncmp(argv[i], "--benchmark", 11) == 0) {
+      argv[kept++] = argv[i];
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr,
+                   "bench_serving: unknown flag '%s' (expected --out <path>, "
+                   "--trace-dir <path>, or --benchmark* flags)\n",
+                   argv[i]);
+      return 1;
     } else {
       argv[kept++] = argv[i];
     }
@@ -138,7 +156,7 @@ int main(int argc, char** argv) {
                     "TPOT p99", "J/token", "MXU util"});
 
   std::ofstream json(out_path);
-  json << "{\n  \"bench\": \"serving\",\n  \"schema_version\": 7,\n"
+  json << "{\n  \"bench\": \"serving\",\n  \"schema_version\": 8,\n"
        << "  \"model\": \"llama2-7b\",\n"
        << "  \"dtype\": \"int4\",\n  \"requests\": 2000,\n  \"seed\": 42,\n"
        << "  \"baseline\": [\n";
@@ -519,6 +537,80 @@ int main(int argc, char** argv) {
   }
   json << "\n  ]},\n";
 
+  // --- Resilience: fault storm x recovery policy (schema v8) -----------------
+  // The canonical fault storm (traffic_profiles.h) over the sweep's
+  // resilience axes: fault-rate scales {0.5, 1} x recovery {off, on}.
+  // Recovery (backoff re-admission + host-shadow KV restore + graceful
+  // degradation) must strictly beat recovery-off on BOTH availability and
+  // SLO goodput at the full storm — the pinned frontier the resilience
+  // test gates.
+  serving::ServingSweep storm_sweep;
+  storm_sweep.arrival_rates = {10.0};
+  storm_sweep.models = {scenario_for(1).model};
+  storm_sweep.chip_counts = {1};
+  storm_sweep.policies = {serving::EvictionPolicy::kPreemptNewest};
+  storm_sweep.admission_policies = {"edf"};
+  storm_sweep.fault_rates = {0.5, 1.0};
+  storm_sweep.fault_recovery = {0, 1};
+  storm_sweep.base =
+      serving::fault_storm_scenario(scenario_for(1).model.dtype,
+                                    /*recovery=*/true);
+  storm_sweep.base.model = scenario_for(1).model;
+  storm_sweep.base.kv_budget_override =
+      serving::KvCacheManager::token_bytes(scenario_for(1).model) * 4000.0;
+  storm_sweep.stream = serving::slo_chat_stream(
+      /*seed=*/42, serving::kSloFrontierRequests, /*arrival_rate=*/1.0);
+  const std::vector<serving::SweepCellResult> storm_cells =
+      serving::run_serving_sweep(storm_sweep, sweep_options);
+
+  AsciiTable storm_table(
+      "Resilience — fault storm (seed " + cell_i(serving::kFaultStormSeed) +
+      "), " + cell_f(serving::kFaultStormHorizon, 0) +
+      " s window, recovery off vs on");
+  storm_table.set_header({"fault rate", "recovery", "avail", "MTTR",
+                          "SLO tokens/s", "done", "retries", "shed fault",
+                          "wasted tok", "restores"});
+  json << "  \"resilience\": {\"fault_seed\": " << serving::kFaultStormSeed
+       << ", \"horizon_s\": " << serving::kFaultStormHorizon
+       << ", \"requests\": " << serving::kSloFrontierRequests
+       << ", \"rows\": [\n";
+  first = true;
+  for (const serving::SweepCellResult& cell : storm_cells) {
+    const serving::ServingMetrics& metrics = cell.metrics;
+    const bool recovery = cell.fault_recovery > 0;
+    storm_table.add_row(
+        {cell_f(cell.fault_rate, 2), recovery ? "on" : "off",
+         cell_f(metrics.availability, 4), format_time(metrics.mttr_seconds),
+         cell_f(metrics.slo_goodput_tokens_per_second, 1),
+         cell_i(metrics.completed), cell_i(metrics.retries_total),
+         cell_i(metrics.counters.shed_fault),
+         cell_i(metrics.wasted_recompute_tokens),
+         cell_i(metrics.fault.host_restores)});
+    if (!first) json << ",\n";
+    first = false;
+    json << "    {\"fault_rate\": " << cell.fault_rate
+         << ", \"recovery\": " << (recovery ? "true" : "false")
+         << ", \"availability\": " << metrics.availability
+         << ", \"mttr_s\": " << metrics.mttr_seconds
+         << ", \"retries\": " << metrics.retries_total
+         << ", \"shed_fault\": " << metrics.counters.shed_fault
+         << ", \"wasted_recompute_tokens\": "
+         << metrics.wasted_recompute_tokens
+         << ", \"stalls\": " << metrics.fault.stalls
+         << ", \"kv_losses\": " << metrics.fault.kv_losses
+         << ", \"device_failures\": " << metrics.fault.device_failures
+         << ", \"host_restores\": " << metrics.fault.host_restores
+         << ", \"degrade_enters\": " << metrics.fault.degrade_enters
+         << ", \"completed\": " << metrics.completed
+         << ", \"slo_goodput_tokens_per_s\": "
+         << metrics.slo_goodput_tokens_per_second
+         << ", \"goodput_tokens_per_s\": "
+         << metrics.goodput_tokens_per_second
+         << ", \"sim_wall_seconds\": " << metrics.sim_wall_seconds
+         << ", \"steps_per_second\": " << metrics.steps_per_second << "}";
+  }
+  json << "\n  ]},\n";
+
   std::int64_t total_steps = 0;
   for (const serving::SweepCellResult& result : baseline) {
     total_steps += result.metrics.total_steps;
@@ -549,6 +641,7 @@ int main(int argc, char** argv) {
   fairness_table.print();
   prefix_table.print();
   slo_table.print();
+  storm_table.print();
   std::printf("  wrote BENCH_serving.json (%zu sweep points, %d/%d threads, "
               "%.3f s wall, %lld steps)\n",
               baseline.size() + policy_points.size(), baseline_threads,
@@ -573,6 +666,17 @@ int main(int argc, char** argv) {
               slo_cells[slo_cells.size() - 1]
                   .metrics.slo_goodput_tokens_per_second,
               slo_cells[slo_cells.size() - 2]
+                  .metrics.slo_goodput_tokens_per_second);
+  // Grid order is fault-rate-major with recovery {off, on} innermost, so
+  // the last two cells are the full storm's off/on pair.
+  std::printf("  resilience: at fault rate %.1f availability recovery-on "
+              "%.4f vs off %.4f (SLO goodput %.1f vs %.1f tokens/s)\n",
+              storm_cells[storm_cells.size() - 2].fault_rate,
+              storm_cells[storm_cells.size() - 1].metrics.availability,
+              storm_cells[storm_cells.size() - 2].metrics.availability,
+              storm_cells[storm_cells.size() - 1]
+                  .metrics.slo_goodput_tokens_per_second,
+              storm_cells[storm_cells.size() - 2]
                   .metrics.slo_goodput_tokens_per_second);
 
   return bench::run_microbenchmarks(argc, argv);

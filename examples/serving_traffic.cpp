@@ -17,7 +17,7 @@
 //
 // Usage:
 //   ./serving_traffic [model] [requests] [rate_req_s] [seed] [process] [dtype]
-//                     [--trace-dir <dir>]
+//                     [--trace-dir <dir>] [--fault-storm]
 //   ./serving_traffic llama2-7b 10000 20 42 poisson int4
 //   ./serving_traffic llama2-7b 2000 20 42 poisson int4 --trace-dir traces
 //
@@ -27,6 +27,11 @@
 // parallel one — byte for byte.  With --trace-dir the observability demo
 // additionally writes Perfetto trace files there (open them in
 // https://ui.perfetto.dev); those files are deterministic too.
+// --fault-storm appends the fault-injection demo: the canonical seeded
+// fault storm (traffic_profiles.h) with recovery off vs on, on the sweep
+// driver — its stdout (and, with --trace-dir, its per-cell trace files)
+// is byte-identical whatever CIMTPU_SWEEP_THREADS says, which the CI
+// determinism job checks.  Unknown flags are an error.
 
 #include <chrono>
 #include <cstdio>
@@ -49,11 +54,27 @@ using namespace cimtpu;
 int main(int argc, char** argv) {
   // Strip flag arguments first so the positional [model] [requests] ...
   // interface keeps working with or without flags, in any position.
+  // Unknown "--" flags are rejected loudly: a typo like --trace-dri
+  // silently ignored would run the wrong experiment.
   std::string trace_dir;
+  bool fault_storm = false;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace-dir") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--trace-dir") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "serving_traffic: --trace-dir requires a value\n");
+        return 1;
+      }
       trace_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--fault-storm") == 0) {
+      fault_storm = true;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr,
+                   "serving_traffic: unknown flag '%s' (expected "
+                   "--trace-dir <dir> or --fault-storm)\n",
+                   argv[i]);
+      return 1;
     } else {
       argv[kept++] = argv[i];
     }
@@ -482,6 +503,86 @@ int main(int argc, char** argv) {
         serving::run_serving_sweep(traced_sweep, sweep_options);
     std::fprintf(stderr, "traced sweep: %zu per-point trace files in %s\n",
                  traced_cells.size(), trace_dir.c_str());
+  }
+
+  if (fault_storm) {
+    // --- Fault injection & recovery: the canonical seeded storm --------------
+    // The canonical fault storm (traffic_profiles.h) — transient stalls,
+    // KV-block losses restored from the host shadow, and full device
+    // restarts, all from the dedicated fault seed — with recovery off vs
+    // on via the sweep's resilience axes.  Recovery (backoff re-admission
+    // + host restore + graceful degradation) strictly beats dropping
+    // every fault-hit request on BOTH availability and SLO goodput.
+    // Everything printed here is simulated-time deterministic: the CI
+    // determinism job diffs this section across sweep thread counts.
+    serving::ServingSweep storm_sweep;
+    storm_sweep.arrival_rates = {10.0};
+    storm_sweep.models = {scenario.model};
+    storm_sweep.chip_counts = {1};
+    storm_sweep.policies = {serving::EvictionPolicy::kPreemptNewest};
+    storm_sweep.admission_policies = {"edf"};
+    storm_sweep.fault_rates = {1.0};
+    storm_sweep.fault_recovery = {0, 1};
+    storm_sweep.base =
+        serving::fault_storm_scenario(scenario.model.dtype, /*recovery=*/true);
+    storm_sweep.base.model = scenario.model;
+    storm_sweep.base.kv_budget_override =
+        serving::KvCacheManager::token_bytes(scenario.model) * 4000.0;
+    if (!trace_dir.empty()) {
+      // Per-cell trace files (run_serving_sweep derives one label per
+      // cell): kFault/kRecover/kDegrade events land in the Perfetto and
+      // JSONL outputs, byte-identical across thread counts.
+      storm_sweep.base.trace.enabled = true;
+      storm_sweep.base.trace.dir = trace_dir;
+      storm_sweep.base.trace.label = "fault_storm";
+      storm_sweep.base.trace.write_jsonl = true;
+    }
+    storm_sweep.stream = serving::slo_chat_stream(
+        stream.seed, /*num_requests=*/serving::kSloFrontierRequests,
+        /*arrival_rate=*/1.0);
+    const std::vector<serving::SweepCellResult> storm_cells =
+        serving::run_serving_sweep(storm_sweep, sweep_options);
+
+    AsciiTable storm_table(
+        "Fault storm — seed " + cell_i(serving::kFaultStormSeed) + ", " +
+        cell_f(serving::kFaultStormHorizon, 0) +
+        " s window, recovery off vs on");
+    storm_table.set_header({"recovery", "avail", "MTTR", "SLO tokens/s",
+                            "done", "retries", "shed fault", "wasted tok",
+                            "restores", "degraded"});
+    std::printf("\n");
+    for (const serving::SweepCellResult& cell : storm_cells) {
+      const serving::ServingMetrics& metrics = cell.metrics;
+      const bool recovery = cell.fault_recovery > 0;
+      storm_table.add_row(
+          {recovery ? "on" : "off", cell_f(metrics.availability, 4),
+           format_time(metrics.mttr_seconds),
+           cell_f(metrics.slo_goodput_tokens_per_second, 1),
+           cell_i(metrics.completed), cell_i(metrics.retries_total),
+           cell_i(metrics.counters.shed_fault),
+           cell_i(metrics.wasted_recompute_tokens),
+           cell_i(metrics.fault.host_restores),
+           cell_i(metrics.fault.degrade_enters)});
+      std::printf(
+          "fault_storm recovery=%s: availability %.4f, slo goodput %.1f "
+          "tokens/s, %lld stalls + %lld kv losses + %lld device failures, "
+          "%lld retries, %lld shed to faults, %lld wasted recompute "
+          "tokens\n",
+          recovery ? "on" : "off", metrics.availability,
+          metrics.slo_goodput_tokens_per_second,
+          static_cast<long long>(metrics.fault.stalls),
+          static_cast<long long>(metrics.fault.kv_losses),
+          static_cast<long long>(metrics.fault.device_failures),
+          static_cast<long long>(metrics.retries_total),
+          static_cast<long long>(metrics.counters.shed_fault),
+          static_cast<long long>(metrics.wasted_recompute_tokens));
+    }
+    std::printf("\n");
+    storm_table.print();
+    if (!trace_dir.empty()) {
+      std::fprintf(stderr, "fault storm: %zu per-cell trace files in %s\n",
+                   storm_cells.size(), trace_dir.c_str());
+    }
   }
 
   const auto wall_end = std::chrono::steady_clock::now();

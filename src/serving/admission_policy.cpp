@@ -51,6 +51,9 @@ void AdmissionConfig::validate() const {
   CIMTPU_CONFIG_CHECK(edf_shed_slack_s >= 0,
                       "edf_shed_slack_s must be >= 0, got "
                           << edf_shed_slack_s);
+  CIMTPU_CONFIG_CHECK(edf_degraded_extra_slack_s >= 0,
+                      "edf_degraded_extra_slack_s must be >= 0, got "
+                          << edf_degraded_extra_slack_s);
   for (const TenantShare& share : tenants) share.validate();
   // Two entries naming the same tenant would make weight resolution
   // order-dependent; reject loudly rather than silently preferring one.
@@ -77,6 +80,10 @@ void AdmissionPolicy::publish(MetricsRegistry* registry) const {
 
 void AdmissionPolicy::drain_shed(std::vector<Request>* out) {
   (void)out;  // non-shedding policies drop nothing
+}
+
+void AdmissionPolicy::set_degraded(bool degraded) {
+  (void)degraded;  // most policies admit the same way either mode
 }
 
 // --- FifoAdmission -----------------------------------------------------------
@@ -299,7 +306,7 @@ const Request* EdfAdmission::select(const AdmissionContext& context) {
   for (std::size_t i = 0; i < waiting_.size();) {
     const Waiting& waiting = waiting_[i];
     const double deadline = absolute_deadline(waiting.request);
-    if (!waiting.resumed && context.now + shed_slack_ > deadline) {
+    if (!waiting.resumed && context.now + effective_slack() > deadline) {
       shed_.push_back(waiting.request);
       waiting_[i] = waiting_.back();
       waiting_.pop_back();
@@ -359,7 +366,8 @@ std::map<std::string, AdmissionPolicyFactory>& registry() {
        }},
       {"edf",
        [](const AdmissionConfig& config) {
-         return std::make_unique<EdfAdmission>(config.edf_shed_slack_s);
+         return std::make_unique<EdfAdmission>(
+             config.edf_shed_slack_s, config.edf_degraded_extra_slack_s);
        }},
   };
   return policies;

@@ -123,6 +123,12 @@ struct AdmissionConfig {
   /// 0 (the default) sheds only requests whose deadline already passed.
   Seconds edf_shed_slack_s = 0;
 
+  /// "edf" under graceful degradation (serving/fault.h): extra shed slack
+  /// applied while the engine is degraded, tightening admission control
+  /// when capacity is known to be impaired.  0 = degradation leaves EDF
+  /// shedding unchanged.
+  Seconds edf_degraded_extra_slack_s = 0;
+
   /// The share this config assigns `tenant_id` (resolve_tenant_share over
   /// `tenants`).
   TenantShare share_for(std::int64_t tenant_id) const;
@@ -172,6 +178,11 @@ class AdmissionPolicy {
   /// StepRecord::shed_ids.  A shed request is gone: it never admits and
   /// never completes.  Default: drains nothing.
   virtual void drain_shed(std::vector<Request>* out);
+
+  /// Graceful degradation toggled (serving/fault.h sustained-failure
+  /// detector).  Default no-op; EDF tightens its shed slack while
+  /// degraded.  Called only on actual transitions (hysteresis upstream).
+  virtual void set_degraded(bool degraded);
 
   virtual bool empty() const = 0;
   virtual std::size_t size() const = 0;
@@ -300,7 +311,8 @@ class WeightedFairAdmission : public AdmissionPolicy {
 /// `drain_shed`.
 class EdfAdmission : public AdmissionPolicy {
  public:
-  explicit EdfAdmission(Seconds shed_slack) : shed_slack_(shed_slack) {}
+  explicit EdfAdmission(Seconds shed_slack, Seconds degraded_extra_slack = 0)
+      : shed_slack_(shed_slack), degraded_extra_slack_(degraded_extra_slack) {}
 
   std::string name() const override { return "edf"; }
   void on_enqueue(const Request& request, std::int64_t step) override;
@@ -308,6 +320,7 @@ class EdfAdmission : public AdmissionPolicy {
   const Request* select(const AdmissionContext& context) override;
   void pop_selected() override;
   void drain_shed(std::vector<Request>* out) override;
+  void set_degraded(bool degraded) override { degraded_ = degraded; }
   bool empty() const override { return waiting_.empty() && shed_.empty(); }
   std::size_t size() const override {
     return waiting_.size() + shed_.size();
@@ -324,7 +337,15 @@ class EdfAdmission : public AdmissionPolicy {
   /// behind every deadline, FIFO among themselves via seq).
   static double absolute_deadline(const Request& request);
 
+  /// The slack currently in force: shed_slack_ plus the degraded extra
+  /// while the sustained-failure detector holds the engine degraded.
+  Seconds effective_slack() const {
+    return degraded_ ? shed_slack_ + degraded_extra_slack_ : shed_slack_;
+  }
+
   Seconds shed_slack_;
+  Seconds degraded_extra_slack_;
+  bool degraded_ = false;
   std::int64_t next_seq_ = 0;
   std::vector<Waiting> waiting_;
   std::vector<Request> shed_;  ///< dropped, awaiting drain_shed

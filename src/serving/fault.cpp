@@ -1,0 +1,163 @@
+#include "serving/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/status.h"
+#include "serving/obs_registry.h"
+
+namespace cimtpu::serving {
+
+namespace {
+
+constexpr Seconds kNever = std::numeric_limits<double>::infinity();
+
+// Distinct sub-stream seeds: splitmix64's increment constant keeps the
+// derived seeds decorrelated while staying a pure function of
+// FaultConfig::seed (same seed -> same storm, whatever else is on).
+std::uint64_t substream_seed(std::uint64_t seed, std::uint64_t index) {
+  return seed ^ (0x9e3779b97f4a7c15ull * (index + 1));
+}
+
+}  // namespace
+
+void FaultConfig::validate() const {
+  CIMTPU_CONFIG_CHECK(stall_rate_per_s >= 0 && std::isfinite(stall_rate_per_s),
+                      "FaultConfig::stall_rate_per_s must be finite and >= 0");
+  CIMTPU_CONFIG_CHECK(stall_duration_s > 0,
+                      "FaultConfig::stall_duration_s must be > 0");
+  CIMTPU_CONFIG_CHECK(stall_latency_multiplier >= 1.0,
+                      "FaultConfig::stall_latency_multiplier must be >= 1");
+  CIMTPU_CONFIG_CHECK(
+      kv_loss_rate_per_s >= 0 && std::isfinite(kv_loss_rate_per_s),
+      "FaultConfig::kv_loss_rate_per_s must be finite and >= 0");
+  CIMTPU_CONFIG_CHECK(
+      device_failure_rate_per_s >= 0 && std::isfinite(device_failure_rate_per_s),
+      "FaultConfig::device_failure_rate_per_s must be finite and >= 0");
+  CIMTPU_CONFIG_CHECK(device_restart_s > 0,
+                      "FaultConfig::device_restart_s must be > 0");
+  CIMTPU_CONFIG_CHECK(retry_backoff_base_s > 0,
+                      "FaultConfig::retry_backoff_base_s must be > 0");
+  CIMTPU_CONFIG_CHECK(retry_backoff_max_s >= retry_backoff_base_s,
+                      "FaultConfig::retry_backoff_max_s must be >= base");
+  CIMTPU_CONFIG_CHECK(retry_budget >= 0,
+                      "FaultConfig::retry_budget must be >= 0");
+  CIMTPU_CONFIG_CHECK(degrade_window_s >= 0,
+                      "FaultConfig::degrade_window_s must be >= 0");
+  if (degrade_window_s > 0) {
+    CIMTPU_CONFIG_CHECK(degrade_enter_faults > 0,
+                        "FaultConfig::degrade_enter_faults must be > 0");
+    CIMTPU_CONFIG_CHECK(
+        degrade_exit_faults >= 0 && degrade_exit_faults < degrade_enter_faults,
+        "FaultConfig::degrade_exit_faults must be in [0, enter) for "
+        "hysteresis");
+    CIMTPU_CONFIG_CHECK(
+        degraded_max_batch_fraction > 0 && degraded_max_batch_fraction <= 1.0,
+        "FaultConfig::degraded_max_batch_fraction must be in (0, 1]");
+    CIMTPU_CONFIG_CHECK(degraded_extra_shed_slack_s >= 0,
+                        "FaultConfig::degraded_extra_shed_slack_s must be "
+                        ">= 0");
+  }
+}
+
+const char* fault_type_name(FaultType type) {
+  switch (type) {
+    case FaultType::kStall:
+      return "stall";
+    case FaultType::kKvLoss:
+      return "kv_loss";
+    case FaultType::kDeviceFailure:
+      return "device_failure";
+  }
+  return "unknown";
+}
+
+FaultProcess::FaultProcess(const FaultConfig& config)
+    : config_(config),
+      stall_rng_(substream_seed(config.seed, 0)),
+      kv_loss_rng_(substream_seed(config.seed, 1)),
+      failure_rng_(substream_seed(config.seed, 2)),
+      victim_rng_(substream_seed(config.seed, 3)) {
+  config_.validate();
+  next_stall_ = draw_interval(&stall_rng_, config_.stall_rate_per_s);
+  next_kv_loss_ = draw_interval(&kv_loss_rng_, config_.kv_loss_rate_per_s);
+  next_failure_ =
+      draw_interval(&failure_rng_, config_.device_failure_rate_per_s);
+}
+
+Seconds FaultProcess::draw_interval(Rng* rng, double rate) {
+  if (rate <= 0) return kNever;
+  // Inverse-CDF exponential; 1 - uniform() keeps the argument in (0, 1].
+  return -std::log(1.0 - rng->uniform()) / rate;
+}
+
+Seconds FaultProcess::next_event_time() const {
+  return std::min(next_stall_, std::min(next_kv_loss_, next_failure_));
+}
+
+bool FaultProcess::poll(Seconds now, FaultEvent* out) {
+  const Seconds next = next_event_time();
+  if (next > now) return false;
+  if (next == next_stall_) {
+    out->type = FaultType::kStall;
+    out->time = next_stall_;
+    next_stall_ += draw_interval(&stall_rng_, config_.stall_rate_per_s);
+  } else if (next == next_kv_loss_) {
+    out->type = FaultType::kKvLoss;
+    out->time = next_kv_loss_;
+    next_kv_loss_ += draw_interval(&kv_loss_rng_, config_.kv_loss_rate_per_s);
+  } else {
+    out->type = FaultType::kDeviceFailure;
+    out->time = next_failure_;
+    next_failure_ +=
+        draw_interval(&failure_rng_, config_.device_failure_rate_per_s);
+  }
+  return true;
+}
+
+std::int64_t FaultProcess::pick_victim(std::int64_t resident_count) {
+  CIMTPU_CHECK_MSG(resident_count > 0,
+                   "FaultProcess::pick_victim needs a non-empty resident set");
+  return victim_rng_.uniform_int(0, resident_count - 1);
+}
+
+DegradationController::DegradationController(const FaultConfig& config)
+    : config_(config) {}
+
+void DegradationController::on_fault(Seconds now) {
+  if (!enabled()) return;
+  recent_.push_back(now);
+}
+
+bool DegradationController::update(Seconds now) {
+  if (!enabled()) return false;
+  while (!recent_.empty() && recent_.front() < now - config_.degrade_window_s) {
+    recent_.pop_front();
+  }
+  const auto count = static_cast<int>(recent_.size());
+  if (!degraded_ && count >= config_.degrade_enter_faults) {
+    degraded_ = true;
+    return true;
+  }
+  if (degraded_ && count <= config_.degrade_exit_faults) {
+    degraded_ = false;
+    return true;
+  }
+  return false;
+}
+
+void FaultStats::publish(MetricsRegistry* registry) const {
+  registry->counter("fault.stalls") = stalls;
+  registry->counter("fault.kv_losses") = kv_losses;
+  registry->counter("fault.device_failures") = device_failures;
+  registry->counter("fault.host_restores") = host_restores;
+  registry->set_gauge("fault.host_restore_bytes", host_restore_bytes);
+  registry->counter("fault.retries_total") = retries;
+  registry->counter("fault.dropped") = dropped;
+  registry->counter("fault.wasted_recompute_tokens") = wasted_recompute_tokens;
+  registry->counter("fault.degrade_enters") = degrade_enters;
+  registry->counter("fault.degrade_exits") = degrade_exits;
+}
+
+}  // namespace cimtpu::serving

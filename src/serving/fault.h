@@ -1,0 +1,208 @@
+#pragma once
+// Seeded fault injection + recovery for the serving simulator, in the
+// spirit of the failure handling DistServe/Mooncake-class deployments
+// treat as part of the serving policy itself: hardware blips are typed,
+// sim-time-stamped events drawn from a DEDICATED rng stream (per fault
+// type, so enabling one process never perturbs another's event times,
+// and disabling the subsystem is bit-identical to a build that predates
+// it), and "recovery" is an explicit, benchmarkable policy rather than
+// an assumption.
+//
+// Three fault types:
+//   * transient chip stall — every engine step inside the stall window
+//     pays a latency multiplier (thermal throttle / preemptible-VM
+//     neighbour / ECC scrub);
+//   * KV-block loss — one random RESIDENT sequence loses its computed
+//     device KV (bit flip, page retirement).  Recovered in place from a
+//     host shadow copy (KvCacheManager::restore_from_host) or by prompt
+//     recompute through backoff re-admission;
+//   * device failure — the whole device drops: every resident sequence
+//     loses its KV, the prefix cache is flushed, and the engine is down
+//     for a restart epoch.  Swapped-out sequences survive (host pool).
+//
+// Recovery policy (FaultConfig::recovery_enabled): failed in-flight
+// requests re-enter through the admission policy with exponential
+// backoff and a retry budget; budget exhaustion (or recovery off) sheds
+// the request with cause "fault".  A sustained-failure detector
+// (DegradationController, hysteresis) switches the engine into graceful
+// degradation: shrink the max batch, pause prefix-cache admission,
+// tighten EDF shedding.
+
+#include <cstdint>
+#include <deque>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace cimtpu::serving {
+
+class MetricsRegistry;
+
+/// Fault-injection + recovery knobs, carried by ServingScenario.
+/// Default-constructed = subsystem off — the golden-pinned
+/// configuration: run_serving never constructs a FaultProcess, never
+/// consults the fault rng, and produces bit-identical output to a build
+/// without the subsystem.
+struct FaultConfig {
+  bool enabled = false;
+
+  /// Seed of the DEDICATED fault rng (decoupled from every request-gen
+  /// stream: the same workload seed with faults on/off sees identical
+  /// arrivals, lengths, priorities, tenants, prefixes, and deadlines).
+  std::uint64_t seed = 42;
+
+  // --- Injection processes (independent Poisson, rate 0 = off) ----------
+  /// Transient chip stalls: for stall_duration_s after each event, every
+  /// step's compute latency is multiplied by stall_latency_multiplier.
+  double stall_rate_per_s = 0;
+  Seconds stall_duration_s = 0.2;
+  double stall_latency_multiplier = 4.0;
+
+  /// KV-block loss: each event strikes one uniformly random resident
+  /// sequence (no-op when nothing is resident).
+  double kv_loss_rate_per_s = 0;
+
+  /// Full device failure: every resident sequence loses its KV, cached
+  /// prefix blocks are flushed, and the engine restarts after
+  /// device_restart_s of downtime.
+  double device_failure_rate_per_s = 0;
+  Seconds device_restart_s = 1.0;
+
+  // --- Recovery policy ---------------------------------------------------
+  /// Off: every fault-hit request is dropped (shed, cause "fault") — the
+  /// recovery-off baseline of the resilience frontier.
+  bool recovery_enabled = true;
+
+  /// How KV lost to a kv-loss event is re-materialized.  kHostRestore
+  /// models a write-through host shadow: when the host pool can hold the
+  /// entry's blocks the sequence keeps running in place and the engine
+  /// pays the PCIe re-fetch; when the shadow does not fit (or for device
+  /// failures, which lose the device wholesale) it falls back to
+  /// kRecompute: remove, backoff, re-admit, recompute the prompt.
+  enum class KvRestoreMode { kRecompute, kHostRestore };
+  KvRestoreMode kv_restore = KvRestoreMode::kRecompute;
+
+  /// Exponential backoff for re-admission: attempt n waits
+  /// min(retry_backoff_base_s * 2^n, retry_backoff_max_s).
+  Seconds retry_backoff_base_s = 0.05;
+  Seconds retry_backoff_max_s = 2.0;
+  /// Re-admissions allowed per request before it is shed (0 = first
+  /// fault is fatal even with recovery on).
+  int retry_budget = 3;
+
+  // --- Graceful degradation (sustained-failure detector) -----------------
+  /// 0 disables the detector.  Enter degraded mode when at least
+  /// degrade_enter_faults fault events landed within the trailing
+  /// degrade_window_s; exit when the trailing count falls back to at
+  /// most degrade_exit_faults (< enter: hysteresis, no flapping on the
+  /// boundary).
+  Seconds degrade_window_s = 0;
+  int degrade_enter_faults = 4;
+  int degrade_exit_faults = 1;
+
+  /// Degraded actions: cap the resident batch at this fraction of
+  /// SchedulerConfig::max_batch (floor, min 1), optionally pause
+  /// prefix-cache admission (stop registering/sharing new blocks), and
+  /// tighten EDF shedding by this much extra slack.
+  double degraded_max_batch_fraction = 0.5;
+  bool degrade_pause_prefix_cache = true;
+  Seconds degraded_extra_shed_slack_s = 0;
+
+  void validate() const;
+};
+
+/// The fault types FaultProcess emits, in a fixed order used for trace
+/// aux codes and stats.
+enum class FaultType : std::int64_t {
+  kStall = 0,
+  kKvLoss = 1,
+  kDeviceFailure = 2,
+};
+
+const char* fault_type_name(FaultType type);
+
+struct FaultEvent {
+  FaultType type = FaultType::kStall;
+  Seconds time = 0;
+};
+
+/// Merged, seeded fault event source.  Each fault type draws its
+/// exponential inter-arrival times from its OWN splitmix-derived
+/// sub-stream of FaultConfig::seed, so turning a second process on (or
+/// changing its rate) never moves the first one's event times; the
+/// kv-loss victim picks use a fourth sub-stream so they do not perturb
+/// event times either.  All state is per-run and advances only through
+/// poll()/pick_victim(), so sweeps stay bit-identical across thread
+/// counts.
+class FaultProcess {
+ public:
+  explicit FaultProcess(const FaultConfig& config);
+
+  const FaultConfig& config() const { return config_; }
+
+  /// Pops the earliest pending event with time <= now (events across
+  /// types are merged in chronological order; ties break by FaultType
+  /// order).  Returns false when no event is due.
+  bool poll(Seconds now, FaultEvent* out);
+
+  /// Time of the earliest pending event; +inf when no process is armed.
+  Seconds next_event_time() const;
+
+  /// Uniform victim index in [0, resident_count) for a kv-loss event.
+  std::int64_t pick_victim(std::int64_t resident_count);
+
+ private:
+  Seconds draw_interval(Rng* rng, double rate);
+
+  FaultConfig config_;
+  Rng stall_rng_;
+  Rng kv_loss_rng_;
+  Rng failure_rng_;
+  Rng victim_rng_;
+  Seconds next_stall_;
+  Seconds next_kv_loss_;
+  Seconds next_failure_;
+};
+
+/// Sustained-failure detector with hysteresis: counts fault events in a
+/// trailing window; degraded mode enters at >= degrade_enter_faults and
+/// exits only once the trailing count decays to <= degrade_exit_faults.
+class DegradationController {
+ public:
+  explicit DegradationController(const FaultConfig& config);
+
+  bool enabled() const { return config_.degrade_window_s > 0; }
+  bool degraded() const { return degraded_; }
+
+  /// Records one fault event at simulated time `now`.
+  void on_fault(Seconds now);
+  /// Re-evaluates the trailing window at `now`; returns true when the
+  /// degraded/normal state flipped (the caller applies or lifts the
+  /// degraded actions and emits the kDegrade trace event).
+  bool update(Seconds now);
+
+ private:
+  FaultConfig config_;
+  std::deque<Seconds> recent_;
+  bool degraded_ = false;
+};
+
+/// Fault/recovery activity of one run, published under "fault.*" only
+/// when the subsystem is enabled (an off run's registry is byte-
+/// identical to pre-fault builds).
+struct FaultStats {
+  std::int64_t stalls = 0;
+  std::int64_t kv_losses = 0;        ///< events that struck a resident
+  std::int64_t device_failures = 0;
+  std::int64_t host_restores = 0;    ///< kv-loss recoveries in place
+  Bytes host_restore_bytes = 0;      ///< PCIe re-fetch traffic
+  std::int64_t retries = 0;          ///< backoff re-admissions
+  std::int64_t dropped = 0;          ///< fault sheds (budget/recovery-off)
+  std::int64_t wasted_recompute_tokens = 0;  ///< computed work lost
+  std::int64_t degrade_enters = 0;
+  std::int64_t degrade_exits = 0;
+
+  void publish(MetricsRegistry* registry) const;
+};
+
+}  // namespace cimtpu::serving

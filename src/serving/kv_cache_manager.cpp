@@ -145,7 +145,8 @@ bool KvCacheManager::try_admit(std::int64_t request_id, std::int64_t tokens,
   // Eligibility requires the reservation to cover the whole prompt (every
   // scheduler reserve does: prompt + 1 at minimum), so shared and
   // registered prefix blocks always lie within the entry's own mapping.
-  const bool prefix_eligible = enable_prefix_cache_ && prefix_id >= 0 &&
+  const bool prefix_eligible = enable_prefix_cache_ &&
+                               !prefix_admission_paused_ && prefix_id >= 0 &&
                                prefix_len > 0 && prompt_len > 1 &&
                                tokens >= prompt_len;
   std::vector<std::int64_t> hit_blocks;  // contiguous leading full blocks
@@ -377,6 +378,50 @@ void KvCacheManager::note_prefilled(std::int64_t request_id,
   }
 }
 
+std::int64_t KvCacheManager::invalidate_blocks(std::int64_t request_id) {
+  const auto it = entries_.find(request_id);
+  if (it != entries_.end()) {
+    const std::int64_t blocks = entry_blocks(it->second);
+    blocks_invalidated_total_ += blocks;
+    release(request_id);
+    return blocks;
+  }
+  const auto host_it = host_entries_.find(request_id);
+  if (host_it != host_entries_.end()) {
+    const std::int64_t blocks = host_it->second.private_blocks;
+    blocks_invalidated_total_ += blocks;
+    host_used_blocks_ -= blocks;
+    host_entries_.erase(host_it);
+    return blocks;
+  }
+  return 0;
+}
+
+bool KvCacheManager::restore_from_host(std::int64_t request_id) {
+  const auto it = entries_.find(request_id);
+  if (it == entries_.end()) return false;
+  const std::int64_t blocks = entry_blocks(it->second);
+  // The shadow is a transient host-side checkpoint slot: it must fit
+  // next to the blocks the swap pool currently holds.
+  if (host_used_blocks_ + blocks > host_capacity_blocks_) return false;
+  blocks_restored_total_ += blocks;
+  return true;
+}
+
+std::int64_t KvCacheManager::drop_cached_blocks() {
+  const std::int64_t dropped = cached_block_count();
+  for (auto it = cached_lru_.begin(); it != cached_lru_.end();) {
+    const std::int64_t block_id = it->second;
+    const auto block = shared_blocks_.find(block_id);
+    CIMTPU_CHECK(block != shared_blocks_.end() && block->second.ref == 0);
+    prefix_index_.erase({block->second.prefix_id, block->second.block_index});
+    shared_blocks_.erase(block);
+    it = cached_lru_.erase(it);
+  }
+  blocks_invalidated_total_ += dropped;
+  return dropped;
+}
+
 bool KvCacheManager::grow_needs_block(std::int64_t request_id) const {
   const auto it = entries_.find(request_id);
   CIMTPU_CHECK(it != entries_.end());
@@ -525,6 +570,9 @@ void KvCacheManager::publish(MetricsRegistry* registry) const {
   registry->set_counter("kv.cached_blocks_reclaimed_total",
                         cached_blocks_reclaimed_total_);
   registry->set_counter("kv.host_used_blocks", host_used_blocks_);
+  registry->set_counter("kv.blocks_invalidated_total",
+                        blocks_invalidated_total_);
+  registry->set_counter("kv.blocks_restored_total", blocks_restored_total_);
   registry->set_gauge("kv.internal_fragmentation", internal_fragmentation());
 }
 

@@ -155,6 +155,45 @@ class KvCacheManager {
   /// prefix cache is disabled.
   void note_prefilled(std::int64_t request_id, std::int64_t computed_tokens);
 
+  // --- Fault injection / recovery (serving/fault.h) --------------------------
+
+  /// Drops every block `request_id` holds — device blocks when resident
+  /// (exact release() accounting), host-pool blocks when swapped out — as
+  /// a FAULT, not a lifecycle release: the blocks' contents are lost, and
+  /// the drop counts in `blocks_invalidated_total`.  Returns the number
+  /// of blocks invalidated; 0 when the request holds nothing.
+  std::int64_t invalidate_blocks(std::int64_t request_id);
+
+  /// Re-materializes a RESIDENT request's device blocks from a host
+  /// shadow copy after a kv-loss fault.  Models a write-through backup:
+  /// succeeds when the host pool could hold the entry's blocks alongside
+  /// the current swap occupancy; the device mapping is unchanged (lost
+  /// blocks are re-filled in place) and the caller charges the re-fetch
+  /// PCIe traffic (entry blocks * block_bytes).  Returns false — and the
+  /// caller falls back to recompute — when the shadow does not fit or
+  /// the request is not resident.  Counts in `blocks_restored_total`.
+  bool restore_from_host(std::int64_t request_id);
+
+  /// Reclaims EVERY cached (refcount-0) prefix block — a device failure
+  /// wipes their contents, so they must stop being hittable.  Returns
+  /// the number of blocks dropped (counted as invalidated, not as
+  /// pressure reclaims).
+  std::int64_t drop_cached_blocks();
+
+  /// Graceful degradation: while paused, admissions neither hit nor
+  /// register prefix blocks (existing shared mappings are untouched).
+  void set_prefix_admission_paused(bool paused) {
+    prefix_admission_paused_ = paused;
+  }
+  bool prefix_admission_paused() const { return prefix_admission_paused_; }
+
+  /// Lifetime blocks dropped by faults (invalidate_blocks +
+  /// drop_cached_blocks) and re-materialized from the host shadow.
+  std::int64_t blocks_invalidated_total() const {
+    return blocks_invalidated_total_;
+  }
+  std::int64_t blocks_restored_total() const { return blocks_restored_total_; }
+
   /// Would appending one token to `request_id` consume a new block?  The
   /// scheduler's incremental pending-growth aggregate is built on this.
   bool grow_needs_block(std::int64_t request_id) const;
@@ -306,12 +345,15 @@ class KvCacheManager {
   Bytes host_capacity_;
   std::int64_t block_tokens_;
   bool enable_prefix_cache_;
+  bool prefix_admission_paused_ = false;
   Bytes block_bytes_;
   std::int64_t capacity_blocks_;
   std::int64_t host_capacity_blocks_;
 
   std::int64_t blocks_allocated_total_ = 0;         ///< lifetime counter
   std::int64_t cached_blocks_reclaimed_total_ = 0;  ///< lifetime counter
+  std::int64_t blocks_invalidated_total_ = 0;       ///< fault drops
+  std::int64_t blocks_restored_total_ = 0;          ///< host-shadow restores
   std::int64_t private_used_ = 0;      ///< device blocks owned privately
   std::int64_t host_used_blocks_ = 0;  ///< host-pool blocks
   std::int64_t mapped_tokens_ = 0;     ///< sum of resident entry tokens

@@ -16,7 +16,7 @@ Bytes ServingCounters::total_swap_bytes() const {
 }
 
 std::int64_t ServingCounters::total_shed() const {
-  return shed_deadline + shed_horizon;
+  return shed_deadline + shed_horizon + shed_fault;
 }
 
 double ServingCounters::prefix_hit_rate() const {
@@ -45,6 +45,7 @@ void ServingCounters::publish(MetricsRegistry* registry) const {
   registry->set_gauge("scheduler.prefix_hit_rate", prefix_hit_rate());
   registry->set_counter("scheduler.shed_deadline", shed_deadline);
   registry->set_counter("scheduler.shed_horizon", shed_horizon);
+  registry->set_counter("scheduler.shed_fault", shed_fault);
 }
 
 double jain_fairness_index(const std::vector<double>& values) {

@@ -76,14 +76,17 @@ struct ServingCounters {
   std::int64_t prefix_cow_blocks = 0;
 
   // Load shedding, split by cause.  A shed request arrived but will never
-  // complete; both counters advance whether or not tracing is enabled
+  // complete; all three counters advance whether or not tracing is enabled
   // (tracing only adds events, never counters).  `shed_deadline` counts
   // requests dropped by admission control because their TTFT deadline
   // provably could not be met (EDF shedding); `shed_horizon` counts
   // requests still waiting or in flight when `max_sim_seconds` stopped
-  // the run.
+  // the run; `shed_fault` counts requests dropped by the fault subsystem
+  // (recovery disabled, or the retry budget was exhausted — serving/
+  // fault.h).  Always 0 with fault injection off.
   std::int64_t shed_deadline = 0;
   std::int64_t shed_horizon = 0;
+  std::int64_t shed_fault = 0;
 
   std::int64_t total_preemptions() const;
   std::int64_t total_shed() const;

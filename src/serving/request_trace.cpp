@@ -1,6 +1,7 @@
 #include "serving/request_trace.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,7 +15,13 @@ namespace cimtpu::serving {
 namespace {
 
 /// %.17g round-trips every finite double bit for bit through strtod.
+/// Non-finite values are a config error, not a serialization format:
+/// "nan"/"inf" would round-trip into a trace no simulator run can have
+/// produced (arrivals and deadlines are always finite), so both sides
+/// reject them loudly.
 void append_double(std::string* out, double value) {
+  CIMTPU_CONFIG_CHECK(std::isfinite(value),
+                      "request trace values must be finite, got " << value);
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.17g", value);
   out->append(buffer);
@@ -77,6 +84,10 @@ struct LineScanner {
     errno = 0;
     const double value = std::strtod(cursor, &end);
     if (end == cursor || errno == ERANGE) fail("expected a number");
+    // strtod accepts "nan"/"inf"/"infinity": reject them here rather than
+    // letting a non-finite arrival time or deadline round-trip into the
+    // scheduler, where it would poison every comparison downstream.
+    if (!std::isfinite(value)) fail("non-finite number");
     cursor = end;
     return value;
   }

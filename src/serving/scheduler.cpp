@@ -223,7 +223,7 @@ void ContinuousBatchScheduler::swap_in_and_admit(StepRecord* record) {
     return kv_cache_->fits_blocks(restore_blocks + 1 + resident_decoders_);
   };
   while (!swapped_.empty() &&
-         sequences_.size() < static_cast<std::size_t>(config_.max_batch) &&
+         sequences_.size() < static_cast<std::size_t>(effective_max_batch()) &&
          swap_in_fits(swapped_.front()) &&
          kv_cache_->try_swap_in(swapped_.front().request.id)) {
     Sequence sequence = swapped_.front();
@@ -249,7 +249,7 @@ void ContinuousBatchScheduler::swap_in_and_admit(StepRecord* record) {
   // on the policy's OWN choice, exactly the FIFO baseline's semantics.
   int admitted = 0;
   while (swapped_.empty() && !admission_->empty() &&
-         sequences_.size() < static_cast<std::size_t>(config_.max_batch) &&
+         sequences_.size() < static_cast<std::size_t>(effective_max_batch()) &&
          admitted < config_.max_prefill_batch) {
     const Request* head = admission_->select(admission_context());
     if (head == nullptr) break;  // policy throttled (e.g. rate caps)
@@ -296,10 +296,99 @@ void ContinuousBatchScheduler::drain_shed(StepRecord* record) {
   }
 }
 
+ContinuousBatchScheduler::ResidentInfo ContinuousBatchScheduler::resident_info(
+    std::size_t index) const {
+  CIMTPU_CHECK_MSG(index < sequences_.size(),
+                   "resident_info index out of range");
+  const Sequence& sequence = sequences_[index];
+  ResidentInfo info;
+  info.request_id = sequence.request.id;
+  info.prefilled = sequence.prefilled;
+  info.prefix_skipped = sequence.prefix_skipped;
+  info.generated = sequence.generated;
+  return info;
+}
+
+bool ContinuousBatchScheduler::remove_for_fault(std::int64_t request_id,
+                                               Request* out,
+                                               ResidentInfo* progress) {
+  const auto fill = [&](const Sequence& victim) {
+    if (out != nullptr) *out = victim.request;
+    if (progress != nullptr) {
+      progress->request_id = victim.request.id;
+      progress->prefilled = victim.prefilled;
+      progress->prefix_skipped = victim.prefix_skipped;
+      progress->generated = victim.generated;
+    }
+  };
+  const auto resident_it = std::find_if(
+      sequences_.begin(), sequences_.end(),
+      [request_id](const Sequence& sequence) {
+        return sequence.request.id == request_id;
+      });
+  if (resident_it != sequences_.end()) {
+    const Sequence victim = *resident_it;
+    sequences_.erase(resident_it);
+    if (!victim.prefilling()) decoder_leave(victim);
+    kv_cache_->invalidate_blocks(request_id);
+    fill(victim);
+    return true;
+  }
+  const auto swapped_it = std::find_if(
+      swapped_.begin(), swapped_.end(),
+      [request_id](const Sequence& sequence) {
+        return sequence.request.id == request_id;
+      });
+  if (swapped_it == swapped_.end()) return false;
+  // Swapped-out victim: its KV lives in the host pool; invalidate_blocks
+  // releases those host bytes so the pool reconciles.
+  const Sequence victim = *swapped_it;
+  swapped_.erase(swapped_it);
+  kv_cache_->invalidate_blocks(request_id);
+  fill(victim);
+  return true;
+}
+
+void ContinuousBatchScheduler::requeue_after_fault(const Request& request,
+                                                   bool emitted_first_token) {
+  if (emitted_first_token) {
+    // TTFT already streamed: resume with preempt seniority (FIFO front,
+    // EDF shed-exempt) exactly like a recompute-preemption victim.
+    admission_->on_preempt_requeue(request, total_steps_);
+  } else {
+    admission_->on_enqueue(request, total_steps_);
+  }
+}
+
+bool ContinuousBatchScheduler::restore_resident_from_host(
+    std::int64_t request_id, Bytes* bytes) {
+  const auto it = std::find_if(
+      sequences_.begin(), sequences_.end(),
+      [request_id](const Sequence& sequence) {
+        return sequence.request.id == request_id;
+      });
+  if (it == sequences_.end()) return false;
+  if (!kv_cache_->restore_from_host(request_id)) return false;
+  if (bytes != nullptr) {
+    // Only pages holding computed KV cross the link (same accounting as
+    // swap-in): prefilled prompt + generated tokens.
+    *bytes = kv_cache_->bytes_per_token() *
+             static_cast<double>(it->prefilled + it->generated);
+  }
+  return true;
+}
+
+void ContinuousBatchScheduler::set_degraded(bool degraded,
+                                            int degraded_max_batch) {
+  degraded_ = degraded;
+  degraded_max_batch_ = degraded ? degraded_max_batch : 0;
+  admission_->set_degraded(degraded);
+}
+
 AdmissionContext ContinuousBatchScheduler::admission_context() const {
   AdmissionContext context;
   context.free_batch_slots =
-      config_.max_batch - static_cast<std::int64_t>(sequences_.size());
+      effective_max_batch() - static_cast<std::int64_t>(sequences_.size());
   context.free_kv_bytes = kv_cache_->capacity() - kv_cache_->used();
   context.bytes_per_token = kv_cache_->bytes_per_token();
   context.device_empty = sequences_.empty();

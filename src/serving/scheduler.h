@@ -192,6 +192,56 @@ class ContinuousBatchScheduler {
   /// behavioural effect; the sink NEVER influences scheduling decisions.
   void set_trace_sink(TraceSink* sink) { trace_ = sink; }
 
+  // --- Fault injection / recovery (serving/fault.h) -----------------------
+
+  /// Progress snapshot of one resident sequence — what a fault wastes and
+  /// what a host restore must re-fetch.
+  struct ResidentInfo {
+    std::int64_t request_id = -1;
+    std::int64_t prefilled = 0;  ///< prompt tokens pushed (incl. prefix hits)
+    std::int64_t prefix_skipped = 0;  ///< served from the prefix cache, never
+                                      ///< actually computed by this sequence
+    std::int64_t generated = 0;       ///< tokens decoded (>= 1 once the first
+                                      ///< token was emitted)
+  };
+
+  /// The resident sequence at `index` (admission order, must be
+  /// < running_count()) — the driver picks kv-loss victims by index so
+  /// the choice is deterministic and platform-independent.
+  ResidentInfo resident_info(std::size_t index) const;
+
+  /// Fault: removes `request_id` from the engine — resident (device KV
+  /// invalidated via KvCacheManager::invalidate_blocks) or swapped out
+  /// (host-pool bytes released) — WITHOUT re-queueing it.  The caller
+  /// owns what happens next: backoff re-admission (requeue_after_fault)
+  /// or a fault shed.  `*out` receives the request, `*progress` (optional)
+  /// the progress lost.  Returns false when the id is not in the engine.
+  bool remove_for_fault(std::int64_t request_id, Request* out,
+                        ResidentInfo* progress = nullptr);
+
+  /// Fault recovery: re-enters a previously removed request through the
+  /// admission policy once its backoff expired.  Requests that already
+  /// streamed their first token re-queue with preempt seniority (FIFO
+  /// front, EDF shed-exempt — their TTFT verdict is settled); the rest
+  /// re-enter as fresh arrivals.
+  void requeue_after_fault(const Request& request, bool emitted_first_token);
+
+  /// Fault recovery (host shadow): re-materializes a RESIDENT sequence's
+  /// device KV in place after a kv-loss event, when the host pool could
+  /// hold the shadow (KvCacheManager::restore_from_host).  On success the
+  /// sequence keeps all progress and `*bytes` is the PCIe re-fetch the
+  /// driver charges to the clock; on failure the caller falls back to
+  /// remove_for_fault + recompute.
+  bool restore_resident_from_host(std::int64_t request_id, Bytes* bytes);
+
+  /// Graceful degradation (serving/fault.h): caps the resident batch at
+  /// `degraded_max_batch` while `degraded` (0 = keep the configured
+  /// max_batch) and forwards the mode to the admission policy (EDF
+  /// tightens shedding).  Residents over the cap are not evicted; the cap
+  /// only throttles new admissions.
+  void set_degraded(bool degraded, int degraded_max_batch);
+  bool degraded() const { return degraded_; }
+
   std::size_t waiting_count() const { return admission_->size(); }
   std::size_t running_count() const { return sequences_.size(); }
   std::size_t swapped_count() const { return swapped_.size(); }
@@ -254,6 +304,16 @@ class ContinuousBatchScheduler {
   /// Capacity snapshot handed to AdmissionPolicy::select.
   AdmissionContext admission_context() const;
 
+  /// The batch cap admissions honour right now: the configured max_batch,
+  /// tightened to degraded_max_batch_ while degradation is active.  Never
+  /// below 1 (a degraded engine still serves).
+  int effective_max_batch() const {
+    return degraded_ && degraded_max_batch_ > 0 &&
+                   degraded_max_batch_ < config_.max_batch
+               ? degraded_max_batch_
+               : config_.max_batch;
+  }
+
   void swap_in_and_admit(StepRecord* record);
   /// Drains the admission policy's deadline sheds into `record->shed_ids`,
   /// counting them and emitting trace events.
@@ -274,6 +334,8 @@ class ContinuousBatchScheduler {
   std::int64_t pending_growth_blocks_ = 0;
   std::vector<std::pair<std::int64_t, std::int64_t>> decode_kv_histogram_;
   bool last_step_prefill_ = false;  ///< interleave state under chunking
+  bool degraded_ = false;           ///< graceful-degradation mode
+  int degraded_max_batch_ = 0;      ///< batch cap while degraded (0 = none)
   std::int64_t total_steps_ = 0;
   ServingCounters counters_;
   std::vector<Request> shed_scratch_;  ///< drain_shed buffer (reused)

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <deque>
+#include <limits>
 #include <map>
 #include <numeric>
 #include <unordered_map>
@@ -28,6 +31,7 @@ void ServingScenario::validate() const {
                       "headroom), got " << format_bytes(kv_budget_override));
   scheduler.validate();
   trace.validate();
+  fault.validate();
 }
 
 namespace {
@@ -39,6 +43,18 @@ struct RequestTrace {
   Seconds first_token = -1;  ///< < 0 until the first token is emitted
   Seconds completion = -1;
   bool shed = false;  ///< dropped by admission control (never completes)
+  Seconds last_fault = -1;  ///< open repair interval: a fault struck and
+                            ///< the request has not recovered yet
+  int retry_attempts = 0;   ///< fault re-admissions consumed (vs the budget)
+};
+
+/// A fault-evicted request waiting out its exponential backoff before
+/// re-entering admission.
+struct PendingRetry {
+  Request request;
+  Seconds ready_time = 0;
+  int attempt = 0;  ///< 1-based re-admission attempt this entry represents
+  bool emitted_first_token = false;
 };
 
 /// Per-tenant accumulator for the schema-v4 breakdown.
@@ -80,7 +96,16 @@ ServingMetrics run_serving(const ServingScenario& scenario,
                           scenario.eviction, scenario.host_pool_capacity,
                           scenario.scheduler.kv_block_tokens,
                           scenario.scheduler.enable_prefix_cache);
-  ContinuousBatchScheduler scheduler(scenario.scheduler, &kv_cache);
+  // Degraded-mode EDF slack rides the fault config; inject it into the
+  // admission config before the policy is constructed.  Faults off leaves
+  // the scheduler config byte-identical to the scenario's.
+  SchedulerConfig scheduler_config = scenario.scheduler;
+  if (scenario.fault.enabled &&
+      scenario.fault.degraded_extra_shed_slack_s > 0) {
+    scheduler_config.admission.edf_degraded_extra_slack_s =
+        scenario.fault.degraded_extra_shed_slack_s;
+  }
+  ContinuousBatchScheduler scheduler(scheduler_config, &kv_cache);
 
   // Observability: the trace sink attaches only when event tracing or
   // time-series sampling is on — otherwise the scheduler's trace pointer
@@ -138,21 +163,197 @@ ServingMetrics run_serving(const ServingScenario& scenario,
     }
   };
 
+  // --- Fault injection state (serving/fault.h) ------------------------------
+  // All of it is local and consulted only behind `faults_on`; the fault
+  // rngs are dedicated streams, so the off path is bit-identical to a
+  // build without the subsystem.
+  const bool faults_on = scenario.fault.enabled;
+  FaultProcess fault_process(scenario.fault);
+  DegradationController degrade(scenario.fault);
+  FaultStats fault_stats;
+  std::deque<PendingRetry> retry_queue;
+  std::vector<double> repair_times;  ///< MTTR samples (seconds)
+  Seconds stall_until = -1;          ///< active stall window end
+  std::int64_t fault_sheds = 0;
+  const int degraded_max_batch = std::max(
+      1, static_cast<int>(static_cast<double>(scenario.scheduler.max_batch) *
+                          scenario.fault.degraded_max_batch_fraction));
+
+  // Removes a fault-struck request from the engine and either schedules a
+  // backoff re-admission (recovery on, budget left) or sheds it with
+  // cause "fault".  Opens the request's repair interval for MTTR.
+  const auto fault_evict = [&](std::int64_t request_id, Seconds fault_time) {
+    Request request;
+    ContinuousBatchScheduler::ResidentInfo progress;
+    const bool removed =
+        scheduler.remove_for_fault(request_id, &request, &progress);
+    CIMTPU_CHECK(removed);
+    fault_stats.wasted_recompute_tokens +=
+        (progress.prefilled - progress.prefix_skipped) + progress.generated;
+    RequestTrace& request_trace = traces.at(request_id);
+    request_trace.last_fault = fault_time;
+    if (scenario.fault.recovery_enabled &&
+        request_trace.retry_attempts < scenario.fault.retry_budget) {
+      request_trace.retry_attempts += 1;
+      const Seconds backoff = std::min(
+          scenario.fault.retry_backoff_base_s *
+              std::pow(2.0,
+                       static_cast<double>(request_trace.retry_attempts - 1)),
+          scenario.fault.retry_backoff_max_s);
+      fault_stats.retries += 1;
+      retry_queue.push_back(PendingRetry{request, fault_time + backoff,
+                                         request_trace.retry_attempts,
+                                         request_trace.first_token >= 0});
+    } else {
+      request_trace.shed = true;
+      request_trace.last_fault = -1;  // dropped, never repaired: not in MTTR
+      fault_stats.dropped += 1;
+      fault_sheds += 1;
+      if (tracing) trace->on_shed_fault(request_id, fault_time);
+    }
+  };
+
   StepRecord step;  // scratch reused across all steps (zero allocations
                     // once its vectors reach steady-state capacity)
-  while (next_arrival < requests.size() || !scheduler.idle()) {
+  while (next_arrival < requests.size() || !scheduler.idle() ||
+         !retry_queue.empty()) {
     // Horizon cut (fairness studies): stop the engine at the configured
     // simulated second; whatever is in flight never completes.
     if (scenario.max_sim_seconds > 0 && now >= scenario.max_sim_seconds) {
       break;
     }
+    if (faults_on) {
+      // Deliver every fault event due by the current clock, in time
+      // order (events landing mid-step surface here, stamped with their
+      // own event time).
+      FaultEvent event;
+      while (fault_process.poll(now, &event)) {
+        switch (event.type) {
+          case FaultType::kStall: {
+            stall_until = std::max(
+                stall_until, event.time + scenario.fault.stall_duration_s);
+            fault_stats.stalls += 1;
+            degrade.on_fault(event.time);
+            if (tracing) {
+              trace->on_fault(-1,
+                              static_cast<std::int64_t>(FaultType::kStall),
+                              event.time, 0, scenario.fault.stall_duration_s);
+            }
+            break;
+          }
+          case FaultType::kKvLoss: {
+            const std::int64_t resident =
+                static_cast<std::int64_t>(scheduler.running_count());
+            if (resident == 0) break;  // struck an empty device: no-op
+            fault_stats.kv_losses += 1;
+            degrade.on_fault(event.time);
+            const auto info = scheduler.resident_info(static_cast<std::size_t>(
+                fault_process.pick_victim(resident)));
+            const std::int64_t computed =
+                (info.prefilled - info.prefix_skipped) + info.generated;
+            if (tracing) {
+              trace->on_fault(info.request_id,
+                              static_cast<std::int64_t>(FaultType::kKvLoss),
+                              event.time, computed, 0);
+            }
+            if (scenario.fault.recovery_enabled &&
+                scenario.fault.kv_restore ==
+                    FaultConfig::KvRestoreMode::kHostRestore) {
+              Bytes bytes = 0;
+              if (scheduler.restore_resident_from_host(info.request_id,
+                                                       &bytes)) {
+                // In-place repair: the engine pays the PCIe re-fetch
+                // before the next step runs.
+                const Seconds restore_time =
+                    bytes / scenario.host_link_bandwidth;
+                now += restore_time;
+                fault_stats.host_restores += 1;
+                fault_stats.host_restore_bytes += bytes;
+                repair_times.push_back(restore_time);
+                if (tracing) {
+                  trace->on_recover(info.request_id, /*mechanism=*/1,
+                                    event.time, bytes, 0);
+                }
+                break;
+              }
+            }
+            fault_evict(info.request_id, event.time);
+            break;
+          }
+          case FaultType::kDeviceFailure: {
+            fault_stats.device_failures += 1;
+            degrade.on_fault(event.time);
+            // Every resident loses its device KV; swapped-out sequences
+            // survive in the host pool.  Snapshot ids first — eviction
+            // mutates the resident order.
+            std::vector<std::int64_t> victims;
+            std::int64_t lost_tokens = 0;
+            victims.reserve(scheduler.running_count());
+            for (std::size_t i = 0; i < scheduler.running_count(); ++i) {
+              const auto info = scheduler.resident_info(i);
+              victims.push_back(info.request_id);
+              lost_tokens +=
+                  (info.prefilled - info.prefix_skipped) + info.generated;
+            }
+            if (tracing) {
+              trace->on_fault(
+                  -1, static_cast<std::int64_t>(FaultType::kDeviceFailure),
+                  event.time, lost_tokens, scenario.fault.device_restart_s);
+            }
+            for (std::int64_t id : victims) fault_evict(id, event.time);
+            kv_cache.drop_cached_blocks();  // prefix cache does not survive
+            // Downtime: the engine is back at the end of the restart
+            // epoch (clamped to the horizon like the idle-advance below).
+            Seconds resume = event.time + scenario.fault.device_restart_s;
+            if (scenario.max_sim_seconds > 0) {
+              resume = std::min(resume, scenario.max_sim_seconds);
+            }
+            now = std::max(now, resume);
+            break;
+          }
+        }
+      }
+      if (degrade.enabled() && degrade.update(now)) {
+        const bool entering = degrade.degraded();
+        scheduler.set_degraded(entering, degraded_max_batch);
+        kv_cache.set_prefix_admission_paused(
+            entering && scenario.fault.degrade_pause_prefix_cache);
+        if (entering) {
+          fault_stats.degrade_enters += 1;
+        } else {
+          fault_stats.degrade_exits += 1;
+        }
+        if (tracing) trace->on_degrade(entering, now);
+      }
+      // Backoff expiry: re-enter failed requests through admission.
+      // Ready times are not monotone in queue order (backoff grows with
+      // each request's own attempt count), so scan the whole queue.
+      for (auto it = retry_queue.begin(); it != retry_queue.end();) {
+        if (it->ready_time <= now) {
+          scheduler.requeue_after_fault(it->request, it->emitted_first_token);
+          if (tracing) {
+            trace->on_recover(it->request.id, /*mechanism=*/0, now, 0,
+                              it->attempt);
+          }
+          it = retry_queue.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
     feed_arrivals(now);
     if (scheduler.idle()) {
-      // Nothing to do until the next request arrives — but never advance
-      // past the horizon: an arrival gap straddling it must leave the
-      // final clock (and every shed timestamp) AT the horizon, not at the
-      // far side of the gap.
-      Seconds next_time = requests[next_arrival].arrival_time;
+      // Nothing to do until the next arrival or backoff expiry — but
+      // never advance past the horizon: an event gap straddling it must
+      // leave the final clock (and every shed timestamp) AT the horizon,
+      // not at the far side of the gap.
+      Seconds next_time = std::numeric_limits<double>::infinity();
+      if (next_arrival < requests.size()) {
+        next_time = requests[next_arrival].arrival_time;
+      }
+      for (const PendingRetry& retry : retry_queue) {
+        next_time = std::min(next_time, retry.ready_time);
+      }
       if (scenario.max_sim_seconds > 0) {
         next_time = std::min(next_time, scenario.max_sim_seconds);
       }
@@ -207,8 +408,13 @@ ServingMetrics run_serving(const ServingScenario& scenario,
     // Steady-state engine cadence: the bottleneck stage (ceiling share of
     // the layers) plus its handoff.  Tokens emitted this step additionally
     // traverse the remaining stages before leaving the pipeline.
-    const Seconds stage_time =
+    Seconds stage_time =
         static_cast<double>(stage_layers) * layer_cost.latency + transfer;
+    // A step starting inside a stall window pays the configured latency
+    // multiplier on every stage (and hence on the pipeline traversal too).
+    if (faults_on && now < stall_until) {
+      stage_time *= scenario.fault.stall_latency_multiplier;
+    }
     const Seconds emit_extra = static_cast<double>(boundaries) * stage_time;
 
     const Seconds step_latency = stage_time + swap_time;
@@ -263,6 +469,13 @@ ServingMetrics run_serving(const ServingScenario& scenario,
       metrics.completed += 1;
       metrics.generated_tokens += request_trace.output_len;
       metrics.makespan = std::max(metrics.makespan, request_trace.completion);
+      if (faults_on && request_trace.last_fault >= 0) {
+        // A recompute repair closes when the re-admitted request finally
+        // completes — that whole span is the outage the user saw.
+        repair_times.push_back(request_trace.completion -
+                               request_trace.last_fault);
+        request_trace.last_fault = -1;
+      }
       if (tracing) {
         trace->on_finish(id, request_trace.completion,
                          request_trace.output_len);
@@ -292,6 +505,7 @@ ServingMetrics run_serving(const ServingScenario& scenario,
   }
 
   metrics.counters = scheduler.counters();
+  metrics.counters.shed_fault = fault_sheds;  // driver-owned shed cause
   metrics.sim_end_seconds = now;
   // Horizon-cut runs shed whatever arrived but never completed — waiting,
   // in flight, it makes no difference: the horizon ended its story.  The
@@ -378,6 +592,18 @@ ServingMetrics run_serving(const ServingScenario& scenario,
   if (arrived > 0) {
     metrics.slo_attainment = static_cast<double>(metrics.slo_met) /
                              static_cast<double>(arrived);
+    metrics.availability = static_cast<double>(metrics.completed) /
+                           static_cast<double>(arrived);
+  }
+
+  // --- Resilience rollup (schema-v8) ----------------------------------------
+  metrics.fault = fault_stats;
+  metrics.wasted_recompute_tokens = fault_stats.wasted_recompute_tokens;
+  metrics.retries_total = fault_stats.retries;
+  if (!repair_times.empty()) {
+    metrics.mttr_seconds =
+        std::accumulate(repair_times.begin(), repair_times.end(), 0.0) /
+        static_cast<double>(repair_times.size());
   }
 
   // --- Per-tenant breakdown (schema-v4) -------------------------------------
@@ -442,6 +668,16 @@ ServingMetrics run_serving(const ServingScenario& scenario,
   metrics.registry.set_gauge("engine.slo_attainment", metrics.slo_attainment);
   metrics.registry.set_gauge("engine.slo_goodput_tokens_per_s",
                              metrics.slo_goodput_tokens_per_second);
+  metrics.registry.set_gauge("engine.availability", metrics.availability);
+  if (faults_on) {
+    // Fault-only keys are gated so an off run's registry matches
+    // pre-fault builds key for key.
+    metrics.registry.set_gauge("engine.mttr_s", metrics.mttr_seconds);
+    metrics.registry.set_counter("engine.wasted_recompute_tokens",
+                                 metrics.wasted_recompute_tokens);
+    metrics.registry.set_counter("engine.retries_total", metrics.retries_total);
+    metrics.fault.publish(&metrics.registry);
+  }
   metrics.counters.publish(&metrics.registry);
   costs.publish(&metrics.registry);
   kv_cache.publish(&metrics.registry);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "arch/tpu_config.h"
+#include "serving/fault.h"
 #include "serving/metrics.h"
 #include "serving/obs_registry.h"
 #include "serving/request_gen.h"
@@ -56,6 +57,11 @@ struct ServingScenario {
   /// and time-series sampling.  Default-off — zero hot-path allocation
   /// and bit-identical metrics either way.
   TraceConfig trace;
+
+  /// Fault injection + recovery (serving/fault.h).  Default-off — the
+  /// fault rng is never consulted and the run is bit-identical to a
+  /// build without the subsystem.
+  FaultConfig fault;
 
   void validate() const;
 };
@@ -104,6 +110,23 @@ struct ServingMetrics {
   std::int64_t slo_met = 0;
   double slo_attainment = 1.0;
   double slo_goodput_tokens_per_second = 0;
+
+  /// Resilience metrics (schema-v8 "resilience" block).  `availability`
+  /// is completed / arrived — the fraction of requests that arrived
+  /// inside the simulated window and actually finished (faults, sheds,
+  /// and horizon cuts all lower it; 1.0 when nothing arrived).
+  /// `mttr_seconds` is the mean repair interval over repaired faults:
+  /// host restores repair in the PCIe re-fetch time, recompute victims
+  /// when the re-admitted request finally completes (0 with no repairs).
+  /// `wasted_recompute_tokens` counts computed tokens (prefill beyond
+  /// prefix hits + decode) thrown away by fault evictions;
+  /// `retries_total` counts backoff re-admissions.  All four are 0 /
+  /// 1.0-defaulted and `fault` all-zero when the subsystem is off.
+  double availability = 1.0;
+  Seconds mttr_seconds = 0;
+  std::int64_t wasted_recompute_tokens = 0;
+  std::int64_t retries_total = 0;
+  FaultStats fault;  ///< per-type event + recovery counts ("fault.*")
 
   /// Per-tenant QoS breakdown (schema-v4): one row per tenant id with at
   /// least one request arriving inside the simulated window, ascending,

@@ -144,6 +144,20 @@ void ServingSweep::validate() const {
                         "prefix_caching axis values must be -1 (inherit), "
                         "0 (off), or 1 (on), got " << caching);
   }
+  CIMTPU_CONFIG_CHECK(!fault_rates.empty(),
+                      "sweep needs >= 1 fault_rates value");
+  CIMTPU_CONFIG_CHECK(!fault_recovery.empty(),
+                      "sweep needs >= 1 fault_recovery value");
+  for (double rate : fault_rates) {
+    CIMTPU_CONFIG_CHECK(rate == -1 || rate >= 0,
+                        "fault_rates axis values must be -1 (inherit) or a "
+                        ">= 0 rate scale, got " << rate);
+  }
+  for (int recovery : fault_recovery) {
+    CIMTPU_CONFIG_CHECK(recovery >= -1 && recovery <= 1,
+                        "fault_recovery axis values must be -1 (inherit), "
+                        "0 (off), or 1 (on), got " << recovery);
+  }
 }
 
 std::vector<SweepCellResult> run_serving_sweep(const ServingSweep& sweep,
@@ -166,7 +180,8 @@ std::vector<SweepCellResult> run_serving_sweep(const ServingSweep& sweep,
       sweep.arrival_rates.size() * sweep.models.size() *
       sweep.chip_counts.size() * sweep.policies.size() *
       sweep.admission_policies.size() * sweep.kv_block_tokens.size() *
-      sweep.prefix_caching.size();
+      sweep.prefix_caching.size() * sweep.fault_rates.size() *
+      sweep.fault_recovery.size();
   points.reserve(grid_size);
   cells.reserve(grid_size);
   for (std::size_t r = 0; r < sweep.arrival_rates.size(); ++r) {
@@ -176,6 +191,8 @@ std::vector<SweepCellResult> run_serving_sweep(const ServingSweep& sweep,
           for (const std::string& admission : sweep.admission_policies) {
             for (std::int64_t block_axis : sweep.kv_block_tokens) {
               for (int caching_axis : sweep.prefix_caching) {
+               for (double fault_axis : sweep.fault_rates) {
+                for (int recovery_axis : sweep.fault_recovery) {
                 // Sentinels inherit the base scenario's paged-KV knobs so
                 // grids that never mention the new axes expand unchanged.
                 const std::int64_t block =
@@ -193,6 +210,19 @@ std::vector<SweepCellResult> run_serving_sweep(const ServingSweep& sweep,
                 point.scenario.scheduler.admission.policy = admission;
                 point.scenario.scheduler.kv_block_tokens = block;
                 point.scenario.scheduler.enable_prefix_cache = caching;
+                // Resilience axes: a non-sentinel fault rate scales the
+                // base storm's three process rates (0 turns the subsystem
+                // off for the cell); a non-sentinel recovery value
+                // overrides the recovery policy.
+                if (fault_axis >= 0) {
+                  point.scenario.fault.stall_rate_per_s *= fault_axis;
+                  point.scenario.fault.kv_loss_rate_per_s *= fault_axis;
+                  point.scenario.fault.device_failure_rate_per_s *= fault_axis;
+                  if (fault_axis == 0) point.scenario.fault.enabled = false;
+                }
+                if (recovery_axis >= 0) {
+                  point.scenario.fault.recovery_enabled = recovery_axis > 0;
+                }
                 point.requests = &traces[r];
                 std::ostringstream label;
                 label << "rate=" << sweep.arrival_rates[r]
@@ -201,6 +231,12 @@ std::vector<SweepCellResult> run_serving_sweep(const ServingSweep& sweep,
                       << " policy=" << eviction_policy_name(policy)
                       << " admission=" << admission << " block=" << block
                       << " prefix_cache=" << (caching ? "on" : "off");
+                // Label segments appear only for non-sentinel resilience
+                // cells, so pre-fault grids keep byte-identical labels.
+                if (fault_axis >= 0) label << " fault_rate=" << fault_axis;
+                if (recovery_axis >= 0) {
+                  label << " recovery=" << (recovery_axis > 0 ? "on" : "off");
+                }
                 point.label = label.str();
                 // Traced grids write one file set per cell: derive each
                 // point's trace label from its grid coordinates (base label
@@ -223,7 +259,11 @@ std::vector<SweepCellResult> run_serving_sweep(const ServingSweep& sweep,
                 cell.admission = admission;
                 cell.kv_block_tokens = block;
                 cell.prefix_caching = caching;
+                cell.fault_rate = fault_axis;
+                cell.fault_recovery = recovery_axis;
                 cells.push_back(std::move(cell));
+                }
+               }
               }
             }
           }

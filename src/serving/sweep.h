@@ -92,6 +92,15 @@ struct ServingSweep {
   std::vector<std::int64_t> kv_block_tokens = {0};
   std::vector<int> prefix_caching = {-1};
 
+  /// Resilience axes (serving/fault.h).  `fault_rates` scales the base
+  /// scenario's three fault-process rates per cell (0 disables the
+  /// subsystem for that cell); `fault_recovery` overrides
+  /// FaultConfig::recovery_enabled (0 = off, 1 = on).  The -1 sentinels
+  /// inherit the base fault config untouched, so pre-existing grids —
+  /// and their labels — expand unchanged.
+  std::vector<double> fault_rates = {-1};
+  std::vector<int> fault_recovery = {-1};
+
   ServingScenario base;        ///< prototype; model/chips/eviction/admission/
                                ///< paged-KV knobs overridden
   RequestStreamConfig stream;  ///< prototype; arrival_rate overridden
@@ -111,6 +120,8 @@ struct SweepCellResult {
   std::string admission = "fifo";
   std::int64_t kv_block_tokens = 1;  ///< effective (sentinels resolved)
   bool prefix_caching = false;       ///< effective (sentinels resolved)
+  double fault_rate = -1;   ///< axis value as given (-1 = base inherited)
+  int fault_recovery = -1;  ///< axis value as given (-1 = base inherited)
   ServingMetrics metrics;
 };
 

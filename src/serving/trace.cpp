@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/status.h"
+#include "serving/fault.h"
 #include "sim/trace.h"
 
 namespace cimtpu::serving {
@@ -31,6 +32,9 @@ const char* trace_event_type_name(TraceEventType type) {
     case TraceEventType::kSwapIn: return "swap_in";
     case TraceEventType::kFinish: return "finish";
     case TraceEventType::kShed: return "shed";
+    case TraceEventType::kFault: return "fault";
+    case TraceEventType::kRecover: return "recover";
+    case TraceEventType::kDegrade: return "degrade";
     case TraceEventType::kStep: return "step";
   }
   return "unknown";
@@ -120,6 +124,49 @@ void ServingTrace::on_shed(std::int64_t request_id) {
   // start time by push(); aux 0 distinguishes it from a horizon cut.
   TraceEvent& event = push(TraceEventType::kShed, request_id);
   event.aux = 0;
+}
+
+void ServingTrace::on_shed_fault(std::int64_t request_id, Seconds time) {
+  if (!config_.enabled) return;
+  TraceEvent& event = push(TraceEventType::kShed, request_id);
+  event.step = -1;
+  event.time = time;
+  event.end_time = time;
+  event.aux = 2;  // fault drop
+}
+
+void ServingTrace::on_fault(std::int64_t request_id, std::int64_t fault_kind,
+                            Seconds time, std::int64_t lost_tokens,
+                            Seconds duration) {
+  if (!config_.enabled) return;
+  TraceEvent& event = push(TraceEventType::kFault, request_id);
+  event.step = -1;
+  event.time = time;
+  event.end_time = time;
+  event.aux = fault_kind;
+  event.tokens = lost_tokens;
+  event.value = duration;
+}
+
+void ServingTrace::on_recover(std::int64_t request_id, std::int64_t mechanism,
+                              Seconds time, Bytes bytes, std::int64_t attempt) {
+  if (!config_.enabled) return;
+  TraceEvent& event = push(TraceEventType::kRecover, request_id);
+  event.step = -1;
+  event.time = time;
+  event.end_time = time;
+  event.aux = mechanism;
+  event.bytes = bytes;
+  event.tokens = attempt;
+}
+
+void ServingTrace::on_degrade(bool entering, Seconds time) {
+  if (!config_.enabled) return;
+  TraceEvent& event = push(TraceEventType::kDegrade, -1);
+  event.step = -1;
+  event.time = time;
+  event.end_time = time;
+  event.aux = entering ? 1 : 0;
 }
 
 void ServingTrace::on_admit(const Request& request,
@@ -343,7 +390,32 @@ std::string perfetto_trace_json(const std::vector<TraceEvent>& events,
       case TraceEventType::kShed:
         close_queued(id, event.time);
         close_decoding(id, event.time);
-        emit_instant(writer, "shed", kRequestPid, id, event.time, "");
+        args << "\"cause\":\""
+             << (event.aux == 0 ? "deadline"
+                                : (event.aux == 1 ? "horizon" : "fault"))
+             << '"';
+        emit_instant(writer, "shed", kRequestPid, id, event.time, args.str());
+        break;
+      case TraceEventType::kFault:
+        args << "\"kind\":\"" << fault_type_name(
+                                     static_cast<FaultType>(event.aux))
+             << "\",\"lost_tokens\":" << event.tokens
+             << ",\"duration_s\":" << json_double(event.value);
+        emit_instant(writer, "fault", id >= 0 ? kRequestPid : kEnginePid,
+                     id >= 0 ? id : kEngineTid, event.time, args.str());
+        break;
+      case TraceEventType::kRecover:
+        args << "\"mechanism\":\""
+             << (event.aux == 0 ? "retry" : "host_restore")
+             << "\",\"attempt\":" << event.tokens
+             << ",\"bytes\":" << json_double(event.bytes);
+        emit_instant(writer, "recover", kRequestPid, id, event.time,
+                     args.str());
+        break;
+      case TraceEventType::kDegrade:
+        args << "\"mode\":\"" << (event.aux == 1 ? "enter" : "exit") << '"';
+        emit_instant(writer, "degrade", kEnginePid, kEngineTid, event.time,
+                     args.str());
         break;
       case TraceEventType::kStep: {
         std::ostringstream name;
@@ -456,7 +528,24 @@ std::string trace_jsonl(const std::vector<TraceEvent>& events) {
         break;
       case TraceEventType::kShed:
         out << ",\"cause\":\""
-            << (event.aux == 0 ? "deadline" : "horizon") << '"';
+            << (event.aux == 0 ? "deadline"
+                               : (event.aux == 1 ? "horizon" : "fault"))
+            << '"';
+        break;
+      case TraceEventType::kFault:
+        out << ",\"kind\":\""
+            << fault_type_name(static_cast<FaultType>(event.aux))
+            << "\",\"lost_tokens\":" << event.tokens
+            << ",\"duration_s\":" << json_double(event.value);
+        break;
+      case TraceEventType::kRecover:
+        out << ",\"mechanism\":\""
+            << (event.aux == 0 ? "retry" : "host_restore")
+            << "\",\"attempt\":" << event.tokens
+            << ",\"bytes\":" << json_double(event.bytes);
+        break;
+      case TraceEventType::kDegrade:
+        out << ",\"mode\":\"" << (event.aux == 1 ? "enter" : "exit") << '"';
         break;
       case TraceEventType::kFirstToken:
       case TraceEventType::kPreempt:

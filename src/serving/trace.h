@@ -73,8 +73,13 @@ enum class TraceEventType {
   kSwapIn,        ///< KV pages restored from the host pool
   kFinish,        ///< last output token emitted (e2e point)
   kShed,          ///< never completes: dropped by admission control (EDF
-                  ///< deadline shed, aux=0) or cut by the simulated-time
-                  ///< horizon while waiting/in flight (aux=1)
+                  ///< deadline shed, aux=0), cut by the simulated-time
+                  ///< horizon while waiting/in flight (aux=1), or dropped
+                  ///< by the fault subsystem (recovery off / retry budget
+                  ///< exhausted, aux=2)
+  kFault,         ///< injected fault event (serving/fault.h): aux=FaultType
+  kRecover,       ///< fault recovery: backoff re-admission or host restore
+  kDegrade,       ///< graceful-degradation mode change (aux: 1 enter, 0 exit)
   kStep,          ///< one engine step (batch composition + cost + KV churn)
 };
 
@@ -94,7 +99,13 @@ const char* trace_event_type_name(TraceEventType type);
 ///   kPreempt       —
 ///   kSwapOut/In    bytes=PCIe traffic
 ///   kFinish        tokens=generated output tokens
-///   kShed          aux=cause (0 deadline shed, 1 horizon cut)
+///   kShed          aux=cause (0 deadline shed, 1 horizon cut, 2 fault)
+///   kFault         aux=FaultType (0 stall, 1 kv_loss, 2 device_failure)
+///                  tokens=computed tokens lost  value=stall/restart seconds
+///                  (request_id -1 for stall and device-failure events)
+///   kRecover       aux=mechanism (0 backoff re-admission, 1 host restore)
+///                  tokens=retry attempt  bytes=host-restore PCIe traffic
+///   kDegrade       aux=1 entering degraded mode, 0 exiting
 ///   kStep          batch  aux=kind (0 prefill, 1 decode)  value=latency s
 ///                  blocks=KV blocks allocated  blocks2=blocks reclaimed
 ///                  tokens=KV blocks referenced after the step
@@ -169,6 +180,21 @@ class ServingTrace final : public TraceSink {
   void on_finish(std::int64_t request_id, Seconds completion,
                  std::int64_t generated_tokens);
   void on_shed(std::int64_t request_id, Seconds horizon);
+  /// The fault subsystem dropped a waiting/in-flight request for good
+  /// (recovery off or retry budget exhausted): kShed with cause "fault".
+  void on_shed_fault(std::int64_t request_id, Seconds time);
+  /// An injected fault event (aux codes per FaultType): `request_id` is
+  /// the struck resident for kv-loss events, -1 for stalls and device
+  /// failures; `lost_tokens` the computed work wiped; `duration` the
+  /// stall window or restart epoch.
+  void on_fault(std::int64_t request_id, std::int64_t fault_kind,
+                Seconds time, std::int64_t lost_tokens, Seconds duration);
+  /// A fault recovery: mechanism 0 = backoff re-admission (tokens =
+  /// attempt number), 1 = in-place host restore (bytes = PCIe re-fetch).
+  void on_recover(std::int64_t request_id, std::int64_t mechanism,
+                  Seconds time, Bytes bytes, std::int64_t attempt);
+  /// The sustained-failure detector flipped the degradation mode.
+  void on_degrade(bool entering, Seconds time);
 
   // --- TraceSink (scheduler) ---------------------------------------------
   void on_admit(const Request& request, std::int64_t lookup_tokens,

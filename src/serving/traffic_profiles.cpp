@@ -267,6 +267,39 @@ std::vector<Request> diurnal_tenant_mix_requests(
   return merge_request_traces(streams);
 }
 
+ServingScenario fault_storm_scenario(ir::DType dtype, bool recovery,
+                                     Seconds horizon_seconds) {
+  ServingScenario scenario = slo_scenario(dtype, /*admission=*/"edf",
+                                          horizon_seconds);
+  scenario.fault.enabled = true;
+  scenario.fault.seed = kFaultStormSeed;
+  // A storm, not background noise: stalls cover a meaningful slice of the
+  // window, KV losses land about once a second, and the window sees a
+  // couple of full restarts — enough that recovery policy, not luck,
+  // decides the frontier.
+  scenario.fault.stall_rate_per_s = 0.4;
+  scenario.fault.stall_duration_s = 0.5;
+  scenario.fault.stall_latency_multiplier = 4.0;
+  scenario.fault.kv_loss_rate_per_s = 1.0;
+  scenario.fault.device_failure_rate_per_s = 0.05;
+  scenario.fault.device_restart_s = 1.0;
+  scenario.fault.recovery_enabled = recovery;
+  // KV losses repair in place from the host shadow (PCIe re-fetch);
+  // device failures still recompute through backoff re-admission.
+  scenario.fault.kv_restore = FaultConfig::KvRestoreMode::kHostRestore;
+  scenario.fault.retry_budget = 3;
+  // Sustained-failure detector: 4 faults in a trailing 5 s window enters
+  // degraded mode (half batch, prefix admission paused, +0.5 s EDF
+  // shedding slack); it lifts once the window decays to <= 1.
+  scenario.fault.degrade_window_s = 5.0;
+  scenario.fault.degrade_enter_faults = 4;
+  scenario.fault.degrade_exit_faults = 1;
+  scenario.fault.degraded_max_batch_fraction = 0.5;
+  scenario.fault.degrade_pause_prefix_cache = true;
+  scenario.fault.degraded_extra_shed_slack_s = 0.5;
+  return scenario;
+}
+
 RequestStreamConfig flash_crowd_stream(std::uint64_t seed,
                                        std::int64_t num_requests,
                                        double arrival_rate) {

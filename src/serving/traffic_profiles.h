@@ -197,4 +197,21 @@ RequestStreamConfig flash_crowd_stream(std::uint64_t seed,
                                        std::int64_t num_requests,
                                        double arrival_rate);
 
+/// The fault seed / horizon the canonical fault storm uses.  The seed is
+/// fixed (and distinct from workload seeds) so the pinned resilience test
+/// and both binaries replay the SAME storm.
+constexpr std::uint64_t kFaultStormSeed = 1234;
+constexpr Seconds kFaultStormHorizon = 30.0;
+
+/// The canonical fault-storm deployment (schema-v8 "resilience" block):
+/// the SLO scenario (EDF admission, 30 s horizon) under a sustained
+/// multi-failure storm — transient stalls, ~1/s KV-block losses restored
+/// from the host shadow when they fit, and occasional full device
+/// restarts — with the degradation detector armed.  `recovery` toggles
+/// FaultConfig::recovery_enabled: the on/off pair IS the resilience
+/// frontier (recovery-on strictly wins availability and SLO goodput on
+/// the pinned storm).
+ServingScenario fault_storm_scenario(ir::DType dtype, bool recovery,
+                                     Seconds horizon_seconds = kFaultStormHorizon);
+
 }  // namespace cimtpu::serving

@@ -1104,12 +1104,16 @@ TEST(PolicyEndToEndTest, ChunkingBoundsTpotUnderLongPrompts) {
 //   3. Explain the drift (which change moved which metric) in your PR.
 //   4. If the drift also moves bench_serving output, refresh the committed
 //      BENCH_serving.json baseline at the repo root (the CI perf-smoke job
-//      gates steps_per_second against it).  The baseline is schema v7:
+//      gates steps_per_second against it).  The baseline is schema v8:
 //      "baseline" / "policies" / "fairness" / "prefix_cache" /
-//      "observability" / "slo_frontier" blocks plus the "sweep" wall-clock
-//      block (baseline + policy grids only).  The slo_frontier rows must
-//      keep EDF's slo_attainment strictly above FIFO's at the highest
-//      swept arrival rate (serving_slo_test pins the ordering).
+//      "observability" / "slo_frontier" / "resilience" blocks plus the
+//      "sweep" wall-clock block (baseline + policy grids only).  The
+//      slo_frontier rows must keep EDF's slo_attainment strictly above
+//      FIFO's at the highest swept arrival rate (serving_slo_test pins the
+//      ordering), and the resilience rows (fault storm at kFaultStormSeed,
+//      recovery off/on) must keep recovery-on strictly above recovery-off
+//      on BOTH availability and slo_goodput_tokens_per_s at every swept
+//      fault rate (serving_fault_test pins the frontier at rate 1.0).
 
 struct Golden {
   EvictionPolicy policy;

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -348,6 +349,39 @@ TEST(RequestTraceTest, ParserRejectsMalformedInput) {
                    "{\"id\": 1, \"arrival_s\": 1.0}\n"),
                ConfigError);
   EXPECT_TRUE(parse_request_trace_jsonl("").empty());
+}
+
+TEST(RequestTraceTest, ParserRejectsNonFiniteNumbers) {
+  // strtod happily parses "nan"/"inf"/"infinity": a non-finite arrival
+  // time or deadline must be rejected loudly, never round-tripped into
+  // the scheduler where every comparison against it is poisoned.
+  EXPECT_THROW(parse_request_trace_jsonl("{\"id\": 0, \"arrival_s\": nan}\n"),
+               ConfigError);
+  EXPECT_THROW(parse_request_trace_jsonl("{\"id\": 0, \"arrival_s\": inf}\n"),
+               ConfigError);
+  EXPECT_THROW(
+      parse_request_trace_jsonl("{\"id\": 0, \"arrival_s\": -infinity}\n"),
+      ConfigError);
+  EXPECT_THROW(parse_request_trace_jsonl(
+                   "{\"id\": 0, \"ttft_deadline_s\": NaN}\n"),
+               ConfigError);
+  EXPECT_THROW(parse_request_trace_jsonl(
+                   "{\"id\": 0, \"tpot_deadline_s\": Infinity}\n"),
+               ConfigError);
+  // Overflowing literals land on +-inf via ERANGE: also rejected.
+  EXPECT_THROW(parse_request_trace_jsonl("{\"id\": 0, \"arrival_s\": 1e999}\n"),
+               ConfigError);
+}
+
+TEST(RequestTraceTest, SerializerRejectsNonFiniteValues) {
+  // The write side enforces the same invariant: a Request carrying a
+  // non-finite field is a caller bug, not a value to encode as "nan".
+  Request poisoned = make_request(0, 0.0, 0.0);
+  poisoned.arrival_time = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(request_trace_jsonl({poisoned}), ConfigError);
+  poisoned = make_request(0, 0.0, 0.0);
+  poisoned.ttft_deadline = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(request_trace_jsonl({poisoned}), ConfigError);
 }
 
 // --- Horizon bugfixes --------------------------------------------------------
