@@ -11,7 +11,7 @@
 // step-cost cache, and the simulated metrics are bit-identical to serial
 // execution.
 //
-// Emits BENCH_serving.json (schema_version 7; --out overrides the path):
+// Emits BENCH_serving.json (schema_version 9; --out overrides the path):
 //   "baseline" — goodput + p99 TTFT/TPOT across 3 arrival rates x 2 chip
 //                counts, with per-row sim_wall_seconds and
 //                steps_per_second (the simulator-performance trajectory),
@@ -45,6 +45,20 @@
 //                recovery-policy goodput — the frontier where backoff
 //                re-admission + host-shadow KV restore strictly beat
 //                dropping every fault-hit request,
+//   "cluster"  — NEW in v9: the cluster-scale serving study
+//                (serving/cluster.h).  "router_rows" compares the four
+//                built-in router policies over 4 single-chip replicas on
+//                the 16-prefix chatbot stream — the grid where
+//                prefix_affinity's cluster-wide hit rate beats
+//                round_robin's (scattering every prefix family across
+//                all four caches cools each one).  "disaggregation" runs
+//                arrival rate x {colocated, disaggregated} over the same
+//                4 replicas on zipf-chat traffic: the disaggregated cells
+//                dedicate 1 replica to prefill and stream finished KV to
+//                the decode replicas block-by-block over the modeled ICI
+//                fabric, and at the top rate their p99 TTFT beats the
+//                colocated cells' (first tokens no longer queue behind
+//                resident decode batches) — both orderings are pinned,
 //   "sweep"    — wall-clock of the baseline + policy grids and the worker
 //                count, the headline number for hot-path optimizations
 //                (the CI perf-smoke job gates steps_per_second against
@@ -156,7 +170,7 @@ int main(int argc, char** argv) {
                     "TPOT p99", "J/token", "MXU util"});
 
   std::ofstream json(out_path);
-  json << "{\n  \"bench\": \"serving\",\n  \"schema_version\": 8,\n"
+  json << "{\n  \"bench\": \"serving\",\n  \"schema_version\": 9,\n"
        << "  \"model\": \"llama2-7b\",\n"
        << "  \"dtype\": \"int4\",\n  \"requests\": 2000,\n  \"seed\": 42,\n"
        << "  \"baseline\": [\n";
@@ -611,6 +625,122 @@ int main(int argc, char** argv) {
   }
   json << "\n  ]},\n";
 
+  // --- Cluster: router policies + disaggregation (schema v9) -----------------
+  // Both canonical grids (traffic_profiles.h).  Router study: the four
+  // built-in policies over 4 replicas on the 16-prefix chatbot stream —
+  // prefix_affinity's cluster-wide hit rate must beat round_robin's.
+  // Disaggregation study: rate x {colocated, disaggregated}; at the top
+  // rate the disaggregated p99 TTFT must beat colocated.  Both orderings
+  // are pinned by the golden test.
+  const std::vector<serving::Request> cluster_requests =
+      serving::generate_requests(serving::cluster_chatbot_stream(/*seed=*/42));
+  const std::vector<serving::SweepPoint> router_points =
+      serving::cluster_router_grid_points(scenario_for(1).model,
+                                          &cluster_requests);
+  const std::vector<serving::ServingMetrics> router_results =
+      serving::run_sweep(router_points, sweep_options);
+
+  AsciiTable router_table(
+      "Cluster router — " + cell_i(serving::kClusterReplicas) +
+      " replicas, " + cell_i(serving::kClusterPrefixPool) +
+      "-prefix chatbot stream, " + cell_i(serving::kClusterTenants) +
+      " tenants");
+  router_table.set_header({"router", "tokens/s", "TTFT p99", "hit rate",
+                           "jain", "done"});
+  json << "  \"cluster\": {\"replicas\": " << serving::kClusterReplicas
+       << ", \"prefix_pool\": " << serving::kClusterPrefixPool
+       << ", \"tenants\": " << serving::kClusterTenants
+       << ", \"router_requests\": " << cluster_requests.size()
+       << ", \"router_rows\": [\n";
+  first = true;
+  for (std::size_t i = 0; i < router_points.size(); ++i) {
+    const serving::ServingMetrics& metrics = router_results[i];
+    const std::string& policy = router_points[i].router_policy;
+    router_table.add_row({policy,
+                          cell_f(metrics.goodput_tokens_per_second, 1),
+                          format_time(metrics.ttft.p99),
+                          cell_f(metrics.prefix_hit_rate, 3),
+                          cell_f(metrics.jain_fairness, 4),
+                          cell_i(metrics.completed)});
+    if (!first) json << ",\n";
+    first = false;
+    json << "    {\"router\": \"" << policy
+         << "\", \"goodput_tokens_per_s\": "
+         << metrics.goodput_tokens_per_second
+         << ", \"ttft_p99_s\": " << metrics.ttft.p99
+         << ", \"tpot_p99_s\": " << metrics.tpot.p99
+         << ", \"prefix_hit_rate\": " << metrics.prefix_hit_rate
+         << ", \"jain_across_replicas\": " << metrics.jain_fairness
+         << ", \"completed\": " << metrics.completed
+         << ", \"sim_wall_seconds\": " << metrics.sim_wall_seconds
+         << ", \"steps_per_second\": " << metrics.steps_per_second << "}";
+  }
+  json << "\n  ],\n";
+
+  const serving::ServingSweep disagg_sweep =
+      serving::cluster_disaggregation_sweep(scenario_for(1).model, /*seed=*/42);
+  const std::vector<serving::SweepCellResult> disagg_cells =
+      serving::run_serving_sweep(disagg_sweep, sweep_options);
+
+  AsciiTable disagg_table(
+      "Prefill/decode disaggregation — " +
+      cell_i(serving::kClusterReplicas) + " replicas (" +
+      cell_i(serving::kClusterPrefillReplicas) +
+      " prefill when disaggregated), zipf-chat traffic");
+  disagg_table.set_header({"rate (req/s)", "mode", "TTFT p99", "TTFT p50",
+                           "tokens/s", "done", "KV moved", "xfer s"});
+  json << "  \"disaggregation\": {\"prefill_replicas\": "
+       << serving::kClusterPrefillReplicas
+       << ", \"requests\": " << serving::kClusterDisaggRequests
+       << ", \"rows\": [\n";
+  first = true;
+  for (const serving::SweepCellResult& cell : disagg_cells) {
+    const serving::ServingMetrics& metrics = cell.metrics;
+    const bool disagg = cell.disaggregated > 0;
+    // Transfer accounting lives in the flattened cluster registry (zero
+    // and absent when colocated).
+    const auto& counters = metrics.registry.counters();
+    const auto counter_or_zero = [&counters](const char* name) {
+      const auto it = counters.find(name);
+      return it == counters.end() ? std::int64_t{0} : it->second;
+    };
+    const auto& gauges = metrics.registry.gauges();
+    const auto transfer_it = gauges.find("cluster.kv_transfer_seconds");
+    const double transfer_seconds =
+        transfer_it == gauges.end() ? 0.0 : transfer_it->second;
+    const std::int64_t transfer_bytes =
+        counter_or_zero("cluster.kv_transfer_bytes");
+    disagg_table.add_row(
+        {cell_f(cell.arrival_rate, 1), disagg ? "disagg" : "colocated",
+         format_time(metrics.ttft.p99), format_time(metrics.ttft.p50),
+         cell_f(metrics.goodput_tokens_per_second, 1),
+         cell_i(metrics.completed),
+         cell_f(static_cast<double>(transfer_bytes) / GiB, 2) + " GiB",
+         cell_f(transfer_seconds, 3)});
+    if (!first) json << ",\n";
+    first = false;
+    json << "    {\"arrival_rate\": " << cell.arrival_rate
+         << ", \"disaggregated\": " << (disagg ? "true" : "false")
+         << ", \"ttft_p99_s\": " << metrics.ttft.p99
+         << ", \"ttft_p50_s\": " << metrics.ttft.p50
+         << ", \"tpot_p99_s\": " << metrics.tpot.p99
+         << ", \"goodput_tokens_per_s\": "
+         << metrics.goodput_tokens_per_second
+         << ", \"completed\": " << metrics.completed
+         << ", \"kv_transfer_count\": "
+         << counter_or_zero("cluster.kv_transfer_count")
+         << ", \"kv_transfer_blocks\": "
+         << counter_or_zero("cluster.kv_transfer_blocks")
+         << ", \"kv_transfer_bytes\": " << transfer_bytes
+         << ", \"kv_transfer_seconds\": " << transfer_seconds
+         << ", \"jain_across_replicas\": " << metrics.jain_fairness
+         << ", \"sim_wall_seconds\": " << metrics.sim_wall_seconds
+         << ", \"steps_per_second\": " << metrics.steps_per_second << "}";
+  }
+  // Two closers: the "disaggregation" sub-object and the "cluster" block
+  // it nests inside.
+  json << "\n  ]}},\n";
+
   std::int64_t total_steps = 0;
   for (const serving::SweepCellResult& result : baseline) {
     total_steps += result.metrics.total_steps;
@@ -642,6 +772,8 @@ int main(int argc, char** argv) {
   prefix_table.print();
   slo_table.print();
   storm_table.print();
+  router_table.print();
+  disagg_table.print();
   std::printf("  wrote BENCH_serving.json (%zu sweep points, %d/%d threads, "
               "%.3f s wall, %lld steps)\n",
               baseline.size() + policy_points.size(), baseline_threads,
@@ -678,6 +810,29 @@ int main(int argc, char** argv) {
                   .metrics.slo_goodput_tokens_per_second,
               storm_cells[storm_cells.size() - 2]
                   .metrics.slo_goodput_tokens_per_second);
+  // Row order follows cluster_router_policy_order(): round_robin first,
+  // prefix_affinity third.
+  std::printf("  cluster: prefix_affinity hit rate %.3f vs round_robin "
+              "%.3f (%d replicas, jain %.4f vs %.4f)\n",
+              router_results[2].prefix_hit_rate,
+              router_results[0].prefix_hit_rate, serving::kClusterReplicas,
+              router_results[2].jain_fairness,
+              router_results[0].jain_fairness);
+  // Grid order is rate-major with disaggregation {off, on} innermost, so
+  // the last two cells are the top rate's colocated/disaggregated pair.
+  std::printf("  disaggregation: at %.0f req/s TTFT p99 disagg %.3f s vs "
+              "colocated %.3f s (%.2f GiB KV streamed)\n",
+              disagg_cells[disagg_cells.size() - 2].arrival_rate,
+              disagg_cells[disagg_cells.size() - 1].metrics.ttft.p99,
+              disagg_cells[disagg_cells.size() - 2].metrics.ttft.p99,
+              [&] {
+                const auto& counters = disagg_cells[disagg_cells.size() - 1]
+                                           .metrics.registry.counters();
+                const auto it = counters.find("cluster.kv_transfer_bytes");
+                return it == counters.end()
+                           ? 0.0
+                           : static_cast<double>(it->second) / GiB;
+              }());
 
   return bench::run_microbenchmarks(argc, argv);
 }

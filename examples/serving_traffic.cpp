@@ -17,7 +17,7 @@
 //
 // Usage:
 //   ./serving_traffic [model] [requests] [rate_req_s] [seed] [process] [dtype]
-//                     [--trace-dir <dir>] [--fault-storm]
+//                     [--trace-dir <dir>] [--fault-storm] [--cluster]
 //   ./serving_traffic llama2-7b 10000 20 42 poisson int4
 //   ./serving_traffic llama2-7b 2000 20 42 poisson int4 --trace-dir traces
 //
@@ -31,7 +31,12 @@
 // fault storm (traffic_profiles.h) with recovery off vs on, on the sweep
 // driver — its stdout (and, with --trace-dir, its per-cell trace files)
 // is byte-identical whatever CIMTPU_SWEEP_THREADS says, which the CI
-// determinism job checks.  Unknown flags are an error.
+// determinism job checks.  --cluster appends the cluster-scale serving
+// demo (serving/cluster.h): a per-replica breakdown of one 4-replica
+// prefix-affinity run, the canonical router-policy comparison, and the
+// colocated-vs-disaggregated frontier — the same grids bench_serving's
+// schema-v9 "cluster" block pins, with kRoute/kKvTransfer trace files
+// under --trace-dir.  Unknown flags are an error.
 
 #include <chrono>
 #include <cstdio>
@@ -44,6 +49,7 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "models/model_zoo.h"
+#include "serving/cluster.h"
 #include "serving/request_trace.h"
 #include "serving/sweep.h"
 #include "serving/trace.h"
@@ -58,6 +64,7 @@ int main(int argc, char** argv) {
   // silently ignored would run the wrong experiment.
   std::string trace_dir;
   bool fault_storm = false;
+  bool cluster = false;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-dir") == 0) {
@@ -69,10 +76,12 @@ int main(int argc, char** argv) {
       trace_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--fault-storm") == 0) {
       fault_storm = true;
+    } else if (std::strcmp(argv[i], "--cluster") == 0) {
+      cluster = true;
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr,
                    "serving_traffic: unknown flag '%s' (expected "
-                   "--trace-dir <dir> or --fault-storm)\n",
+                   "--trace-dir <dir>, --fault-storm, or --cluster)\n",
                    argv[i]);
       return 1;
     } else {
@@ -582,6 +591,153 @@ int main(int argc, char** argv) {
     if (!trace_dir.empty()) {
       std::fprintf(stderr, "fault storm: %zu per-cell trace files in %s\n",
                    storm_cells.size(), trace_dir.c_str());
+    }
+  }
+
+  if (cluster) {
+    // --- Cluster-scale serving: replicas, routers, disaggregation ------------
+    // The canonical grids (traffic_profiles.h) — the same grids
+    // bench_serving's schema-v9 "cluster" block pins.  Everything printed
+    // here is simulated-time deterministic; the CI determinism job diffs
+    // this section (and, with --trace-dir, the per-replica / router /
+    // KV-transfer trace files) across sweep thread counts.
+    const std::vector<serving::Request> cluster_requests =
+        serving::generate_requests(
+            serving::cluster_chatbot_stream(stream.seed));
+
+    // Per-replica breakdown of ONE run: the prefix-affinity cluster, where
+    // each of the 16 prefix families sticks to the replica whose cache is
+    // warm.  Run directly (not flattened) so the per-replica rows are
+    // visible.
+    serving::ClusterConfig affinity_config;
+    affinity_config.base =
+        serving::prefix_cache_scenario(scenario.model.dtype,
+                                       /*enable_prefix_cache=*/true);
+    affinity_config.base.model = scenario.model;
+    affinity_config.base.kv_budget_override =
+        serving::KvCacheManager::token_bytes(scenario.model) * 20000.0;
+    affinity_config.replicas.assign(serving::kClusterReplicas,
+                                    serving::ReplicaSpec{});
+    affinity_config.router_policy = "prefix_affinity";
+    if (!trace_dir.empty()) {
+      affinity_config.base.trace.enabled = true;
+      affinity_config.base.trace.dir = trace_dir;
+      affinity_config.base.trace.label = "cluster_affinity";
+      affinity_config.base.trace.write_jsonl = true;
+    }
+    const serving::ClusterMetrics affinity = serving::run_serving_cluster(
+        affinity_config, cluster_requests, &shared_costs);
+
+    AsciiTable replica_table(
+        "Cluster replicas — " + cell_i(serving::kClusterReplicas) +
+        " x 1 chip, prefix_affinity router, " +
+        cell_i(serving::kClusterPrefixPool) + "-prefix chatbot stream");
+    replica_table.set_header({"replica", "chips", "done", "tokens",
+                              "MXU util", "hit rate", "preempt"});
+    for (std::size_t i = 0; i < affinity.replica_metrics.size(); ++i) {
+      const serving::ServingMetrics& replica = affinity.replica_metrics[i];
+      replica_table.add_row(
+          {cell_i(i), cell_i(replica.chips), cell_i(replica.completed),
+           cell_i(replica.generated_tokens),
+           cell_f(100.0 * replica.mxu_utilization, 1) + "%",
+           cell_f(replica.prefix_hit_rate, 3), cell_i(replica.preemptions)});
+    }
+    std::printf("\n");
+    replica_table.print();
+    std::printf(
+        "cluster router=prefix_affinity: %lld/%lld requests over %s, "
+        "cluster-wide hit rate %.3f, jain across replicas %.4f\n",
+        static_cast<long long>(affinity.completed),
+        static_cast<long long>(affinity.num_requests),
+        format_time(affinity.makespan).c_str(), affinity.prefix_hit_rate,
+        affinity.jain_across_replicas);
+
+    // Router policy comparison on the canonical grid.
+    const std::vector<serving::SweepPoint> router_points =
+        serving::cluster_router_grid_points(scenario.model,
+                                            &cluster_requests);
+    const std::vector<serving::ServingMetrics> router_results =
+        serving::run_sweep(router_points, sweep_options);
+
+    AsciiTable router_table(
+        "Router policies — " + cell_i(serving::kClusterReplicas) +
+        " replicas, " + cell_i(serving::kClusterTenants) + " tenants");
+    router_table.set_header({"router", "TTFT p50", "TTFT p99", "tokens/s",
+                             "hit rate", "jain", "done"});
+    for (std::size_t i = 0; i < router_points.size(); ++i) {
+      const serving::ServingMetrics& metrics = router_results[i];
+      router_table.add_row(
+          {router_points[i].router_policy, format_time(metrics.ttft.p50),
+           format_time(metrics.ttft.p99),
+           cell_f(metrics.goodput_tokens_per_second, 1),
+           cell_f(metrics.prefix_hit_rate, 3),
+           cell_f(metrics.jain_fairness, 4), cell_i(metrics.completed)});
+    }
+    std::printf("\n");
+    router_table.print();
+    std::printf(
+        "router comparison: prefix_affinity hit rate %.3f vs round_robin "
+        "%.3f\n",
+        router_results[2].prefix_hit_rate, router_results[0].prefix_hit_rate);
+
+    // Colocated vs disaggregated frontier on the canonical sweep.
+    serving::ServingSweep disagg_sweep =
+        serving::cluster_disaggregation_sweep(scenario.model, stream.seed);
+    if (!trace_dir.empty()) {
+      // Per-cell trace files (run_serving_sweep derives one label per
+      // cell): the disaggregated cells' router traces carry the kRoute and
+      // kKvTransfer events, byte-identical across thread counts.
+      disagg_sweep.base.trace.enabled = true;
+      disagg_sweep.base.trace.dir = trace_dir;
+      disagg_sweep.base.trace.label = "cluster_disagg";
+      disagg_sweep.base.trace.write_jsonl = true;
+    }
+    const std::vector<serving::SweepCellResult> disagg_cells =
+        serving::run_serving_sweep(disagg_sweep, sweep_options);
+
+    AsciiTable disagg_table(
+        "Prefill/decode disaggregation — " +
+        cell_i(serving::kClusterReplicas) + " replicas (" +
+        cell_i(serving::kClusterPrefillReplicas) +
+        " prefill when disaggregated)");
+    disagg_table.set_header({"rate (req/s)", "mode", "TTFT p50", "TTFT p99",
+                             "tokens/s", "done", "KV moved", "xfer s"});
+    for (const serving::SweepCellResult& cell : disagg_cells) {
+      const serving::ServingMetrics& metrics = cell.metrics;
+      const bool disagg = cell.disaggregated > 0;
+      const auto& counters = metrics.registry.counters();
+      const auto bytes_it = counters.find("cluster.kv_transfer_bytes");
+      const double transfer_bytes =
+          bytes_it == counters.end()
+              ? 0.0
+              : static_cast<double>(bytes_it->second);
+      const auto& gauges = metrics.registry.gauges();
+      const auto seconds_it = gauges.find("cluster.kv_transfer_seconds");
+      const double transfer_seconds =
+          seconds_it == gauges.end() ? 0.0 : seconds_it->second;
+      disagg_table.add_row(
+          {cell_f(cell.arrival_rate, 1), disagg ? "disagg" : "colocated",
+           format_time(metrics.ttft.p50), format_time(metrics.ttft.p99),
+           cell_f(metrics.goodput_tokens_per_second, 1),
+           cell_i(metrics.completed),
+           cell_f(transfer_bytes / GiB, 2) + " GiB",
+           cell_f(transfer_seconds, 3)});
+    }
+    std::printf("\n");
+    disagg_table.print();
+    std::printf(
+        "disaggregation: at %.0f req/s TTFT p99 disagg %s vs colocated "
+        "%s\n",
+        disagg_cells[disagg_cells.size() - 2].arrival_rate,
+        format_time(
+            disagg_cells[disagg_cells.size() - 1].metrics.ttft.p99)
+            .c_str(),
+        format_time(
+            disagg_cells[disagg_cells.size() - 2].metrics.ttft.p99)
+            .c_str());
+    if (!trace_dir.empty()) {
+      std::fprintf(stderr, "cluster: per-replica + router trace files in %s\n",
+                   trace_dir.c_str());
     }
   }
 

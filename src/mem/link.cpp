@@ -8,6 +8,8 @@ IciFabric::IciFabric(IciLinkSpec spec, const tech::EnergyModel& energy)
     : spec_(spec), energy_(&energy) {
   CIMTPU_CONFIG_CHECK(spec_.links_per_chip > 0 && spec_.bandwidth_per_link > 0,
                       "invalid ICI spec");
+  CIMTPU_CONFIG_CHECK(spec_.hop_latency >= 0,
+                      "ICI hop_latency must be >= 0, got " << spec_.hop_latency);
 }
 
 Seconds IciFabric::all_reduce_time(Bytes bytes, int chips) const {

@@ -1,0 +1,188 @@
+#pragma once
+// Cluster-scale serving: N replica engines behind a pluggable router, with
+// optional DistServe-style prefill/decode disaggregation and Mooncake-style
+// block-granular KV streaming over the modeled ICI fabric.
+//
+// Each replica is its own ServingEngine (serving_sim.h) — its own seeded
+// scheduler, paged-KV manager, fault processes, and discrete-event clock —
+// either a pipeline-parallel deployment (ReplicaSpec::chips stages) or a
+// tensor-parallel one (ReplicaSpec::tensor_parallel_ways shards, finally
+// dispatching the parallel/multi_chip.h TP model from serving and admitting
+// models whose full weights exceed one chip's HBM).  The cluster driver
+// advances the replicas on ONE discrete-event timeline: every router
+// decision happens at the request's arrival instant with all candidate
+// replicas pumped to that instant, so load-aware policies see the loads a
+// real router would.
+//
+// Router policies are string-keyed behind a registry mirroring
+// AdmissionPolicy (serving/admission_policy.h): "round_robin",
+// "least_loaded" (queued + resident tokens), "prefix_affinity" (requests
+// sharing a Request::prefix_id stick to the replica whose prefix cache is
+// warm), and "tenant_sticky".  register_router_policy adds custom ones.
+//
+// Disaggregated mode dedicates the first `prefill_replicas` replicas to
+// prefill: a request's prompt runs there (as an output_len=1 clone whose
+// single emission IS the request's first token), then its finished KV
+// blocks stream to a router-chosen decode replica with transfer time costed
+// per block through IciFabric::p2p_time — overlapping with the decode
+// replica's ongoing steps, which only see the request once the last block
+// lands (ServingEngine::inject_prefilled).  Stitched request metrics (TTFT
+// from the prefill side, completion from the decode side) land in the
+// cluster rollup next to per-replica ServingMetrics, Jain-across-replicas
+// imbalance, KV-transfer totals, and "cluster.*" registry keys.
+//
+// BIT-IDENTITY CONTRACT: one replica + "round_robin" + colocated is the
+// single-engine path — run_serving_cluster defers to the same
+// inject/pump/drain sequence run_serving performs, produces the identical
+// ServingMetrics (all golden pins), and emits no kRoute/kKvTransfer events,
+// so trace files and registry JSON are byte-identical too.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serving/serving_sim.h"
+
+namespace cimtpu::serving {
+
+/// One replica's deployment shape.  Exactly one parallelism axis may
+/// exceed 1: `chips` > 1 is a pipeline (layers split across stages),
+/// `tensor_parallel_ways` > 1 a Megatron-style TP group (heads/FFN split,
+/// two ring all-reduces per layer per step, KV budget spanning all
+/// shards' HBM headroom).
+struct ReplicaSpec {
+  int chips = 1;
+  int tensor_parallel_ways = 1;
+};
+
+/// Cluster deployment description.  `base` is the per-replica scenario
+/// prototype: every replica reuses its model / scheduler / eviction /
+/// trace / fault configuration, with chips and tensor_parallel_ways
+/// overridden per ReplicaSpec.
+struct ClusterConfig {
+  ServingScenario base;
+  std::vector<ReplicaSpec> replicas = {ReplicaSpec{}};
+
+  /// Registry-keyed RouterPolicy name (see make_router_policy).
+  std::string router_policy = "round_robin";
+
+  /// DistServe-style prefill/decode disaggregation: the first
+  /// `prefill_replicas` replicas run prompts only, the rest decode only,
+  /// and finished prompt KV streams between them block-by-block over the
+  /// base chip config's ICI fabric.  Requires at least one replica on
+  /// each side.  The router policy governs the DECODE side; prefill
+  /// replicas take arrivals round-robin.
+  bool disaggregated = false;
+  int prefill_replicas = 1;
+
+  void validate() const;
+};
+
+/// Load snapshot of one replica at a routing instant.
+struct ReplicaLoad {
+  /// Prompt + output tokens of every request injected into the replica
+  /// and not yet finished or shed — queued and resident work together,
+  /// the "queued+resident tokens" signal least_loaded balances on.
+  std::int64_t outstanding_tokens = 0;
+};
+
+/// A routing decision maker.  Stateful (stickiness, counters) and owned
+/// by one cluster run; `route` returns the replica index in [0, n) for a
+/// request, given per-replica loads snapshotted at the routing instant.
+class RouterPolicy {
+ public:
+  virtual ~RouterPolicy() = default;
+  virtual int route(const Request& request,
+                    const std::vector<ReplicaLoad>& loads) = 0;
+};
+
+// --- Registry (mirrors serving/admission_policy.h) ---------------------------
+
+using RouterPolicyFactory =
+    std::function<std::unique_ptr<RouterPolicy>(int num_replicas)>;
+
+/// Registers (or replaces) a router policy under `name`.
+void register_router_policy(const std::string& name,
+                            RouterPolicyFactory factory);
+
+/// Registered names, sorted.
+std::vector<std::string> router_policy_names();
+
+/// Instantiates the policy registered under `name` for `num_replicas`
+/// replicas.  Throws ConfigError listing the registered names when the
+/// name is unknown.
+std::unique_ptr<RouterPolicy> make_router_policy(const std::string& name,
+                                                 int num_replicas);
+
+// --- Cluster rollup ----------------------------------------------------------
+
+/// Per-replica ServingMetrics plus the stitched cluster-level view.  In
+/// disaggregated mode the per-replica rows describe the CLONES each side
+/// ran (a prefill replica's completions are first tokens); the stitched
+/// fields below always describe the ORIGINAL requests end to end.
+struct ClusterMetrics {
+  int replicas = 0;
+  int total_chips = 0;  ///< sum over replicas of chips x tp_ways
+  bool disaggregated = false;
+  std::vector<ServingMetrics> replica_metrics;
+
+  // Stitched request-level rollup (original requests, cluster-wide).
+  std::int64_t num_requests = 0;
+  std::int64_t arrived = 0;
+  std::int64_t completed = 0;
+  std::int64_t shed = 0;
+  std::int64_t generated_tokens = 0;
+  Seconds makespan = 0;  ///< latest completion across the cluster
+  LatencySummary ttft;
+  LatencySummary tpot;
+  LatencySummary e2e;
+  double goodput_tokens_per_second = 0;
+  std::int64_t slo_met = 0;
+  double slo_attainment = 1.0;
+  double availability = 1.0;
+
+  /// Cluster-wide prefix economics: summed scheduler counters, so the hit
+  /// rate reflects what affinity routing actually preserved across the
+  /// fleet (round-robin scattering a prefix family across replicas cools
+  /// every cache; affinity keeps each family warm on one).
+  double prefix_hit_rate = 0;
+
+  /// Imbalance: Jain's fairness index over per-replica generated tokens
+  /// (1.0 = perfectly even, 1/N = one replica did everything).  Computed
+  /// over SERVING replicas only (decode side in disaggregated mode).
+  double jain_across_replicas = 1.0;
+  std::vector<double> replica_utilization;  ///< per replica, mxu_utilization
+
+  // Disaggregation accounting (all 0 when colocated).
+  std::int64_t kv_transfer_count = 0;   ///< streamed prompts
+  std::int64_t kv_transfer_blocks = 0;  ///< KV blocks moved
+  Bytes kv_transfer_bytes = 0;
+  Seconds kv_transfer_seconds = 0;  ///< summed per-transfer link time
+
+  /// "cluster.*" keys plus every replica's headline gauges.
+  MetricsRegistry registry;
+
+  double sim_wall_seconds = 0;  ///< non-deterministic (excluded from pins)
+};
+
+/// Runs `requests` (arrival-sorted, same contract as run_serving) through
+/// the cluster.  With one replica, "round_robin", and colocated mode the
+/// result's replica_metrics[0] is bit-identical to
+/// run_serving(config.base, requests, ...).  `trace_out`, when tracing is
+/// enabled, receives REPLICA 0's trace for the single-replica path
+/// (preserving the single-engine trace files byte for byte) and the
+/// cluster's router trace (kRoute/kKvTransfer events) otherwise.
+ClusterMetrics run_serving_cluster(const ClusterConfig& config,
+                                   const std::vector<Request>& requests,
+                                   SharedStepCostCache* shared_costs = nullptr,
+                                   ServingTrace* trace_out = nullptr);
+
+/// Collapses a cluster rollup into one ServingMetrics for drivers that
+/// compare cluster cells next to single-engine cells (the sweep): the
+/// stitched request-level fields, summed step/energy counters, the total
+/// chip count, and the cluster registry.
+ServingMetrics flatten_cluster_metrics(ClusterMetrics&& cluster);
+
+}  // namespace cimtpu::serving

@@ -38,6 +38,7 @@ void StepRecord::clear() {
   shed_ids.clear();
   swap_bytes = 0;
   chunked = false;
+  batched_cost = false;
 }
 
 StepCost cost_step(StepCostCache& costs, const StepRecord& step) {
@@ -51,11 +52,43 @@ StepCost cost_step(StepCostCache& costs, const StepRecord& step) {
     total.total_energy += sign * cost.total_energy;
   };
   if (step.kind == StepRecord::Kind::kPrefill) {
+    if (step.batched_cost && step.batch > 1) {
+      // Batched fidelity mode (SchedulerConfig::batched_prefill_cost):
+      // participants entering the step at the same (prev, chunk) shape run
+      // as ONE batched prefill, sharing a single weight pass — the same
+      // amortization decode batching already models.  The telescoped
+      // difference is taken at the group's batch, so a chunked prompt's
+      // total still telescopes to its unchunked cost at that batch.
+      // Grouping by exact shape (sorted, ascending) keeps accumulation
+      // order deterministic.
+      std::vector<std::pair<std::int64_t, std::int64_t>> shapes;
+      shapes.reserve(step.kv_lens.size());
+      for (std::size_t i = 0; i < step.kv_lens.size(); ++i) {
+        shapes.emplace_back(step.prev_lens[i], step.chunk_lens[i]);
+      }
+      std::sort(shapes.begin(), shapes.end());
+      for (std::size_t i = 0; i < shapes.size();) {
+        std::size_t j = i;
+        while (j < shapes.size() && shapes[j] == shapes[i]) ++j;
+        const std::int64_t group = static_cast<std::int64_t>(j - i);
+        accumulate(
+            costs.prefill_layer(group, shapes[i].first + shapes[i].second),
+            +1.0);
+        if (shapes[i].first > 0) {
+          accumulate(costs.prefill_layer(group, shapes[i].first), -1.0);
+        }
+        i = j;
+      }
+      return total;
+    }
     // A chunk of new prompt tokens attends over everything prefilled so
     // far, so its cost is the increment between two full-prefill shapes:
     // prefill(prev + chunk) - prefill(prev).  Prefill cost is monotone in
     // sequence length, so the difference is non-negative, and summed over
     // a prompt's chunks it telescopes to exactly the unchunked cost.
+    // Each participant is costed at batch 1: the historical (pessimistic)
+    // model every golden pin was recorded under — see the batched branch
+    // above for the shared-weight-pass alternative.
     for (std::size_t i = 0; i < step.kv_lens.size(); ++i) {
       accumulate(costs.prefill_layer(1, step.prev_lens[i] + step.chunk_lens[i]),
                  +1.0);
@@ -130,6 +163,23 @@ void ContinuousBatchScheduler::enqueue(const Request& request) {
       request.prefix_len >= 0 && request.prefix_len <= request.prompt_len,
       "request " << request.id << " has prefix_len " << request.prefix_len
                  << " outside [0, prompt_len=" << request.prompt_len << "]");
+  admission_->on_enqueue(request, total_steps_);
+}
+
+void ContinuousBatchScheduler::enqueue_prefilled(const Request& request) {
+  CIMTPU_CONFIG_CHECK(request.prompt_len >= 1,
+                      "request " << request.id << " has empty prompt");
+  CIMTPU_CONFIG_CHECK(request.output_len >= 2,
+                      "prefilled request "
+                          << request.id
+                          << " has no decode work (output_len="
+                          << request.output_len << ")");
+  CIMTPU_CONFIG_CHECK(
+      request.prefix_id < 0,
+      "prefilled request " << request.id
+                           << " carries a prefix_id; disaggregated decode "
+                              "admission bypasses the prefix cache");
+  prefilled_pending_.insert(request.id);
   admission_->on_enqueue(request, total_steps_);
 }
 
@@ -270,15 +320,34 @@ void ContinuousBatchScheduler::swap_in_and_admit(StepRecord* record) {
                        outcome.prefix_hit_tokens, outcome.shared_blocks,
                        outcome.cow_blocks);
     }
-    // A prefix hit starts prefill mid-sequence: the cached leading tokens
-    // are never pushed through the model again.  The hit is capped at
-    // prompt_len - 1, so a fresh admission always starts prefilling and
-    // the decoder aggregates are untouched here.  Copy BEFORE
-    // pop_selected: `head` points into the policy's storage.
-    sequences_.push_back(Sequence{*head,
-                                  /*prefilled=*/outcome.prefix_hit_tokens,
-                                  /*generated=*/0,
-                                  /*prefix_skipped=*/outcome.prefix_hit_tokens});
+    if (!prefilled_pending_.empty() &&
+        prefilled_pending_.count(head->id) > 0) {
+      // Disaggregated decode admission (enqueue_prefilled): the prompt KV
+      // was computed on a prefill replica and streamed over, so the whole
+      // prompt maps as already-present (prefix_skipped = prompt_len — the
+      // tokens were never computed HERE) and the sequence enters decode
+      // directly with its remotely-emitted first token on the books.  No
+      // first_token_ids entry is ever recorded for it on this replica.
+      Sequence sequence{*head,
+                        /*prefilled=*/head->prompt_len,
+                        /*generated=*/1,
+                        /*prefix_skipped=*/head->prompt_len};
+      kv_cache_->note_prefilled(head->id, head->prompt_len);
+      prefilled_pending_.erase(head->id);
+      decoder_enter(sequence);
+      sequences_.push_back(sequence);
+    } else {
+      // A prefix hit starts prefill mid-sequence: the cached leading
+      // tokens are never pushed through the model again.  The hit is
+      // capped at prompt_len - 1, so a fresh admission always starts
+      // prefilling and the decoder aggregates are untouched here.  Copy
+      // BEFORE pop_selected: `head` points into the policy's storage.
+      sequences_.push_back(
+          Sequence{*head,
+                   /*prefilled=*/outcome.prefix_hit_tokens,
+                   /*generated=*/0,
+                   /*prefix_skipped=*/outcome.prefix_hit_tokens});
+    }
     admission_->pop_selected();
     ++admitted;
   }
@@ -399,6 +468,7 @@ AdmissionContext ContinuousBatchScheduler::admission_context() const {
 
 void ContinuousBatchScheduler::build_prefill_step(StepRecord* record) {
   record->kind = StepRecord::Kind::kPrefill;
+  record->batched_cost = config_.batched_prefill_cost;
   record->chunk_lens.reserve(config_.max_prefill_batch);
   record->prev_lens.reserve(config_.max_prefill_batch);
   record->kv_lens.reserve(config_.max_prefill_batch);

@@ -49,6 +49,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -84,6 +85,13 @@ struct SchedulerConfig {
   /// alternates with decode steps while both kinds of work exist.  Must be
   /// >= seqlen_bucket so every chunk advances its sequence's cost bucket.
   std::int64_t prefill_chunk_tokens = 0;
+
+  /// Cost prefill steps at their ACTUAL batch: participants entering the
+  /// step at the same prefilled offset with the same chunk length share
+  /// one weight pass instead of each being charged a solo batch-1 pass.
+  /// Off by default — the historical (pessimistic) costing the golden
+  /// pins were recorded under.  See cost_step.
+  bool batched_prefill_cost = false;
 
   /// Which waiting request joins the batch next: a registry-keyed
   /// AdmissionPolicy ("fifo" default — the pre-API behaviour — plus
@@ -127,6 +135,9 @@ struct StepRecord {
                                        ///< admitted, never complete
   Bytes swap_bytes = 0;  ///< PCIe traffic (out + in) charged to this step
   bool chunked = false;  ///< some participant's prompt was split
+  bool batched_cost = false;  ///< prefill: cost shape-equal participants at
+                              ///< their shared batch (see
+                              ///< SchedulerConfig::batched_prefill_cost)
 
   /// Resets to an empty record, keeping vector capacity.
   void clear();
@@ -153,6 +164,16 @@ class ContinuousBatchScheduler {
   /// Adds an arrived request to the waiting set (the admission policy
   /// owns its ordering).
   void enqueue(const Request& request);
+
+  /// Adds a request whose PROMPT KV already exists on this replica — the
+  /// disaggregated-serving decode side, where a dedicated prefill replica
+  /// computed the prompt and streamed the KV blocks over (cluster.h).  The
+  /// request waits in admission like any other, but on admission it maps
+  /// its full prompt KV without prefilling (all prompt tokens accounted as
+  /// prefix-skipped) and enters decode directly; its first LOCAL token is
+  /// output token #2 (the prefill replica emitted #1).  Requires
+  /// output_len >= 2.
+  void enqueue_prefilled(const Request& request);
 
   /// Advances the policy-visible simulated clock (rate caps in
   /// WeightedFairAdmission).  The serving loop calls this before each
@@ -339,6 +360,10 @@ class ContinuousBatchScheduler {
   std::int64_t total_steps_ = 0;
   ServingCounters counters_;
   std::vector<Request> shed_scratch_;  ///< drain_shed buffer (reused)
+  /// Requests enqueued via enqueue_prefilled, pending admission.  Empty on
+  /// every non-disaggregated run: the admission hot path short-circuits on
+  /// empty() before any hashing.
+  std::unordered_set<std::int64_t> prefilled_pending_;
 };
 
 }  // namespace cimtpu::serving

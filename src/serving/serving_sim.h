@@ -18,6 +18,8 @@
 // step that emitted them.
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "arch/tpu_config.h"
@@ -36,6 +38,16 @@ struct ServingScenario {
   models::TransformerConfig model;
   int chips = 1;  ///< pipeline-parallel stages over the ICI ring
   SchedulerConfig scheduler;  ///< incl. chunked-prefill token budget
+
+  /// Megatron-style tensor parallelism (parallel/multi_chip.h): the model
+  /// is sharded `ways` across chips (heads and d_ff split), every layer
+  /// pays two ring all-reduces of the step's activation rows, and the KV
+  /// budget spans all shards' HBM headroom — the unlock for models larger
+  /// than one chip's HBM.  1 (the default) is the single-chip /
+  /// pipeline-parallel path, bit-identical to pre-TP builds.  Combining
+  /// with pipeline stages (`chips` > 1) is not modeled.
+  int tensor_parallel_ways = 1;
+
   EvictionPolicy eviction = EvictionPolicy::kPreemptNewest;
   Bytes kv_budget_override = 0;  ///< 0 -> KvCacheManager::hbm_kv_budget
                                  ///< (bottleneck-stage HBM headroom)
@@ -161,6 +173,92 @@ struct ServingMetrics {
   /// checks (golden pins, parallel-vs-serial sweeps) must ignore them.
   Seconds sim_wall_seconds = 0;
   double steps_per_second = 0;
+};
+
+/// Incremental single-replica serving engine: the exact run_serving state
+/// machine, re-cut so a cluster driver (serving/cluster.h) can co-simulate
+/// several replicas on one discrete-event clock.  Lifecycle:
+///
+///   ServingEngine engine(scenario);
+///   engine.inject(request);   // any time, nondecreasing arrival order
+///   engine.pump(until);       // simulate up to `until` simulated seconds
+///   engine.drain();           // run until all injected work completes
+///   ServingMetrics m = engine.finish();  // end-of-run rollups (once)
+///
+/// inject -> drain -> finish over a whole trace is bit-identical to
+/// run_serving on that trace: pump's stop point only truncates the loop
+/// BETWEEN iterations, never inside one, and an idle engine advances its
+/// clock exactly to the next arrival / retry / horizon event as before.
+class ServingEngine {
+ public:
+  explicit ServingEngine(const ServingScenario& scenario,
+                         SharedStepCostCache* shared_costs = nullptr,
+                         ServingTrace* trace_out = nullptr);
+  ~ServingEngine();
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Final per-request outcome, in injection order — what a cluster rollup
+  /// stitches cross-replica request timelines from.
+  struct RequestOutcome {
+    std::int64_t id = 0;
+    Seconds arrival = 0;
+    std::int64_t output_len = 0;
+    std::int64_t tenant_id = 0;
+    bool arrived = false;      ///< fed to the scheduler inside the window
+    Seconds first_token = -1;  ///< < 0: never emitted
+    Seconds completion = -1;   ///< < 0: shed or cut by the horizon
+    bool shed = false;
+  };
+
+  /// Adds a request to the engine's trace.  Requests must be injected in
+  /// nondecreasing arrival-time order (checked when fed); the engine pulls
+  /// them in as its clock reaches their arrival times.
+  void inject(const Request& request);
+
+  /// Disaggregated serving: injects a request whose PREFILL already ran on
+  /// another replica — its KV blocks arrive pre-computed (the cluster
+  /// driver costs the transfer), so the scheduler admits it straight into
+  /// decode with one token already emitted elsewhere.  Requires
+  /// output_len >= 2 (an output_len == 1 request has no decode work).
+  void inject_prefilled(const Request& request);
+
+  /// Runs engine iterations until the simulated clock reaches `until`, all
+  /// injected work drains, or the horizon cuts the run.  Returns true when
+  /// work remains (stopped at `until`), false when the engine has nothing
+  /// left to do (more injections may revive it).
+  bool pump(Seconds until);
+
+  /// Runs until every injected request completes (or the horizon cuts).
+  void drain();
+
+  /// End-of-run rollups: distributional metrics, registry publishing,
+  /// trace-file output.  Call exactly once, after the last pump/drain; the
+  /// engine is unusable afterwards.
+  ServingMetrics finish();
+
+  /// Current simulated time.
+  Seconds now() const;
+
+  /// True while injected arrivals, resident work, or fault retries remain.
+  bool work_pending() const;
+
+  /// Load gauge for routing: prompt + output tokens of every injected
+  /// request not yet completed or shed (queued + resident work).
+  std::int64_t outstanding_tokens() const;
+
+  /// Completion log for disaggregated prefill replicas: when enabled,
+  /// every completion is appended as (request id, completion time).
+  /// take_completions() drains the log in completion order.
+  void set_completion_log(bool enabled);
+  std::vector<std::pair<std::int64_t, Seconds>> take_completions();
+
+  /// Per-request outcomes in injection order (see RequestOutcome).
+  std::vector<RequestOutcome> outcomes() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Replays `requests` (must be sorted by arrival time) through the

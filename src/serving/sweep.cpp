@@ -10,8 +10,35 @@
 #include <thread>
 
 #include "common/status.h"
+#include "serving/cluster.h"
 
 namespace cimtpu::serving {
+
+namespace {
+
+// Runs one sweep point: single-engine when point.replicas == 0 (the
+// pre-cluster path, untouched), otherwise an N-replica cluster of the
+// cell's deployment shape, flattened so cluster cells sit next to
+// single-engine cells in one result table.
+ServingMetrics run_point(const SweepPoint& point,
+                         const ServingScenario& scenario,
+                         SharedStepCostCache* shared_costs) {
+  if (point.replicas <= 0) {
+    return run_serving(scenario, *point.requests, shared_costs);
+  }
+  ClusterConfig config;
+  config.base = scenario;
+  config.replicas.assign(
+      static_cast<std::size_t>(point.replicas),
+      ReplicaSpec{scenario.chips, scenario.tensor_parallel_ways});
+  config.router_policy = point.router_policy;
+  config.disaggregated = point.disaggregated;
+  config.prefill_replicas = point.prefill_replicas;
+  return flatten_cluster_metrics(
+      run_serving_cluster(config, *point.requests, shared_costs));
+}
+
+}  // namespace
 
 int resolve_sweep_threads(int requested, std::size_t num_points) {
   int threads = requested;
@@ -77,10 +104,9 @@ std::vector<ServingMetrics> run_sweep(const std::vector<SweepPoint>& points,
           ServingScenario scenario = points[i].scenario;
           scenario.trace.enabled = false;
           scenario.trace.sample_interval = 0;
-          results[i] = run_serving(scenario, *points[i].requests, shared_costs);
+          results[i] = run_point(points[i], scenario, shared_costs);
         } else {
-          results[i] = run_serving(points[i].scenario, *points[i].requests,
-                                   shared_costs);
+          results[i] = run_point(points[i], points[i].scenario, shared_costs);
         }
       } catch (const ConfigError& error) {
         errors[i] = std::make_exception_ptr(ConfigError(describe(error.what())));
@@ -158,6 +184,24 @@ void ServingSweep::validate() const {
                         "fault_recovery axis values must be -1 (inherit), "
                         "0 (off), or 1 (on), got " << recovery);
   }
+  CIMTPU_CONFIG_CHECK(!replicas.empty(), "sweep needs >= 1 replicas value");
+  CIMTPU_CONFIG_CHECK(!router_policies.empty(),
+                      "sweep needs >= 1 router policy");
+  CIMTPU_CONFIG_CHECK(!disaggregation.empty(),
+                      "sweep needs >= 1 disaggregation value");
+  for (int count : replicas) {
+    CIMTPU_CONFIG_CHECK(count >= 0,
+                        "replicas axis values must be >= 0 (0 = single "
+                        "engine), got " << count);
+  }
+  for (int mode : disaggregation) {
+    CIMTPU_CONFIG_CHECK(mode >= -1 && mode <= 1,
+                        "disaggregation axis values must be -1 (inherit), "
+                        "0 (colocated), or 1 (disaggregated), got " << mode);
+  }
+  CIMTPU_CONFIG_CHECK(cluster_prefill_replicas >= 1,
+                      "cluster_prefill_replicas must be >= 1, got "
+                          << cluster_prefill_replicas);
 }
 
 std::vector<SweepCellResult> run_serving_sweep(const ServingSweep& sweep,
@@ -181,7 +225,8 @@ std::vector<SweepCellResult> run_serving_sweep(const ServingSweep& sweep,
       sweep.chip_counts.size() * sweep.policies.size() *
       sweep.admission_policies.size() * sweep.kv_block_tokens.size() *
       sweep.prefix_caching.size() * sweep.fault_rates.size() *
-      sweep.fault_recovery.size();
+      sweep.fault_recovery.size() * sweep.replicas.size() *
+      sweep.router_policies.size() * sweep.disaggregation.size();
   points.reserve(grid_size);
   cells.reserve(grid_size);
   for (std::size_t r = 0; r < sweep.arrival_rates.size(); ++r) {
@@ -193,6 +238,10 @@ std::vector<SweepCellResult> run_serving_sweep(const ServingSweep& sweep,
               for (int caching_axis : sweep.prefix_caching) {
                for (double fault_axis : sweep.fault_rates) {
                 for (int recovery_axis : sweep.fault_recovery) {
+                 for (int replica_axis : sweep.replicas) {
+                  for (const std::string& router_axis :
+                       sweep.router_policies) {
+                   for (int disagg_axis : sweep.disaggregation) {
                 // Sentinels inherit the base scenario's paged-KV knobs so
                 // grids that never mention the new axes expand unchanged.
                 const std::int64_t block =
@@ -223,6 +272,12 @@ std::vector<SweepCellResult> run_serving_sweep(const ServingSweep& sweep,
                 if (recovery_axis >= 0) {
                   point.scenario.fault.recovery_enabled = recovery_axis > 0;
                 }
+                // Cluster axes: the 0 / "" / -1 sentinels leave the point
+                // on the single-engine path with pre-cluster labels.
+                point.replicas = replica_axis;
+                if (!router_axis.empty()) point.router_policy = router_axis;
+                point.disaggregated = disagg_axis > 0;
+                point.prefill_replicas = sweep.cluster_prefill_replicas;
                 point.requests = &traces[r];
                 std::ostringstream label;
                 label << "rate=" << sweep.arrival_rates[r]
@@ -236,6 +291,12 @@ std::vector<SweepCellResult> run_serving_sweep(const ServingSweep& sweep,
                 if (fault_axis >= 0) label << " fault_rate=" << fault_axis;
                 if (recovery_axis >= 0) {
                   label << " recovery=" << (recovery_axis > 0 ? "on" : "off");
+                }
+                // Cluster segments likewise appear only on cluster cells.
+                if (replica_axis > 0) label << " replicas=" << replica_axis;
+                if (!router_axis.empty()) label << " router=" << router_axis;
+                if (disagg_axis >= 0) {
+                  label << " disagg=" << (disagg_axis > 0 ? "on" : "off");
                 }
                 point.label = label.str();
                 // Traced grids write one file set per cell: derive each
@@ -261,7 +322,13 @@ std::vector<SweepCellResult> run_serving_sweep(const ServingSweep& sweep,
                 cell.prefix_caching = caching;
                 cell.fault_rate = fault_axis;
                 cell.fault_recovery = recovery_axis;
+                cell.replicas = replica_axis;
+                if (replica_axis > 0) cell.router_policy = point.router_policy;
+                cell.disaggregated = disagg_axis;
                 cells.push_back(std::move(cell));
+                   }
+                  }
+                 }
                 }
                }
               }

@@ -56,10 +56,21 @@ int resolve_sweep_threads(int requested, std::size_t num_points);
 /// One sweep point: a deployment plus the (non-owning) trace it replays.
 /// The trace must outlive run_sweep; points may share traces.  `label`
 /// identifies the point in failure messages.
+///
+/// `replicas` > 0 makes the point a CLUSTER cell (serving/cluster.h): the
+/// scenario becomes the per-replica prototype (its chips /
+/// tensor_parallel_ways apply to EVERY replica), requests route through
+/// `router_policy`, and the cell's metrics are the flattened cluster
+/// rollup.  0 (the default) is the single-engine path, bit-identical to
+/// pre-cluster sweeps.
 struct SweepPoint {
   std::string label;
   ServingScenario scenario;
   const std::vector<Request>* requests = nullptr;
+  int replicas = 0;
+  std::string router_policy = "round_robin";
+  bool disaggregated = false;
+  int prefill_replicas = 1;  ///< disaggregated cells only
 };
 
 /// Runs all points and returns their metrics in point order.  A point that
@@ -101,6 +112,18 @@ struct ServingSweep {
   std::vector<double> fault_rates = {-1};
   std::vector<int> fault_recovery = {-1};
 
+  /// Cluster axes (serving/cluster.h).  `replicas` 0 is the single-engine
+  /// sentinel (cells run exactly as before the cluster subsystem existed);
+  /// N >= 1 runs the cell as an N-replica cluster of the cell's deployment
+  /// shape.  `router_policies` "" inherits "round_robin" without adding a
+  /// label segment; `disaggregation` -1 inherits colocated, 0/1 force it
+  /// (1 splits `cluster_prefill_replicas` replicas off for prefill).
+  /// Defaults keep pre-cluster grids — and their labels — byte-identical.
+  std::vector<int> replicas = {0};
+  std::vector<std::string> router_policies = {""};
+  std::vector<int> disaggregation = {-1};
+  int cluster_prefill_replicas = 1;
+
   ServingScenario base;        ///< prototype; model/chips/eviction/admission/
                                ///< paged-KV knobs overridden
   RequestStreamConfig stream;  ///< prototype; arrival_rate overridden
@@ -122,6 +145,9 @@ struct SweepCellResult {
   bool prefix_caching = false;       ///< effective (sentinels resolved)
   double fault_rate = -1;   ///< axis value as given (-1 = base inherited)
   int fault_recovery = -1;  ///< axis value as given (-1 = base inherited)
+  int replicas = 0;         ///< axis value as given (0 = single engine)
+  std::string router_policy;  ///< effective name; empty on single-engine cells
+  int disaggregated = -1;   ///< axis value as given (-1 = colocated inherited)
   ServingMetrics metrics;
 };
 

@@ -35,6 +35,8 @@ const char* trace_event_type_name(TraceEventType type) {
     case TraceEventType::kFault: return "fault";
     case TraceEventType::kRecover: return "recover";
     case TraceEventType::kDegrade: return "degrade";
+    case TraceEventType::kRoute: return "route";
+    case TraceEventType::kKvTransfer: return "kv_transfer";
     case TraceEventType::kStep: return "step";
   }
   return "unknown";
@@ -167,6 +169,35 @@ void ServingTrace::on_degrade(bool entering, Seconds time) {
   event.time = time;
   event.end_time = time;
   event.aux = entering ? 1 : 0;
+}
+
+void ServingTrace::on_route(const Request& request, int replica,
+                            Seconds time) {
+  if (!config_.enabled) return;
+  TraceEvent& event = push(TraceEventType::kRoute, request.id);
+  event.step = -1;
+  event.time = time;
+  event.end_time = time;
+  event.aux = replica;
+  event.tokens = request.prompt_len;
+  event.prev_tokens = request.tenant_id;
+  event.blocks = request.prefix_id;
+}
+
+void ServingTrace::on_kv_transfer(std::int64_t request_id, int src_replica,
+                                  int dst_replica, std::int64_t blocks,
+                                  Bytes bytes, Seconds time,
+                                  Seconds duration) {
+  if (!config_.enabled) return;
+  TraceEvent& event = push(TraceEventType::kKvTransfer, request_id);
+  event.step = -1;
+  event.time = time;
+  event.end_time = time + duration;
+  event.aux = dst_replica;
+  event.prev_tokens = src_replica;
+  event.blocks = blocks;
+  event.bytes = bytes;
+  event.value = duration;
 }
 
 void ServingTrace::on_admit(const Request& request,
@@ -417,6 +448,23 @@ std::string perfetto_trace_json(const std::vector<TraceEvent>& events,
         emit_instant(writer, "degrade", kEnginePid, kEngineTid, event.time,
                      args.str());
         break;
+      case TraceEventType::kRoute:
+        args << "\"replica\":" << event.aux
+             << ",\"prompt_len\":" << event.tokens
+             << ",\"tenant\":" << event.prev_tokens
+             << ",\"prefix_id\":" << event.blocks;
+        emit_instant(writer, "route", kRequestPid, id, event.time,
+                     args.str());
+        break;
+      case TraceEventType::kKvTransfer:
+        args << "\"src_replica\":" << event.prev_tokens
+             << ",\"dst_replica\":" << event.aux
+             << ",\"blocks\":" << event.blocks
+             << ",\"bytes\":" << json_double(event.bytes)
+             << ",\"transfer_s\":" << json_double(event.value);
+        emit_span(writer, "kv_transfer", kRequestPid, id, event.time,
+                  event.end_time, args.str());
+        break;
       case TraceEventType::kStep: {
         std::ostringstream name;
         name << (event.aux == 0 ? "prefill" : "decode")
@@ -546,6 +594,19 @@ std::string trace_jsonl(const std::vector<TraceEvent>& events) {
         break;
       case TraceEventType::kDegrade:
         out << ",\"mode\":\"" << (event.aux == 1 ? "enter" : "exit") << '"';
+        break;
+      case TraceEventType::kRoute:
+        out << ",\"replica\":" << event.aux
+            << ",\"prompt_len\":" << event.tokens
+            << ",\"tenant\":" << event.prev_tokens
+            << ",\"prefix_id\":" << event.blocks;
+        break;
+      case TraceEventType::kKvTransfer:
+        out << ",\"src_replica\":" << event.prev_tokens
+            << ",\"dst_replica\":" << event.aux
+            << ",\"blocks\":" << event.blocks
+            << ",\"bytes\":" << json_double(event.bytes)
+            << ",\"transfer_s\":" << json_double(event.value);
         break;
       case TraceEventType::kFirstToken:
       case TraceEventType::kPreempt:

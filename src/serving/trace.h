@@ -80,6 +80,10 @@ enum class TraceEventType {
   kFault,         ///< injected fault event (serving/fault.h): aux=FaultType
   kRecover,       ///< fault recovery: backoff re-admission or host restore
   kDegrade,       ///< graceful-degradation mode change (aux: 1 enter, 0 exit)
+  kRoute,         ///< cluster router assigned the request to a replica
+                  ///< (aux=replica index; serving/cluster.h)
+  kKvTransfer,    ///< disaggregated KV streaming: prefill replica's blocks
+                  ///< shipped to the decode replica over the fabric
   kStep,          ///< one engine step (batch composition + cost + KV churn)
 };
 
@@ -106,6 +110,11 @@ const char* trace_event_type_name(TraceEventType type);
 ///   kRecover       aux=mechanism (0 backoff re-admission, 1 host restore)
 ///                  tokens=retry attempt  bytes=host-restore PCIe traffic
 ///   kDegrade       aux=1 entering degraded mode, 0 exiting
+///   kRoute         aux=replica index  tokens=prompt_len
+///                  prev_tokens=tenant_id  blocks=prefix_id (-1 none)
+///   kKvTransfer    aux=destination replica  prev_tokens=source replica
+///                  blocks=KV blocks streamed  bytes=payload
+///                  value=transfer seconds (span time .. end_time)
 ///   kStep          batch  aux=kind (0 prefill, 1 decode)  value=latency s
 ///                  blocks=KV blocks allocated  blocks2=blocks reclaimed
 ///                  tokens=KV blocks referenced after the step
@@ -195,6 +204,14 @@ class ServingTrace final : public TraceSink {
                   Seconds time, Bytes bytes, std::int64_t attempt);
   /// The sustained-failure detector flipped the degradation mode.
   void on_degrade(bool entering, Seconds time);
+  /// Cluster driver hooks (serving/cluster.h) — the router assigned
+  /// `request` to `replica`, and (disaggregated mode) a finished prompt's
+  /// KV blocks streamed from `src_replica` to `dst_replica` over the
+  /// fabric, taking `duration` seconds starting at `time`.
+  void on_route(const Request& request, int replica, Seconds time);
+  void on_kv_transfer(std::int64_t request_id, int src_replica,
+                      int dst_replica, std::int64_t blocks, Bytes bytes,
+                      Seconds time, Seconds duration);
 
   // --- TraceSink (scheduler) ---------------------------------------------
   void on_admit(const Request& request, std::int64_t lookup_tokens,

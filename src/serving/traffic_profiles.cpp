@@ -300,6 +300,55 @@ ServingScenario fault_storm_scenario(ir::DType dtype, bool recovery,
   return scenario;
 }
 
+RequestStreamConfig cluster_chatbot_stream(std::uint64_t seed) {
+  RequestStreamConfig stream = prefix_chatbot_stream(
+      seed, kClusterRouterRequests, kClusterRouterRate, kClusterPrefixPool);
+  stream.num_tenants = kClusterTenants;
+  return stream;
+}
+
+std::vector<SweepPoint> cluster_router_grid_points(
+    const models::TransformerConfig& model,
+    const std::vector<Request>* requests) {
+  std::vector<SweepPoint> points;
+  for (const char* policy : cluster_router_policy_order()) {
+    SweepPoint point;
+    point.label = std::string("router=") + policy;
+    point.scenario = prefix_cache_scenario(model.dtype,
+                                           /*enable_prefix_cache=*/true);
+    point.scenario.model = model;
+    // Re-derive the per-replica 20000-token budget in the chosen model's
+    // own token-bytes (the canonical scenario sized it for llama2-7b).
+    point.scenario.kv_budget_override =
+        KvCacheManager::token_bytes(model) * 20000.0;
+    point.replicas = kClusterReplicas;
+    point.router_policy = policy;
+    point.requests = requests;
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+ServingSweep cluster_disaggregation_sweep(
+    const models::TransformerConfig& model, std::uint64_t seed) {
+  ServingSweep sweep;
+  sweep.arrival_rates = cluster_disagg_rates();
+  sweep.models = {model};
+  sweep.chip_counts = {1};
+  sweep.policies = {EvictionPolicy::kPreemptNewest};
+  sweep.replicas = {kClusterReplicas};
+  // "" inherits round_robin without adding a router label segment: the
+  // study isolates the colocated-vs-disaggregated axis, nothing else.
+  sweep.router_policies = {""};
+  sweep.disaggregation = {0, 1};
+  sweep.cluster_prefill_replicas = kClusterPrefillReplicas;
+  sweep.base = llama7b_baseline_scenario(/*chips=*/1, model.dtype);
+  sweep.base.model = model;
+  sweep.stream =
+      zipf_chat_stream(seed, kClusterDisaggRequests, /*arrival_rate=*/1.0);
+  return sweep;
+}
+
 RequestStreamConfig flash_crowd_stream(std::uint64_t seed,
                                        std::int64_t num_requests,
                                        double arrival_rate) {

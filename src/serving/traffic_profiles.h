@@ -214,4 +214,63 @@ constexpr Seconds kFaultStormHorizon = 30.0;
 ServingScenario fault_storm_scenario(ir::DType dtype, bool recovery,
                                      Seconds horizon_seconds = kFaultStormHorizon);
 
+/// The deployment shape the canonical cluster studies (schema-v9
+/// "cluster" block) use: 4 single-chip replicas, with 1 of them split off
+/// for prefill in the disaggregated cells.  The router study's prefix
+/// pool is 4x the replica count, so affinity routing has real families to
+/// keep together while round-robin necessarily scatters each family
+/// across every replica's cache.
+constexpr int kClusterReplicas = 4;
+constexpr int kClusterPrefillReplicas = 1;
+constexpr std::int64_t kClusterPrefixPool = 16;
+constexpr std::int64_t kClusterTenants = 8;
+constexpr std::int64_t kClusterRouterRequests = 400;
+constexpr double kClusterRouterRate = 24.0;
+constexpr std::int64_t kClusterDisaggRequests = 800;
+
+/// The router policies the canonical router study compares, in row order
+/// (round_robin first — the baseline the affinity pin compares against).
+inline const std::vector<const char*>& cluster_router_policy_order() {
+  static const std::vector<const char*> order = {
+      "round_robin", "least_loaded", "prefix_affinity", "tenant_sticky"};
+  return order;
+}
+
+/// The arrival rates the canonical disaggregation study sweeps (req/s):
+/// the top rate overloads 4 colocated replicas enough that decode-batch
+/// interference and KV admission stalls dominate colocated TTFT — the
+/// regime prefill/decode separation is for.
+inline const std::vector<double>& cluster_disagg_rates() {
+  static const std::vector<double> rates = {8.0, 16.0, 24.0};
+  return rates;
+}
+
+/// Canonical cluster routing traffic: the prefix-heavy chatbot stream at
+/// a kClusterPrefixPool-prompt pool, additionally tagged with
+/// kClusterTenants tenants from the decoupled tenant rng stream (so
+/// tenant_sticky has real tenants to pin; arrivals, lengths, and prefix
+/// assignments stay bit-identical to the untagged stream).
+RequestStreamConfig cluster_chatbot_stream(std::uint64_t seed);
+
+/// The canonical router study as sweep points: one kClusterReplicas-way
+/// cluster cell per policy in cluster_router_policy_order(), every
+/// replica running the paged-KV prefix-caching deployment
+/// (prefix_cache_scenario, caching ON), all replaying `*requests`
+/// (caller-owned, must outlive the sweep).  Shared by bench_serving's
+/// "cluster" block and serving_traffic's --cluster demo so the two
+/// binaries always study the SAME grid, in the same order.
+std::vector<SweepPoint> cluster_router_grid_points(
+    const models::TransformerConfig& model,
+    const std::vector<Request>* requests);
+
+/// The canonical disaggregation study as a ready-to-run sweep: arrival
+/// rate (cluster_disagg_rates) x {colocated, disaggregated} over
+/// kClusterReplicas replicas of the llama2-7b baseline replaying
+/// zipf-chat traffic (one shared trace per rate).  In the disaggregated
+/// cells kClusterPrefillReplicas replicas run prompts only and stream
+/// finished KV to the remaining decode replicas over the modeled ICI
+/// fabric.  Shared by bench_serving and serving_traffic.
+ServingSweep cluster_disaggregation_sweep(
+    const models::TransformerConfig& model, std::uint64_t seed);
+
 }  // namespace cimtpu::serving

@@ -1104,16 +1104,21 @@ TEST(PolicyEndToEndTest, ChunkingBoundsTpotUnderLongPrompts) {
 //   3. Explain the drift (which change moved which metric) in your PR.
 //   4. If the drift also moves bench_serving output, refresh the committed
 //      BENCH_serving.json baseline at the repo root (the CI perf-smoke job
-//      gates steps_per_second against it).  The baseline is schema v8:
+//      gates steps_per_second against it).  The baseline is schema v9:
 //      "baseline" / "policies" / "fairness" / "prefix_cache" /
-//      "observability" / "slo_frontier" / "resilience" blocks plus the
-//      "sweep" wall-clock block (baseline + policy grids only).  The
-//      slo_frontier rows must keep EDF's slo_attainment strictly above
+//      "observability" / "slo_frontier" / "resilience" / "cluster" blocks
+//      plus the "sweep" wall-clock block (baseline + policy grids only).
+//      The slo_frontier rows must keep EDF's slo_attainment strictly above
 //      FIFO's at the highest swept arrival rate (serving_slo_test pins the
-//      ordering), and the resilience rows (fault storm at kFaultStormSeed,
+//      ordering), the resilience rows (fault storm at kFaultStormSeed,
 //      recovery off/on) must keep recovery-on strictly above recovery-off
 //      on BOTH availability and slo_goodput_tokens_per_s at every swept
-//      fault rate (serving_fault_test pins the frontier at rate 1.0).
+//      fault rate (serving_fault_test pins the frontier at rate 1.0), and
+//      the cluster rows must keep prefix_affinity's cluster-wide
+//      prefix_hit_rate strictly above round_robin's in "router_rows" AND
+//      the disaggregated ttft_p99_s strictly below the colocated one at
+//      the top swept rate in "disaggregation" (serving_cluster_test pins
+//      both orderings on the canonical grids).
 
 struct Golden {
   EvictionPolicy policy;
