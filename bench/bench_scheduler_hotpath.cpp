@@ -1,0 +1,113 @@
+// Scheduler hot-path microbenchmark: next_step + cost_step throughput in
+// isolation, with no serving loop, request generator, or metrics rollup in
+// the measured path.  Three regimes (bench/scheduler_hotpath.h):
+//
+//   decode_heavy  — a full 32-wide resident batch decoding 512-token
+//                   outputs: the steady state the SoA pool, incremental
+//                   aggregates, and flat cost table exist for,
+//   prefill_heavy — 256 long prompts at one output token each: nearly
+//                   every step pushes prompt tokens (admission + prefill
+//                   builder throughput),
+//   mixed         — chunked prefill (256-token chunks over 768-token
+//                   prompts) interleaving with 128-token decodes: the
+//                   continuous-batching steady state.
+//
+// Step counts, token counts, and summed simulated seconds are
+// deterministic — only wall_seconds / steps_per_second measure the
+// machine — so the printed rows double as a costing bit-identity check.
+// bench_serving runs the same regimes and lands them in the schema-v10
+// "speed" block of BENCH_serving.json.
+//
+// Flags (stripped before google-benchmark sees argv):
+//   --out <path>  also write the rows as JSON
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/scheduler_hotpath.h"
+
+using namespace cimtpu;
+
+namespace {
+
+void BM_hotpath_decode_heavy(benchmark::State& state) {
+  bench::HotpathRegime regime = bench::hotpath_regimes()[0];
+  regime.repetitions = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::run_hotpath_regime(regime));
+  }
+}
+BENCHMARK(BM_hotpath_decode_heavy);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Scheduler hot path",
+                "next_step + cost_step throughput, no serving loop");
+
+  std::string out_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--benchmark", 11) == 0) {
+      argv[kept++] = argv[i];
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr,
+                   "bench_scheduler_hotpath: unknown flag '%s' (expected "
+                   "--out <path> or --benchmark* flags)\n",
+                   argv[i]);
+      return 1;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  AsciiTable table(
+      "Scheduler hot path — llama2-7b INT4, bucket 128, uncontended KV");
+  table.set_header({"regime", "steps", "prefill", "decode", "tokens",
+                    "sim s", "wall s", "steps/s"});
+
+  CsvWriter csv(bench::output_dir() + "/scheduler_hotpath.csv");
+  csv.write_header({"regime", "steps", "prefill_steps", "decode_steps",
+                    "tokens", "sim_seconds", "wall_seconds",
+                    "steps_per_second"});
+
+  std::vector<bench::HotpathResult> results;
+  for (const bench::HotpathRegime& regime : bench::hotpath_regimes()) {
+    results.push_back(bench::run_hotpath_regime(regime));
+    const bench::HotpathResult& r = results.back();
+    table.add_row({r.regime, cell_i(r.steps), cell_i(r.prefill_steps),
+                   cell_i(r.decode_steps), cell_i(r.tokens),
+                   cell_f(r.sim_seconds, 3), cell_f(r.wall_seconds, 4),
+                   cell_f(r.steps_per_second, 0)});
+    csv.write_row({r.regime, cell_i(r.steps), cell_i(r.prefill_steps),
+                   cell_i(r.decode_steps), cell_i(r.tokens),
+                   cell_f(r.sim_seconds, 6), cell_f(r.wall_seconds, 6),
+                   cell_f(r.steps_per_second, 1)});
+  }
+  table.print();
+
+  if (!out_path.empty()) {
+    std::ofstream json(out_path);
+    json << "{\n  \"bench\": \"scheduler_hotpath\",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const bench::HotpathResult& r = results[i];
+      json << "    {\"regime\": \"" << r.regime << "\", \"steps\": " << r.steps
+           << ", \"prefill_steps\": " << r.prefill_steps
+           << ", \"decode_steps\": " << r.decode_steps
+           << ", \"tokens\": " << r.tokens
+           << ", \"sim_seconds\": " << r.sim_seconds
+           << ", \"wall_seconds\": " << r.wall_seconds
+           << ", \"steps_per_second\": " << r.steps_per_second << "}"
+           << (i + 1 < results.size() ? ",\n" : "\n");
+    }
+    json << "  ]\n}\n";
+  }
+
+  return bench::run_microbenchmarks(argc, argv);
+}

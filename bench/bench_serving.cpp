@@ -11,7 +11,7 @@
 // step-cost cache, and the simulated metrics are bit-identical to serial
 // execution.
 //
-// Emits BENCH_serving.json (schema_version 9; --out overrides the path):
+// Emits BENCH_serving.json (schema_version 10; --out overrides the path):
 //   "baseline" — goodput + p99 TTFT/TPOT across 3 arrival rates x 2 chip
 //                counts, with per-row sim_wall_seconds and
 //                steps_per_second (the simulator-performance trajectory),
@@ -59,6 +59,13 @@
 //                fabric, and at the top rate their p99 TTFT beats the
 //                colocated cells' (first tokens no longer queue behind
 //                resident decode batches) — both orderings are pinned,
+//   "speed"    — NEW in v10: the scheduler hot-path microbenchmark rows
+//                (bench/scheduler_hotpath.h; bench_scheduler_hotpath runs
+//                the same regimes standalone).  next_step + cost_step
+//                throughput in isolation for the decode-heavy,
+//                prefill-heavy, and mixed regimes: step/token counts and
+//                summed simulated seconds are deterministic, wall_seconds
+//                and steps_per_second measure the machine,
 //   "sweep"    — wall-clock of the baseline + policy grids and the worker
 //                count, the headline number for hot-path optimizations
 //                (the CI perf-smoke job gates steps_per_second against
@@ -76,6 +83,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/scheduler_hotpath.h"
 #include "serving/sweep.h"
 #include "serving/trace.h"
 #include "serving/traffic_profiles.h"
@@ -170,7 +178,7 @@ int main(int argc, char** argv) {
                     "TPOT p99", "J/token", "MXU util"});
 
   std::ofstream json(out_path);
-  json << "{\n  \"bench\": \"serving\",\n  \"schema_version\": 9,\n"
+  json << "{\n  \"bench\": \"serving\",\n  \"schema_version\": 10,\n"
        << "  \"model\": \"llama2-7b\",\n"
        << "  \"dtype\": \"int4\",\n  \"requests\": 2000,\n  \"seed\": 42,\n"
        << "  \"baseline\": [\n";
@@ -741,6 +749,35 @@ int main(int argc, char** argv) {
   // it nests inside.
   json << "\n  ]}},\n";
 
+  // --- Scheduler hot-path microbenchmark (schema-v10 "speed" block) ----------
+  // The same three regimes bench_scheduler_hotpath runs standalone:
+  // next_step + cost_step throughput with no serving loop in the measured
+  // path.  Everything except wall_seconds / steps_per_second is
+  // deterministic, so the rows double as a costing bit-identity check.
+  json << "  \"speed\": [\n";
+  AsciiTable speed_table(
+      "Scheduler hot path — next_step + cost_step, no serving loop");
+  speed_table.set_header({"regime", "steps", "tokens", "wall s", "steps/s"});
+  const std::vector<bench::HotpathRegime> speed_regimes =
+      bench::hotpath_regimes();
+  std::vector<bench::HotpathResult> speed_rows;
+  for (const bench::HotpathRegime& regime : speed_regimes) {
+    speed_rows.push_back(bench::run_hotpath_regime(regime));
+    const bench::HotpathResult& r = speed_rows.back();
+    speed_table.add_row({r.regime, cell_i(r.steps), cell_i(r.tokens),
+                         cell_f(r.wall_seconds, 4),
+                         cell_f(r.steps_per_second, 0)});
+    json << "    {\"regime\": \"" << r.regime << "\", \"steps\": " << r.steps
+         << ", \"prefill_steps\": " << r.prefill_steps
+         << ", \"decode_steps\": " << r.decode_steps
+         << ", \"tokens\": " << r.tokens
+         << ", \"sim_seconds\": " << r.sim_seconds
+         << ", \"wall_seconds\": " << r.wall_seconds
+         << ", \"steps_per_second\": " << r.steps_per_second << "}"
+         << (speed_rows.size() < speed_regimes.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n";
+
   std::int64_t total_steps = 0;
   for (const serving::SweepCellResult& result : baseline) {
     total_steps += result.metrics.total_steps;
@@ -774,6 +811,7 @@ int main(int argc, char** argv) {
   storm_table.print();
   router_table.print();
   disagg_table.print();
+  speed_table.print();
   std::printf("  wrote BENCH_serving.json (%zu sweep points, %d/%d threads, "
               "%.3f s wall, %lld steps)\n",
               baseline.size() + policy_points.size(), baseline_threads,

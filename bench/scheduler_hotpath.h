@@ -1,0 +1,136 @@
+#pragma once
+// Scheduler hot-path regimes shared by bench_scheduler_hotpath (the
+// standalone microbenchmark) and bench_serving (which lands the same rows
+// in the schema-v10 "speed" block of BENCH_serving.json).
+//
+// Each regime drives ContinuousBatchScheduler::next_step + cost_step
+// DIRECTLY — no serving loop, no clock, no metrics rollup — so the
+// measured time is the scheduler + cost-cache hot path and nothing else.
+// Everything except wall_seconds / steps_per_second is deterministic
+// (step counts, token counts, summed simulated seconds), which makes the
+// rows double as a cheap bit-identity check on the costing itself.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/tpu_config.h"
+#include "models/model_zoo.h"
+#include "serving/arena.h"
+#include "serving/kv_cache_manager.h"
+#include "serving/scheduler.h"
+#include "serving/step_cost_cache.h"
+#include "sim/simulator.h"
+
+namespace cimtpu::bench {
+
+/// One hot-path workload shape.  `chunk` > 0 enables chunked prefill (the
+/// mixed regime's interleaving source); repetitions rebuild the engine
+/// from scratch so steady-state timing amortizes construction away.
+struct HotpathRegime {
+  std::string name;
+  int num_requests = 0;
+  std::int64_t prompt_len = 0;
+  std::int64_t output_len = 0;
+  int max_batch = 32;
+  int max_prefill_batch = 8;
+  std::int64_t chunk = 0;
+  int repetitions = 1;
+};
+
+/// Totals across all repetitions.  steps / prefill_steps / decode_steps /
+/// tokens / sim_seconds are DETERMINISTIC; wall_seconds and
+/// steps_per_second are the measurement.
+struct HotpathResult {
+  std::string regime;
+  std::int64_t steps = 0;
+  std::int64_t prefill_steps = 0;
+  std::int64_t decode_steps = 0;
+  std::int64_t tokens = 0;    ///< prompt tokens prefilled + tokens decoded
+  double sim_seconds = 0;     ///< summed step latencies (simulated time)
+  double wall_seconds = 0;
+  double steps_per_second = 0;
+};
+
+/// The three canonical regimes: decode-heavy (a full resident batch
+/// decoding long outputs), prefill-heavy (long prompts, one output token —
+/// nearly every step pushes prompt tokens), and mixed (chunked prefill
+/// interleaving with decode, the continuous-batching steady state).
+inline std::vector<HotpathRegime> hotpath_regimes() {
+  std::vector<HotpathRegime> regimes;
+  regimes.push_back({"decode_heavy", /*num_requests=*/32, /*prompt_len=*/100,
+                     /*output_len=*/512, /*max_batch=*/32,
+                     /*max_prefill_batch=*/8, /*chunk=*/0,
+                     /*repetitions=*/64});
+  regimes.push_back({"prefill_heavy", /*num_requests=*/256,
+                     /*prompt_len=*/1024, /*output_len=*/1, /*max_batch=*/32,
+                     /*max_prefill_batch=*/8, /*chunk=*/0,
+                     /*repetitions=*/64});
+  regimes.push_back({"mixed", /*num_requests=*/128, /*prompt_len=*/768,
+                     /*output_len=*/128, /*max_batch=*/32,
+                     /*max_prefill_batch=*/8, /*chunk=*/256,
+                     /*repetitions=*/32});
+  return regimes;
+}
+
+/// Runs `regime` to exhaustion (every request admitted, prefetched,
+/// decoded, finished) `repetitions` times against an uncontended KV budget
+/// — no preemption, no swap: the pure scheduler + cost-cache path.
+inline HotpathResult run_hotpath_regime(const HotpathRegime& regime) {
+  arch::TpuChip chip(arch::tpu_v4i_baseline());
+  sim::Simulator simulator(chip);
+  models::TransformerConfig model = models::llama2_7b();
+  model.dtype = ir::DType::kInt4;
+
+  HotpathResult result;
+  result.regime = regime.name;
+  const auto start = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < regime.repetitions; ++rep) {
+    serving::KvCacheManager kv_cache(
+        /*capacity=*/1e15, serving::KvCacheManager::token_bytes(model),
+        serving::EvictionPolicy::kPreemptNewest);
+    serving::SchedulerConfig config;
+    config.max_batch = regime.max_batch;
+    config.max_prefill_batch = regime.max_prefill_batch;
+    config.prefill_chunk_tokens = regime.chunk;
+    serving::ContinuousBatchScheduler scheduler(config, &kv_cache);
+    serving::StepCostCache costs(simulator, model, config.seqlen_bucket);
+    serving::StepArena arena;
+    arena.warm(config.max_batch, config.max_prefill_batch);
+    serving::StepRecord& record = arena.record();
+
+    for (int id = 0; id < regime.num_requests; ++id) {
+      serving::Request request;
+      request.id = id;
+      request.arrival_time = 0.0;
+      request.prompt_len = regime.prompt_len;
+      request.output_len = regime.output_len;
+      scheduler.enqueue(request);
+    }
+    while (scheduler.next_step(&record)) {
+      const serving::StepCost cost = serving::cost_step(costs, record);
+      result.sim_seconds += cost.latency;
+      ++result.steps;
+      if (record.kind == serving::StepRecord::Kind::kDecode) {
+        ++result.decode_steps;
+        result.tokens += record.batch;
+      } else {
+        ++result.prefill_steps;
+        for (const std::int64_t chunk_len : record.chunk_lens) {
+          result.tokens += chunk_len;
+        }
+      }
+    }
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  result.wall_seconds = elapsed.count();
+  result.steps_per_second =
+      result.wall_seconds > 0
+          ? static_cast<double>(result.steps) / result.wall_seconds
+          : 0;
+  return result;
+}
+
+}  // namespace cimtpu::bench

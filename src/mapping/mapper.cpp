@@ -47,6 +47,7 @@ GemmMapping Mapper::evaluate_candidate(const ir::Op& op,
 std::vector<GemmMapping> Mapper::enumerate(const ir::Op& op) const {
   CIMTPU_CHECK_MSG(op.is_matmul(), "mapping non-matmul op '" << op.name << "'");
   std::vector<GemmMapping> candidates;
+  candidates.reserve(4);  // at most one per split strategy below
   const int u = unit_count_;
 
   systolic::GemmWorkload base;

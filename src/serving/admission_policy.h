@@ -179,6 +179,19 @@ class AdmissionPolicy {
   /// never completes.  Default: drains nothing.
   virtual void drain_shed(std::vector<Request>* out);
 
+  /// Whether this policy can EVER shed (default: no).  The scheduler reads
+  /// it once at construction and skips the per-step drain entirely for
+  /// non-shedding policies, so the common path pays no virtual drain call.
+  virtual bool may_shed() const { return false; }
+
+  /// Whether select() is a pure function of the queue contents: no
+  /// time/rate dependence, no side effects (shedding), same answer until
+  /// the queue itself changes.  When true the scheduler memoizes a failed
+  /// head-of-line admission probe — while the queue and the KV manager are
+  /// structurally unchanged (decode growth only CONSUMES capacity),
+  /// re-probing must fail identically, so it is skipped.  Default: no.
+  virtual bool select_is_pure() const { return false; }
+
   /// Graceful degradation toggled (serving/fault.h sustained-failure
   /// detector).  Default no-op; EDF tightens its shed slack while
   /// degraded.  Called only on actual transitions (hysteresis upstream).
@@ -199,6 +212,7 @@ class FifoAdmission : public AdmissionPolicy {
   void pop_selected() override;
   bool empty() const override { return waiting_.empty(); }
   std::size_t size() const override { return waiting_.size(); }
+  bool select_is_pure() const override { return true; }
 
  private:
   std::deque<Request> waiting_;
@@ -221,6 +235,10 @@ class PriorityAdmission : public AdmissionPolicy {
   void pop_selected() override;
   bool empty() const override { return waiting_.empty(); }
   std::size_t size() const override { return waiting_.size(); }
+  /// Pure despite aging: all waiters age at the SAME rate, so effective-
+  /// priority differences — and therefore the argmax and its earliest-
+  /// enqueue tie-break — are invariant in `step` for a fixed queue.
+  bool select_is_pure() const override { return true; }
 
  private:
   struct Waiting {
@@ -320,6 +338,7 @@ class EdfAdmission : public AdmissionPolicy {
   const Request* select(const AdmissionContext& context) override;
   void pop_selected() override;
   void drain_shed(std::vector<Request>* out) override;
+  bool may_shed() const override { return true; }
   void set_degraded(bool degraded) override { degraded_ = degraded; }
   bool empty() const override { return waiting_.empty() && shed_.empty(); }
   std::size_t size() const override {

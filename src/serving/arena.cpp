@@ -1,0 +1,28 @@
+#include "serving/arena.h"
+
+#include "common/status.h"
+
+namespace cimtpu::serving {
+
+std::atomic<std::int64_t>& heap_allocation_count() {
+  static std::atomic<std::int64_t> count{0};
+  return count;
+}
+
+void StepArena::warm(int max_batch, int max_prefill_batch) {
+  CIMTPU_CHECK(max_batch >= 1 && max_prefill_batch >= 1);
+  const auto batch = static_cast<std::size_t>(max_batch);
+  const auto prefill = static_cast<std::size_t>(max_prefill_batch);
+  record_.kv_lens.reserve(batch);
+  record_.chunk_lens.reserve(prefill);
+  record_.prev_lens.reserve(prefill);
+  record_.decode_groups.reserve(batch);
+  record_.first_token_ids.reserve(prefill);
+  record_.finished_ids.reserve(batch);
+  record_.preempted_ids.reserve(batch);
+  record_.swapped_out_ids.reserve(batch);
+  record_.swapped_in_ids.reserve(batch);
+  record_.shed_ids.reserve(batch);
+}
+
+}  // namespace cimtpu::serving

@@ -1,0 +1,60 @@
+#ifndef CIMTPU_SERVING_ARENA_H_
+#define CIMTPU_SERVING_ARENA_H_
+
+// Per-run step arena: the serving loop's step-scoped containers, owned in
+// one place and recycled every step.
+//
+//   - The StepRecord the engine hands to the scheduler each step.  The
+//     scheduler `clear()`s it (capacity retained), so after warm-up no
+//     step allocates; `warm()` pre-reserves every participant vector to
+//     its steady-state bound so even the FIRST full batch stays off the
+//     heap.
+//   - A process-wide allocation counter the zero-allocation test links a
+//     replacement global operator new against, turning "the hot loop does
+//     not allocate" from a comment into an assertion.
+//
+// The arena is deliberately NOT a byte-bump allocator: the hot path's
+// containers are a handful of flat vectors with stable steady-state
+// capacity, so ownership + pre-reservation already yields zero
+// steady-state allocation without touching container types.
+
+#include <atomic>
+#include <cstdint>
+
+#include "serving/scheduler.h"
+
+namespace cimtpu::serving {
+
+/// Test hook: a process-wide count of heap allocations.  Production code
+/// never bumps it — it stays 0 unless a test binary links a replacement
+/// global operator new that calls note_heap_allocation() (see
+/// serving_arena_test.cpp).  Relaxed ordering: the tests that read it are
+/// single-threaded.
+std::atomic<std::int64_t>& heap_allocation_count();
+
+/// Called by the test's replacement operator new on every allocation.
+inline void note_heap_allocation() {
+  heap_allocation_count().fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Owns the per-step scratch of one serving run (one engine).  Not
+/// thread-safe; sweep workers each own their engine and therefore their
+/// arena.
+class StepArena {
+ public:
+  /// Pre-reserves the record's participant vectors to the scheduler's
+  /// steady-state bounds: at most `max_batch` decode participants (and
+  /// finishes/preemptions/swaps) and `max_prefill_batch` prefill
+  /// participants per step.
+  void warm(int max_batch, int max_prefill_batch);
+
+  /// The run's reusable step record; the scheduler clears it per step.
+  StepRecord& record() { return record_; }
+
+ private:
+  StepRecord record_;
+};
+
+}  // namespace cimtpu::serving
+
+#endif  // CIMTPU_SERVING_ARENA_H_

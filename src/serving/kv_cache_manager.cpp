@@ -81,18 +81,11 @@ Bytes KvCacheManager::token_bytes(const models::TransformerConfig& model) {
 
 void KvCacheManager::victim_index_insert(std::int64_t id, const Entry& entry) {
   admit_order_[entry.admit_seq] = id;
-  if (policy_ == EvictionPolicy::kPriorityVictim) {
-    victim_order_.insert(
-        VictimKey{entry.priority, entry.tokens, entry.admit_seq, id});
-  }
 }
 
 void KvCacheManager::victim_index_erase(std::int64_t id, const Entry& entry) {
   admit_order_.erase(entry.admit_seq);
-  if (policy_ == EvictionPolicy::kPriorityVictim) {
-    victim_order_.erase(
-        VictimKey{entry.priority, entry.tokens, entry.admit_seq, id});
-  }
+  (void)id;
 }
 
 void KvCacheManager::reclaim_cached(std::int64_t blocks) {
@@ -107,6 +100,36 @@ void KvCacheManager::reclaim_cached(std::int64_t blocks) {
     prefix_index_.erase({it->second.prefix_id, it->second.block_index});
     shared_blocks_.erase(it);
   }
+}
+
+std::int32_t KvCacheManager::slot_insert(std::int64_t request_id,
+                                         Entry&& entry) {
+  entry.id = request_id;
+  std::int32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    entry_slots_[static_cast<std::size_t>(slot)] = std::move(entry);
+  } else {
+    slot = static_cast<std::int32_t>(entry_slots_.size());
+    entry_slots_.push_back(std::move(entry));
+  }
+  entries_[request_id] = slot;
+  return slot;
+}
+
+void KvCacheManager::slot_erase(std::int32_t slot) {
+  Entry& entry = slot_entry(slot);
+  entries_.erase(entry.id);
+  entry.id = -1;
+  entry.shared.clear();
+  free_slots_.push_back(slot);
+}
+
+std::int32_t KvCacheManager::resident_slot(std::int64_t request_id) const {
+  const auto it = entries_.find(request_id);
+  CIMTPU_CHECK(it != entries_.end());
+  return it->second;
 }
 
 void KvCacheManager::unref_shared(std::int64_t block_id) {
@@ -172,9 +195,9 @@ bool KvCacheManager::try_admit(std::int64_t request_id, std::int64_t tokens,
         prefix_len % block_tokens_ != 0) {
       const auto donor = tail_donors_.find(prefix_id);
       if (donor != tail_donors_.end()) {
-        const auto donor_entry = entries_.find(donor->second);
-        if (donor_entry != entries_.end() &&
-            donor_entry->second.computed_tokens >= prefix_len) {
+        const auto donor_it = entries_.find(donor->second);
+        if (donor_it != entries_.end() &&
+            slot_entry(donor_it->second).computed_tokens >= prefix_len) {
           cow_blocks = 1;
           hit_tokens = prefix_len;
         }
@@ -254,7 +277,7 @@ bool KvCacheManager::try_admit(std::int64_t request_id, std::int64_t tokens,
   mapped_tokens_ += entry.tokens;
   entry_block_tokens_ += entry_blocks(entry) * block_tokens_;
   victim_index_insert(request_id, entry);
-  entries_[request_id] = std::move(entry);
+  slot_insert(request_id, std::move(entry));
 
   if (outcome != nullptr) {
     outcome->lookup_tokens =
@@ -267,36 +290,17 @@ bool KvCacheManager::try_admit(std::int64_t request_id, std::int64_t tokens,
 }
 
 bool KvCacheManager::try_grow(std::int64_t request_id, std::int64_t tokens) {
-  auto it = entries_.find(request_id);
+  const auto it = entries_.find(request_id);
   CIMTPU_CHECK(it != entries_.end());
-  CIMTPU_CHECK(tokens >= 0);
-  Entry& entry = it->second;
-  const std::int64_t new_blocks =
-      blocks_for_tokens(entry.tokens + tokens) - entry_blocks(entry);
-  if (new_blocks > 0) {
-    if (!fits_blocks(new_blocks)) return false;
-    const std::int64_t free_now = capacity_blocks_ - occupied_blocks();
-    if (new_blocks > free_now) reclaim_cached(new_blocks - free_now);
-    entry.private_blocks += new_blocks;
-    private_used_ += new_blocks;
-    blocks_allocated_total_ += new_blocks;
-    entry_block_tokens_ += new_blocks * block_tokens_;
-  }
-  if (policy_ == EvictionPolicy::kPriorityVictim) {
-    victim_order_.erase(
-        VictimKey{entry.priority, entry.tokens, entry.admit_seq, request_id});
-    victim_order_.insert(VictimKey{entry.priority, entry.tokens + tokens,
-                                   entry.admit_seq, request_id});
-  }
-  entry.tokens += tokens;
-  mapped_tokens_ += tokens;
-  return true;
+  return try_grow_slot(it->second, tokens);
 }
+
 
 void KvCacheManager::release(std::int64_t request_id) {
   auto it = entries_.find(request_id);
   CIMTPU_CHECK(it != entries_.end());
-  Entry& entry = it->second;
+  const std::int32_t slot = it->second;
+  Entry& entry = slot_entry(slot);
   for (std::int64_t block_id : entry.shared) unref_shared(block_id);
   private_used_ -= entry.private_blocks;
   mapped_tokens_ -= entry.tokens;
@@ -306,13 +310,14 @@ void KvCacheManager::release(std::int64_t request_id) {
     tail_donors_.erase(donor);
   }
   victim_index_erase(request_id, entry);
-  entries_.erase(it);
+  slot_erase(slot);
 }
 
 bool KvCacheManager::try_swap_out(std::int64_t request_id) {
   auto it = entries_.find(request_id);
   CIMTPU_CHECK(it != entries_.end());
-  Entry& entry = it->second;
+  const std::int32_t slot = it->second;
+  Entry& entry = slot_entry(slot);
   const std::int64_t blocks = entry_blocks(entry);
   if (host_used_blocks_ + blocks > host_capacity_blocks_) return false;
   // The host copy is whole and private: shared prefix blocks are
@@ -334,7 +339,7 @@ bool KvCacheManager::try_swap_out(std::int64_t request_id) {
   host_entry.prefix_len = 0;
   host_used_blocks_ += blocks;
   host_entries_[request_id] = std::move(host_entry);
-  entries_.erase(it);
+  slot_erase(slot);
   return true;
 }
 
@@ -353,7 +358,7 @@ bool KvCacheManager::try_swap_in(std::int64_t request_id) {
   entry_block_tokens_ += blocks * block_tokens_;
   host_used_blocks_ -= blocks;
   victim_index_insert(request_id, entry);
-  entries_[request_id] = std::move(entry);
+  slot_insert(request_id, std::move(entry));
   host_entries_.erase(it);
   return true;
 }
@@ -362,7 +367,12 @@ void KvCacheManager::note_prefilled(std::int64_t request_id,
                                     std::int64_t computed_tokens) {
   auto it = entries_.find(request_id);
   CIMTPU_CHECK(it != entries_.end());
-  Entry& entry = it->second;
+  note_prefilled_slot(it->second, computed_tokens);
+}
+
+void KvCacheManager::note_prefilled_slot(std::int32_t slot,
+                                         std::int64_t computed_tokens) {
+  Entry& entry = slot_entry(slot);
   entry.computed_tokens = std::min(
       std::max(entry.computed_tokens, computed_tokens), entry.tokens);
   if (!enable_prefix_cache_ || entry.prefix_id < 0) return;
@@ -370,7 +380,7 @@ void KvCacheManager::note_prefilled(std::int64_t request_id,
   // passed their upper token boundary.
   for (std::int64_t block_id : entry.shared) {
     SharedBlock& block = shared_blocks_.at(block_id);
-    if (block.registrant == request_id && !block.computed &&
+    if (block.registrant == entry.id && !block.computed &&
         (block.block_index + 1) * block_tokens_ <= entry.computed_tokens) {
       block.computed = true;
       block.registrant = -1;
@@ -381,7 +391,7 @@ void KvCacheManager::note_prefilled(std::int64_t request_id,
 std::int64_t KvCacheManager::invalidate_blocks(std::int64_t request_id) {
   const auto it = entries_.find(request_id);
   if (it != entries_.end()) {
-    const std::int64_t blocks = entry_blocks(it->second);
+    const std::int64_t blocks = entry_blocks(slot_entry(it->second));
     blocks_invalidated_total_ += blocks;
     release(request_id);
     return blocks;
@@ -400,7 +410,7 @@ std::int64_t KvCacheManager::invalidate_blocks(std::int64_t request_id) {
 bool KvCacheManager::restore_from_host(std::int64_t request_id) {
   const auto it = entries_.find(request_id);
   if (it == entries_.end()) return false;
-  const std::int64_t blocks = entry_blocks(it->second);
+  const std::int64_t blocks = entry_blocks(slot_entry(it->second));
   // The shadow is a transient host-side checkpoint slot: it must fit
   // next to the blocks the swap pool currently holds.
   if (host_used_blocks_ + blocks > host_capacity_blocks_) return false;
@@ -425,12 +435,12 @@ std::int64_t KvCacheManager::drop_cached_blocks() {
 bool KvCacheManager::grow_needs_block(std::int64_t request_id) const {
   const auto it = entries_.find(request_id);
   CIMTPU_CHECK(it != entries_.end());
-  return it->second.tokens % block_tokens_ == 0;
+  return grow_needs_block_slot(it->second);
 }
 
 std::int64_t KvCacheManager::resident_tokens(std::int64_t request_id) const {
   auto it = entries_.find(request_id);
-  return it == entries_.end() ? 0 : it->second.tokens;
+  return it == entries_.end() ? 0 : slot_entry(it->second).tokens;
 }
 
 std::int64_t KvCacheManager::swapped_tokens(std::int64_t request_id) const {
@@ -443,7 +453,7 @@ std::int64_t KvCacheManager::shared_block_count(
   const auto it = entries_.find(request_id);
   return it == entries_.end()
              ? 0
-             : static_cast<std::int64_t>(it->second.shared.size());
+             : static_cast<std::int64_t>(slot_entry(it->second).shared.size());
 }
 
 std::int64_t KvCacheManager::pick_eviction_victim(std::int64_t protect) const {
@@ -473,19 +483,47 @@ std::int64_t KvCacheManager::pick_eviction_victim(std::int64_t protect) const {
       }
     }
   }
-  for (auto it = victim_order_.begin(); it != victim_order_.end(); ++it) {
-    if (it->id != protect && it->id != exempt) return it->id;
+  // Linear min-scan with the VictimKey order: the resident set is bounded
+  // by max batch, so this beats keeping a sorted index current (which
+  // would charge two tree updates to every decoded token).  The order is
+  // a strict total order (id tie-break), so the minimum is unique and the
+  // unordered iteration order is immaterial.
+  std::int64_t best_id = -1;
+  VictimKey best{};
+  for (const auto& [id, slot] : entries_) {
+    if (id == protect || id == exempt) continue;
+    const Entry& entry = slot_entry(slot);
+    const VictimKey key{entry.priority, entry.tokens, entry.admit_seq, id};
+    if (best_id < 0 || key < best) {
+      best = key;
+      best_id = id;
+    }
   }
-  return -1;
+  return best_id;
 }
 
 bool KvCacheManager::audit() const {
+  // --- Slot storage: id map and free list partition the slot array -----------
+  if (entries_.size() + free_slots_.size() != entry_slots_.size()) {
+    return false;
+  }
+  for (std::int32_t slot : free_slots_) {
+    if (slot < 0 || static_cast<std::size_t>(slot) >= entry_slots_.size() ||
+        slot_entry(slot).id != -1) {
+      return false;
+    }
+  }
   // --- Device entries: block math and rollups --------------------------------
   std::int64_t private_sum = 0;
   std::int64_t token_sum = 0;
   std::int64_t block_token_sum = 0;
   std::unordered_map<std::int64_t, std::int64_t> ref_recount;
-  for (const auto& [id, entry] : entries_) {
+  for (const auto& [id, slot] : entries_) {
+    if (slot < 0 || static_cast<std::size_t>(slot) >= entry_slots_.size()) {
+      return false;
+    }
+    const Entry& entry = slot_entry(slot);
+    if (entry.id != id) return false;
     if (entry.tokens < 0 || entry.private_blocks < 0) return false;
     if (entry_blocks(entry) !=
         static_cast<std::int64_t>(entry.shared.size()) +
@@ -532,17 +570,15 @@ bool KvCacheManager::audit() const {
   if (admit_order_.size() != entries_.size()) return false;
   for (const auto& [seq, id] : admit_order_) {
     const auto entry = entries_.find(id);
-    if (entry == entries_.end() || entry->second.admit_seq != seq) {
+    if (entry == entries_.end() ||
+        slot_entry(entry->second).admit_seq != seq) {
       return false;
     }
   }
-  if (policy_ == EvictionPolicy::kPriorityVictim &&
-      victim_order_.size() != entries_.size()) {
-    return false;
-  }
   for (const auto& [prefix_id, donor] : tail_donors_) {
     const auto entry = entries_.find(donor);
-    if (entry == entries_.end() || entry->second.prefix_id != prefix_id) {
+    if (entry == entries_.end() ||
+        slot_entry(entry->second).prefix_id != prefix_id) {
       return false;
     }
   }

@@ -198,13 +198,100 @@ class KvCacheManager {
   /// scheduler's incremental pending-growth aggregate is built on this.
   bool grow_needs_block(std::int64_t request_id) const;
 
+  // --- Dense slot handles (hot path) -----------------------------------------
+  // Entries live in a dense slot array with a free list; the id map only
+  // resolves ids to slots.  A slot is stable from admission (or swap-in)
+  // until the entry leaves the device (release / swap-out / invalidate),
+  // then recycled.  The scheduler caches one slot per resident sequence so
+  // per-decode-step grow checks index a flat array instead of hashing the
+  // request id — the single hottest lookup in the simulator.
+
+  /// Slot of a RESIDENT request (CHECKs that it is resident).
+  std::int32_t resident_slot(std::int64_t request_id) const;
+
+  /// grow_needs_block by slot: one indexed load, no hashing.
+  bool grow_needs_block_slot(std::int32_t slot) const {
+    return entry_slots_[static_cast<std::size_t>(slot)].tokens %
+               block_tokens_ ==
+           0;
+  }
+
+  /// try_grow by slot — identical semantics and accounting.  Defined
+  /// in-class so the decode hot loop (one grow per decoder per step — the
+  /// most-called mutation in the simulator) inlines it instead of paying a
+  /// cross-TU call.
+  bool try_grow_slot(std::int32_t slot, std::int64_t tokens = 1) {
+    CIMTPU_CHECK(tokens >= 0);
+    Entry& entry = entry_slots_[static_cast<std::size_t>(slot)];
+    // At block size 1 every token is its own block, so the rounded-block
+    // delta is just `tokens` — the common configuration skips both
+    // ceil-divisions.
+    const std::int64_t new_blocks =
+        block_tokens_ == 1
+            ? tokens
+            : blocks_for_tokens(entry.tokens + tokens) - entry_blocks(entry);
+    if (new_blocks > 0) {
+      if (!fits_blocks(new_blocks)) return false;
+      const std::int64_t free_now = capacity_blocks_ - occupied_blocks();
+      if (new_blocks > free_now) reclaim_cached(new_blocks - free_now);
+      entry.private_blocks += new_blocks;
+      private_used_ += new_blocks;
+      blocks_allocated_total_ += new_blocks;
+      entry_block_tokens_ += new_blocks * block_tokens_;
+    }
+    entry.tokens += tokens;
+    mapped_tokens_ += tokens;
+    return true;
+  }
+
+  /// note_prefilled by slot — identical semantics.
+  void note_prefilled_slot(std::int32_t slot, std::int64_t computed_tokens);
+
+  /// Mapped KV tokens of the entry in `slot` (hot-path mirror of
+  /// resident_tokens).
+  std::int64_t slot_tokens(std::int32_t slot) const {
+    return entry_slots_[static_cast<std::size_t>(slot)].tokens;
+  }
+
   /// Chooses the request to preempt under the configured policy, excluding
   /// `protect` (the request currently being grown).  Returns -1 when
   /// nothing can be evicted (empty, policy kNone, or only `protect`
-  /// resident).  O(log n) via the incremental victim-order indices — never
-  /// a scan over the resident set.  The caller must release/swap the
-  /// victim and re-queue it.
+  /// resident).  Victim selection scans the resident set (bounded by max
+  /// batch); admission recency comes from the incremental admit-order
+  /// index.  The caller must release/swap the victim and re-queue it.
   std::int64_t pick_eviction_victim(std::int64_t protect) const;
+
+  // --- Bulk decode growth (hot path) -----------------------------------------
+  // A decode step grows every continuing decoder by one token.  At block
+  // size 1 each grow allocates exactly one block, so when the device has
+  // room for `grows` more blocks outright (no reclaim, no failure), the
+  // per-grow capacity checks and global accounting collapse: the caller
+  // applies grow_slot_unit_nocheck per entry and one commit_bulk_growth
+  // for the step.  Releases interleaved by the caller only free blocks, so
+  // the precheck is conservative and the final state is bit-identical to
+  // `grows` individual try_grow_slot(slot, 1) calls.
+
+  /// True when `grows` single-block grows are guaranteed to succeed
+  /// without reclaiming cached prefix blocks.
+  bool can_bulk_grow(std::int64_t grows) const {
+    return block_tokens_ == 1 &&
+           referenced_blocks() + grows <= capacity_blocks_ &&
+           occupied_blocks() + grows <= capacity_blocks_;
+  }
+  /// One-token, one-block grow of `slot` with all capacity checks and
+  /// global rollups hoisted to can_bulk_grow / commit_bulk_growth.
+  void grow_slot_unit_nocheck(std::int32_t slot) {
+    Entry& entry = entry_slots_[static_cast<std::size_t>(slot)];
+    entry.tokens += 1;
+    entry.private_blocks += 1;
+  }
+  /// Applies the global accounting for `grows` unit grows in one shot.
+  void commit_bulk_growth(std::int64_t grows) {
+    private_used_ += grows;
+    blocks_allocated_total_ += grows;
+    entry_block_tokens_ += grows * block_tokens_;
+    mapped_tokens_ += grows;
+  }
 
   bool resident(std::int64_t request_id) const {
     return entries_.count(request_id) > 0;
@@ -292,14 +379,18 @@ class KvCacheManager {
 
  private:
   struct Entry {
+    // Field order is deliberate: the decode hot loop touches `tokens` and
+    // `private_blocks` once per decoder per step (try_grow_slot), so they
+    // share the entry's first cache line with `id`.
+    std::int64_t id = -1;         ///< owning request (slot back-reference)
     std::int64_t tokens = 0;      ///< KV tokens mapped (reserved)
+    std::int64_t private_blocks = 0;   ///< blocks owned by this entry alone
     std::int64_t admit_seq = 0;   ///< admission order for eviction policy
     std::int64_t priority = 0;    ///< larger = more important
     std::int64_t computed_tokens = 0;  ///< leading prompt tokens prefilled
     std::int64_t prefix_id = -1;
     std::int64_t prefix_len = 0;
     std::vector<std::int64_t> shared;  ///< leading shared physical block ids
-    std::int64_t private_blocks = 0;   ///< blocks owned by this entry alone
   };
 
   struct SharedBlock {
@@ -313,7 +404,10 @@ class KvCacheManager {
 
   /// Victim preference under kPriorityVictim: lowest priority first, then
   /// largest KV footprint, then newest admission, then largest id — the
-  /// exact order the historical full scan produced.
+  /// exact order the historical full scan produced.  Victims are found by
+  /// a linear scan over the (small, bounded-by-batch) resident set at
+  /// selection time; keeping a sorted index current would cost two
+  /// red-black-tree updates per decoded token.
   struct VictimKey {
     std::int64_t priority;
     std::int64_t tokens;
@@ -361,7 +455,20 @@ class KvCacheManager {
   std::int64_t next_seq_ = 0;
   std::int64_t next_block_id_ = 0;
   std::int64_t next_lru_seq_ = 0;
-  std::unordered_map<std::int64_t, Entry> entries_;       ///< on device
+  /// Acquires a dense slot for `entry` and indexes it; returns the slot.
+  std::int32_t slot_insert(std::int64_t request_id, Entry&& entry);
+  /// Unlinks the entry in `slot` from the id map and recycles the slot.
+  void slot_erase(std::int32_t slot);
+  Entry& slot_entry(std::int32_t slot) {
+    return entry_slots_[static_cast<std::size_t>(slot)];
+  }
+  const Entry& slot_entry(std::int32_t slot) const {
+    return entry_slots_[static_cast<std::size_t>(slot)];
+  }
+
+  std::vector<Entry> entry_slots_;        ///< dense device entries (slot API)
+  std::vector<std::int32_t> free_slots_;  ///< recycled entry_slots_ indices
+  std::unordered_map<std::int64_t, std::int32_t> entries_;  ///< id -> slot
   std::unordered_map<std::int64_t, Entry> host_entries_;  ///< swapped out
   std::unordered_map<std::int64_t, SharedBlock> shared_blocks_;  ///< by id
   std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t>
@@ -371,7 +478,6 @@ class KvCacheManager {
                                                       ///< owning the partial
                                                       ///< tail block's tokens
   std::map<std::int64_t, std::int64_t> admit_order_;  ///< admit_seq -> id
-  std::set<VictimKey> victim_order_;  ///< kPriorityVictim only
 };
 
 }  // namespace cimtpu::serving

@@ -1,0 +1,396 @@
+#include "serving/metrics_codec.h"
+
+#include <cstring>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cimtpu::serving {
+
+namespace {
+
+// --- Writer ------------------------------------------------------------------
+
+class Writer {
+ public:
+  template <typename T>
+  void put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto old_size = out_.size();
+    out_.resize(old_size + sizeof(value));
+    std::memcpy(&out_[old_size], &value, sizeof(value));
+  }
+
+  void put_string(const std::string& s) {
+    put(static_cast<std::uint64_t>(s.size()));
+    out_.append(s);
+  }
+
+  template <typename T>
+  void put_pod_vector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put(static_cast<std::uint64_t>(v.size()));
+    const auto old_size = out_.size();
+    out_.resize(old_size + v.size() * sizeof(T));
+    if (!v.empty()) std::memcpy(&out_[old_size], v.data(), v.size() * sizeof(T));
+  }
+
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+// --- Reader ------------------------------------------------------------------
+
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    CIMTPU_CHECK(pos_ + sizeof(value) <= bytes_.size());
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(value));
+    pos_ += sizeof(value);
+    return value;
+  }
+
+  std::string get_string() {
+    const auto size = static_cast<std::size_t>(get<std::uint64_t>());
+    CIMTPU_CHECK(pos_ + size <= bytes_.size());
+    std::string s(bytes_.data() + pos_, size);
+    pos_ += size;
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> get_pod_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto size = static_cast<std::size_t>(get<std::uint64_t>());
+    CIMTPU_CHECK(pos_ + size * sizeof(T) <= bytes_.size());
+    std::vector<T> v(size);
+    if (size > 0) std::memcpy(v.data(), bytes_.data() + pos_, size * sizeof(T));
+    pos_ += size * sizeof(T);
+    return v;
+  }
+
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::string& bytes_;
+  std::size_t pos_ = 0;
+};
+
+// --- Aggregate field lists ---------------------------------------------------
+// One put/get pair per aggregate, fields in declaration order.  Every new
+// ServingMetrics field must be added here — the codec test round-trips a
+// fully-populated metrics object, so a missed field fails loudly there.
+
+void put_latency(Writer& w, const LatencySummary& s) {
+  w.put(s.count);
+  w.put(s.mean);
+  w.put(s.p50);
+  w.put(s.p95);
+  w.put(s.p99);
+  w.put(s.max);
+}
+
+LatencySummary get_latency(Reader& r) {
+  LatencySummary s;
+  s.count = r.get<std::int64_t>();
+  s.mean = r.get<double>();
+  s.p50 = r.get<double>();
+  s.p95 = r.get<double>();
+  s.p99 = r.get<double>();
+  s.max = r.get<double>();
+  return s;
+}
+
+void put_counters(Writer& w, const ServingCounters& c) {
+  w.put(c.preemptions_recompute);
+  w.put(c.preemptions_swap);
+  w.put(c.swap_ins);
+  w.put(c.swap_out_bytes);
+  w.put(c.swap_in_bytes);
+  w.put(c.chunked_prefill_steps);
+  w.put(c.prefix_lookup_tokens);
+  w.put(c.prefix_hit_tokens);
+  w.put(c.prefix_shared_blocks);
+  w.put(c.prefix_cow_blocks);
+  w.put(c.shed_deadline);
+  w.put(c.shed_horizon);
+  w.put(c.shed_fault);
+}
+
+ServingCounters get_counters(Reader& r) {
+  ServingCounters c;
+  c.preemptions_recompute = r.get<std::int64_t>();
+  c.preemptions_swap = r.get<std::int64_t>();
+  c.swap_ins = r.get<std::int64_t>();
+  c.swap_out_bytes = r.get<Bytes>();
+  c.swap_in_bytes = r.get<Bytes>();
+  c.chunked_prefill_steps = r.get<std::int64_t>();
+  c.prefix_lookup_tokens = r.get<std::int64_t>();
+  c.prefix_hit_tokens = r.get<std::int64_t>();
+  c.prefix_shared_blocks = r.get<std::int64_t>();
+  c.prefix_cow_blocks = r.get<std::int64_t>();
+  c.shed_deadline = r.get<std::int64_t>();
+  c.shed_horizon = r.get<std::int64_t>();
+  c.shed_fault = r.get<std::int64_t>();
+  return c;
+}
+
+void put_fault_stats(Writer& w, const FaultStats& f) {
+  w.put(f.stalls);
+  w.put(f.kv_losses);
+  w.put(f.device_failures);
+  w.put(f.host_restores);
+  w.put(f.host_restore_bytes);
+  w.put(f.retries);
+  w.put(f.dropped);
+  w.put(f.wasted_recompute_tokens);
+  w.put(f.degrade_enters);
+  w.put(f.degrade_exits);
+}
+
+FaultStats get_fault_stats(Reader& r) {
+  FaultStats f;
+  f.stalls = r.get<std::int64_t>();
+  f.kv_losses = r.get<std::int64_t>();
+  f.device_failures = r.get<std::int64_t>();
+  f.host_restores = r.get<std::int64_t>();
+  f.host_restore_bytes = r.get<Bytes>();
+  f.retries = r.get<std::int64_t>();
+  f.dropped = r.get<std::int64_t>();
+  f.wasted_recompute_tokens = r.get<std::int64_t>();
+  f.degrade_enters = r.get<std::int64_t>();
+  f.degrade_exits = r.get<std::int64_t>();
+  return f;
+}
+
+void put_tenant(Writer& w, const TenantMetrics& t) {
+  w.put(t.tenant_id);
+  w.put(t.weight);
+  w.put(t.num_requests);
+  w.put(t.completed);
+  w.put(t.generated_tokens);
+  put_latency(w, t.ttft);
+  put_latency(w, t.e2e);
+  w.put(t.goodput_tokens_per_second);
+}
+
+TenantMetrics get_tenant(Reader& r) {
+  TenantMetrics t;
+  t.tenant_id = r.get<std::int64_t>();
+  t.weight = r.get<double>();
+  t.num_requests = r.get<std::int64_t>();
+  t.completed = r.get<std::int64_t>();
+  t.generated_tokens = r.get<std::int64_t>();
+  t.ttft = get_latency(r);
+  t.e2e = get_latency(r);
+  t.goodput_tokens_per_second = r.get<double>();
+  return t;
+}
+
+void put_registry(Writer& w, const MetricsRegistry& registry) {
+  w.put(static_cast<std::uint64_t>(registry.counters().size()));
+  for (const auto& [name, value] : registry.counters()) {
+    w.put_string(name);
+    w.put(value);
+  }
+  w.put(static_cast<std::uint64_t>(registry.gauges().size()));
+  for (const auto& [name, value] : registry.gauges()) {
+    w.put_string(name);
+    w.put(value);
+  }
+  w.put(static_cast<std::uint64_t>(registry.histograms().size()));
+  for (const auto& [name, histogram] : registry.histograms()) {
+    w.put_string(name);
+    w.put_pod_vector(histogram.upper_bounds());
+    w.put_pod_vector(histogram.bucket_counts());
+    w.put(histogram.count());
+    w.put(histogram.sum());
+    // min()/max() report 0 for an empty histogram; storing the REPORTED
+    // values round-trips exactly (the raw fields are unobservable then).
+    w.put(histogram.min());
+    w.put(histogram.max());
+  }
+}
+
+MetricsRegistry get_registry(Reader& r) {
+  MetricsRegistry registry;
+  const auto num_counters = r.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < num_counters; ++i) {
+    const std::string name = r.get_string();
+    registry.set_counter(name, r.get<std::int64_t>());
+  }
+  const auto num_gauges = r.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < num_gauges; ++i) {
+    const std::string name = r.get_string();
+    registry.set_gauge(name, r.get<double>());
+  }
+  const auto num_histograms = r.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < num_histograms; ++i) {
+    const std::string name = r.get_string();
+    auto bounds = r.get_pod_vector<double>();
+    auto counts = r.get_pod_vector<std::int64_t>();
+    const auto count = r.get<std::int64_t>();
+    const auto sum = r.get<double>();
+    const auto min = r.get<double>();
+    const auto max = r.get<double>();
+    registry.histogram(name, {}) = FixedBucketHistogram::from_parts(
+        std::move(bounds), std::move(counts), count, sum, min, max);
+  }
+  return registry;
+}
+
+void put_sample(Writer& w, const TimeSample& s) {
+  w.put(s.time);
+  w.put(s.step);
+  w.put(s.queue_depth);
+  w.put(s.resident_sequences);
+  w.put(s.resident_decoders);
+  w.put(s.swapped_sequences);
+  w.put(s.kv_referenced_blocks);
+  w.put(s.kv_occupied_blocks);
+  w.put(s.kv_capacity_blocks);
+  w.put(s.kv_internal_fragmentation);
+  w.put(s.prefix_hit_rate);
+  // std::pair is not trivially copyable — element-wise.
+  w.put(static_cast<std::uint64_t>(s.tenant_admitted_tokens.size()));
+  for (const auto& [tenant, tokens] : s.tenant_admitted_tokens) {
+    w.put(tenant);
+    w.put(tokens);
+  }
+}
+
+TimeSample get_sample(Reader& r) {
+  TimeSample s;
+  s.time = r.get<Seconds>();
+  s.step = r.get<std::int64_t>();
+  s.queue_depth = r.get<std::int64_t>();
+  s.resident_sequences = r.get<std::int64_t>();
+  s.resident_decoders = r.get<std::int64_t>();
+  s.swapped_sequences = r.get<std::int64_t>();
+  s.kv_referenced_blocks = r.get<std::int64_t>();
+  s.kv_occupied_blocks = r.get<std::int64_t>();
+  s.kv_capacity_blocks = r.get<std::int64_t>();
+  s.kv_internal_fragmentation = r.get<double>();
+  s.prefix_hit_rate = r.get<double>();
+  const auto num_tenants = r.get<std::uint64_t>();
+  s.tenant_admitted_tokens.reserve(num_tenants);
+  for (std::uint64_t i = 0; i < num_tenants; ++i) {
+    const auto tenant = r.get<std::int64_t>();
+    const auto tokens = r.get<std::int64_t>();
+    s.tenant_admitted_tokens.emplace_back(tenant, tokens);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string serialize_metrics(const ServingMetrics& m) {
+  Writer w;
+  w.put(m.chips);
+  w.put(m.num_requests);
+  w.put(m.completed);
+  w.put(m.generated_tokens);
+  w.put(m.total_steps);
+  w.put(m.prefill_steps);
+  w.put(m.decode_steps);
+  w.put(m.preemptions);
+  put_counters(w, m.counters);
+  w.put(m.prefix_hit_rate);
+  w.put(m.kv_internal_fragmentation);
+  w.put(m.makespan);
+  w.put(m.sim_end_seconds);
+  put_latency(w, m.ttft);
+  put_latency(w, m.tpot);
+  put_latency(w, m.e2e);
+  w.put(m.goodput_tokens_per_second);
+  w.put(m.slo_met);
+  w.put(m.slo_attainment);
+  w.put(m.slo_goodput_tokens_per_second);
+  w.put(m.availability);
+  w.put(m.mttr_seconds);
+  w.put(m.wasted_recompute_tokens);
+  w.put(m.retries_total);
+  put_fault_stats(w, m.fault);
+  w.put(static_cast<std::uint64_t>(m.tenants.size()));
+  for (const TenantMetrics& tenant : m.tenants) put_tenant(w, tenant);
+  w.put(m.jain_fairness);
+  w.put(m.mxu_energy);
+  w.put(m.total_energy);
+  w.put(m.energy_per_token);
+  w.put(m.mxu_utilization);
+  w.put(static_cast<std::uint64_t>(m.cost_cache_entries));
+  w.put(m.cost_cache_hits);
+  w.put(m.cost_cache_misses);
+  w.put(m.cost_cache_occupancy);
+  put_registry(w, m.registry);
+  w.put(static_cast<std::uint64_t>(m.timeseries.size()));
+  for (const TimeSample& sample : m.timeseries) put_sample(w, sample);
+  w.put(m.sim_wall_seconds);
+  w.put(m.steps_per_second);
+  return w.take();
+}
+
+ServingMetrics deserialize_metrics(const std::string& bytes) {
+  Reader r(bytes);
+  ServingMetrics m;
+  m.chips = r.get<int>();
+  m.num_requests = r.get<std::int64_t>();
+  m.completed = r.get<std::int64_t>();
+  m.generated_tokens = r.get<std::int64_t>();
+  m.total_steps = r.get<std::int64_t>();
+  m.prefill_steps = r.get<std::int64_t>();
+  m.decode_steps = r.get<std::int64_t>();
+  m.preemptions = r.get<std::int64_t>();
+  m.counters = get_counters(r);
+  m.prefix_hit_rate = r.get<double>();
+  m.kv_internal_fragmentation = r.get<double>();
+  m.makespan = r.get<Seconds>();
+  m.sim_end_seconds = r.get<Seconds>();
+  m.ttft = get_latency(r);
+  m.tpot = get_latency(r);
+  m.e2e = get_latency(r);
+  m.goodput_tokens_per_second = r.get<double>();
+  m.slo_met = r.get<std::int64_t>();
+  m.slo_attainment = r.get<double>();
+  m.slo_goodput_tokens_per_second = r.get<double>();
+  m.availability = r.get<double>();
+  m.mttr_seconds = r.get<Seconds>();
+  m.wasted_recompute_tokens = r.get<std::int64_t>();
+  m.retries_total = r.get<std::int64_t>();
+  m.fault = get_fault_stats(r);
+  const auto num_tenants = r.get<std::uint64_t>();
+  m.tenants.reserve(num_tenants);
+  for (std::uint64_t i = 0; i < num_tenants; ++i) {
+    m.tenants.push_back(get_tenant(r));
+  }
+  m.jain_fairness = r.get<double>();
+  m.mxu_energy = r.get<Joules>();
+  m.total_energy = r.get<Joules>();
+  m.energy_per_token = r.get<Joules>();
+  m.mxu_utilization = r.get<double>();
+  m.cost_cache_entries = static_cast<std::size_t>(r.get<std::uint64_t>());
+  m.cost_cache_hits = r.get<std::int64_t>();
+  m.cost_cache_misses = r.get<std::int64_t>();
+  m.cost_cache_occupancy = r.get<double>();
+  m.registry = get_registry(r);
+  const auto num_samples = r.get<std::uint64_t>();
+  m.timeseries.reserve(num_samples);
+  for (std::uint64_t i = 0; i < num_samples; ++i) {
+    m.timeseries.push_back(get_sample(r));
+  }
+  m.sim_wall_seconds = r.get<Seconds>();
+  m.steps_per_second = r.get<double>();
+  CIMTPU_CHECK(r.exhausted());
+  return m;
+}
+
+}  // namespace cimtpu::serving

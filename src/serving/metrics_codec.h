@@ -1,0 +1,25 @@
+#pragma once
+// Exact binary round-trip of ServingMetrics — the IPC format of the
+// multi-process sweep driver (serving/sweep.h).  Fields are written as
+// raw native-endian bytes in declaration order (doubles survive
+// bit-for-bit, which text formats cannot guarantee), so a child worker's
+// metrics deserialize in the parent byte-identical to an in-process run.
+// Same-machine, same-build IPC only: the format carries no versioning or
+// endianness translation, deliberately — both ends are always the same
+// binary, forked moments apart.
+
+#include <string>
+
+#include "serving/serving_sim.h"
+
+namespace cimtpu::serving {
+
+/// Serializes `metrics` — every field, including the registry, tenant
+/// rows, and time-series samples.
+std::string serialize_metrics(const ServingMetrics& metrics);
+
+/// Inverse of serialize_metrics.  CHECK-fails on truncated or trailing
+/// bytes (a framing bug, not a recoverable condition).
+ServingMetrics deserialize_metrics(const std::string& bytes);
+
+}  // namespace cimtpu::serving

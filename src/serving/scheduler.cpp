@@ -61,7 +61,9 @@ StepCost cost_step(StepCostCache& costs, const StepRecord& step) {
       // total still telescopes to its unchunked cost at that batch.
       // Grouping by exact shape (sorted, ascending) keeps accumulation
       // order deterministic.
-      std::vector<std::pair<std::int64_t, std::int64_t>> shapes;
+      std::vector<std::pair<std::int64_t, std::int64_t>>& shapes =
+          costs.prefill_shape_scratch();
+      shapes.clear();
       shapes.reserve(step.kv_lens.size());
       for (std::size_t i = 0; i < step.kv_lens.size(); ++i) {
         shapes.emplace_back(step.prev_lens[i], step.chunk_lens[i]);
@@ -136,12 +138,32 @@ StepCost cost_step(StepCostCache& costs, const StepRecord& step) {
   return total;
 }
 
+std::int32_t ContinuousBatchScheduler::SequencePool::acquire() {
+  if (!free_list.empty()) {
+    const std::int32_t slot = free_list.back();
+    free_list.pop_back();
+    return slot;
+  }
+  const std::int32_t slot = static_cast<std::int32_t>(prompt_len.size());
+  prompt_len.push_back(0);
+  output_len.push_back(0);
+  prefilled.push_back(0);
+  generated.push_back(0);
+  prefix_skipped.push_back(0);
+  bucket.push_back(0);
+  kv_slot.push_back(-1);
+  request.emplace_back();
+  return slot;
+}
+
 ContinuousBatchScheduler::ContinuousBatchScheduler(
     const SchedulerConfig& config, KvCacheManager* kv_cache)
     : config_(config),
       kv_cache_(kv_cache),
       admission_(make_admission_policy(config.admission)) {
   config_.validate();
+  may_shed_ = admission_->may_shed();
+  admit_memo_ok_ = admission_->select_is_pure();
   CIMTPU_CHECK(kv_cache != nullptr);
   CIMTPU_CONFIG_CHECK(
       kv_cache->block_tokens() == config_.kv_block_tokens,
@@ -164,6 +186,7 @@ void ContinuousBatchScheduler::enqueue(const Request& request) {
       "request " << request.id << " has prefix_len " << request.prefix_len
                  << " outside [0, prompt_len=" << request.prompt_len << "]");
   admission_->on_enqueue(request, total_steps_);
+  admit_blocked_ = false;
 }
 
 void ContinuousBatchScheduler::enqueue_prefilled(const Request& request) {
@@ -181,6 +204,7 @@ void ContinuousBatchScheduler::enqueue_prefilled(const Request& request) {
                               "admission bypasses the prefix cache");
   prefilled_pending_.insert(request.id);
   admission_->on_enqueue(request, total_steps_);
+  admit_blocked_ = false;
 }
 
 std::int64_t ContinuousBatchScheduler::admission_reserve_tokens(
@@ -212,30 +236,51 @@ void ContinuousBatchScheduler::histogram_remove(std::int64_t bucket) {
   if (--it->second == 0) decode_kv_histogram_.erase(it);
 }
 
-void ContinuousBatchScheduler::decoder_enter(const Sequence& sequence) {
+void ContinuousBatchScheduler::decoder_enter(std::int32_t slot) {
   ++resident_decoders_;
-  pending_growth_blocks_ += growth_blocks(sequence);
-  histogram_add(decode_bucket(sequence));
+  pending_growth_blocks_ += growth_blocks(slot);
+  const std::int64_t bucket = decode_bucket(slot);
+  pool_.bucket[slot] = bucket;
+  histogram_add(bucket);
   if (trace_) {
-    trace_->on_decode_enter(sequence.request.id, decode_bucket(sequence));
+    trace_->on_decode_enter(pool_.request[slot].id, bucket);
   }
 }
 
-void ContinuousBatchScheduler::decoder_leave(const Sequence& sequence) {
+void ContinuousBatchScheduler::decoder_leave(std::int32_t slot) {
   --resident_decoders_;
-  pending_growth_blocks_ -= growth_blocks(sequence);
-  histogram_remove(decode_bucket(sequence));
+  pending_growth_blocks_ -= growth_blocks(slot);
+  histogram_remove(pool_.bucket[slot]);
+}
+
+std::int32_t ContinuousBatchScheduler::resident_append(
+    const Request& request, std::int64_t prefilled, std::int64_t generated,
+    std::int64_t prefix_skipped) {
+  const std::int32_t slot = pool_.acquire();
+  pool_.prompt_len[slot] = request.prompt_len;
+  pool_.output_len[slot] = request.output_len;
+  pool_.prefilled[slot] = prefilled;
+  pool_.generated[slot] = generated;
+  pool_.prefix_skipped[slot] = prefix_skipped;
+  pool_.bucket[slot] = 0;
+  pool_.kv_slot[slot] = kv_cache_->resident_slot(request.id);
+  pool_.request[slot] = request;
+  resident_.push_back(slot);
+  return slot;
 }
 
 bool ContinuousBatchScheduler::aggregates_consistent() const {
   std::int64_t decoders = 0;
   std::int64_t growing = 0;
   std::vector<std::int64_t> buckets;
-  for (const Sequence& sequence : sequences_) {
-    if (sequence.prefilling()) continue;
+  for (const std::int32_t slot : resident_) {
+    if (slot_prefilling(slot)) continue;
     ++decoders;
-    growing += growth_blocks(sequence);
-    buckets.push_back(decode_bucket(sequence));
+    growing += growth_blocks(slot);
+    const std::int64_t bucket = decode_bucket(slot);
+    // The cached per-slot bucket must agree with a fresh rounding.
+    if (pool_.bucket[slot] != bucket) return false;
+    buckets.push_back(bucket);
   }
   if (decoders != resident_decoders_ || growing != pending_growth_blocks_) {
     return false;
@@ -261,9 +306,9 @@ void ContinuousBatchScheduler::swap_in_and_admit(StepRecord* record) {
   // PCIe for zero progress.  With nothing resident the watermark is waived
   // (there is no pressure to re-evict, and blocking would deadlock).
   const auto swap_in_fits = [this](const Sequence& sequence) {
-    const std::int64_t restore_blocks = kv_cache_->blocks_for_tokens(
-        kv_cache_->swapped_tokens(sequence.request.id));
-    if (sequences_.empty()) {
+    const std::int64_t restore_blocks =
+        kv_cache_->blocks_for_tokens(sequence.swapped_tokens);
+    if (resident_.empty()) {
       return kv_cache_->fits_blocks(restore_blocks);
     }
     // One block of growth headroom for the restored sequence itself plus
@@ -273,7 +318,7 @@ void ContinuousBatchScheduler::swap_in_and_admit(StepRecord* record) {
     return kv_cache_->fits_blocks(restore_blocks + 1 + resident_decoders_);
   };
   while (!swapped_.empty() &&
-         sequences_.size() < static_cast<std::size_t>(effective_max_batch()) &&
+         resident_.size() < static_cast<std::size_t>(effective_max_batch()) &&
          swap_in_fits(swapped_.front()) &&
          kv_cache_->try_swap_in(swapped_.front().request.id)) {
     Sequence sequence = swapped_.front();
@@ -289,8 +334,11 @@ void ContinuousBatchScheduler::swap_in_and_admit(StepRecord* record) {
     counters_.swap_ins += 1;
     counters_.swap_in_bytes += bytes;
     if (trace_) trace_->on_swap_in(sequence.request.id, bytes);
-    if (!sequence.prefilling()) decoder_enter(sequence);
-    sequences_.push_back(sequence);
+    const std::int32_t slot =
+        resident_append(sequence.request, sequence.prefilled,
+                        sequence.generated, sequence.prefix_skipped);
+    if (!slot_prefilling(slot)) decoder_enter(slot);
+    admit_blocked_ = false;
   }
 
   // New admissions, in the AdmissionPolicy's order.  A stranded swapped
@@ -298,8 +346,8 @@ void ContinuousBatchScheduler::swap_in_and_admit(StepRecord* record) {
   // manager rejects blocks everything behind it — head-of-line blocking
   // on the policy's OWN choice, exactly the FIFO baseline's semantics.
   int admitted = 0;
-  while (swapped_.empty() && !admission_->empty() &&
-         sequences_.size() < static_cast<std::size_t>(effective_max_batch()) &&
+  while (swapped_.empty() && !admit_blocked_ && !admission_->empty() &&
+         resident_.size() < static_cast<std::size_t>(effective_max_batch()) &&
          admitted < config_.max_prefill_batch) {
     const Request* head = admission_->select(admission_context());
     if (head == nullptr) break;  // policy throttled (e.g. rate caps)
@@ -307,6 +355,10 @@ void ContinuousBatchScheduler::swap_in_and_admit(StepRecord* record) {
     if (!kv_cache_->try_admit(head->id, admission_reserve_tokens(*head),
                               head->priority, head->prefix_id,
                               head->prefix_len, head->prompt_len, &outcome)) {
+      // Head-of-line block: for a pure-select policy this exact probe
+      // repeats (and fails) every step until something structural changes,
+      // so remember the block and skip the re-probe until then.
+      if (admit_memo_ok_) admit_blocked_ = true;
       break;
     }
     counters_.prefix_lookup_tokens += outcome.lookup_tokens;
@@ -328,25 +380,22 @@ void ContinuousBatchScheduler::swap_in_and_admit(StepRecord* record) {
       // tokens were never computed HERE) and the sequence enters decode
       // directly with its remotely-emitted first token on the books.  No
       // first_token_ids entry is ever recorded for it on this replica.
-      Sequence sequence{*head,
-                        /*prefilled=*/head->prompt_len,
-                        /*generated=*/1,
-                        /*prefix_skipped=*/head->prompt_len};
-      kv_cache_->note_prefilled(head->id, head->prompt_len);
+      const std::int32_t slot =
+          resident_append(*head, /*prefilled=*/head->prompt_len,
+                          /*generated=*/1,
+                          /*prefix_skipped=*/head->prompt_len);
+      kv_cache_->note_prefilled_slot(pool_.kv_slot[slot], head->prompt_len);
       prefilled_pending_.erase(head->id);
-      decoder_enter(sequence);
-      sequences_.push_back(sequence);
+      decoder_enter(slot);
     } else {
       // A prefix hit starts prefill mid-sequence: the cached leading
       // tokens are never pushed through the model again.  The hit is
       // capped at prompt_len - 1, so a fresh admission always starts
       // prefilling and the decoder aggregates are untouched here.  Copy
       // BEFORE pop_selected: `head` points into the policy's storage.
-      sequences_.push_back(
-          Sequence{*head,
-                   /*prefilled=*/outcome.prefix_hit_tokens,
-                   /*generated=*/0,
-                   /*prefix_skipped=*/outcome.prefix_hit_tokens});
+      resident_append(*head, /*prefilled=*/outcome.prefix_hit_tokens,
+                      /*generated=*/0,
+                      /*prefix_skipped=*/outcome.prefix_hit_tokens);
     }
     admission_->pop_selected();
     ++admitted;
@@ -356,6 +405,9 @@ void ContinuousBatchScheduler::swap_in_and_admit(StepRecord* record) {
 void ContinuousBatchScheduler::drain_shed(StepRecord* record) {
   // Deadline sheds accumulate inside the policy during select(); pull them
   // out every step so counters, trace events, and the step record agree.
+  // Non-shedding policies (everything but EDF) never stash anything, so
+  // the per-step virtual drain is skipped for them outright.
+  if (!may_shed_) return;
   shed_scratch_.clear();
   admission_->drain_shed(&shed_scratch_);
   for (const Request& request : shed_scratch_) {
@@ -367,40 +419,43 @@ void ContinuousBatchScheduler::drain_shed(StepRecord* record) {
 
 ContinuousBatchScheduler::ResidentInfo ContinuousBatchScheduler::resident_info(
     std::size_t index) const {
-  CIMTPU_CHECK_MSG(index < sequences_.size(),
+  CIMTPU_CHECK_MSG(index < resident_.size(),
                    "resident_info index out of range");
-  const Sequence& sequence = sequences_[index];
+  const std::int32_t slot = resident_[index];
   ResidentInfo info;
-  info.request_id = sequence.request.id;
-  info.prefilled = sequence.prefilled;
-  info.prefix_skipped = sequence.prefix_skipped;
-  info.generated = sequence.generated;
+  info.request_id = pool_.request[slot].id;
+  info.prefilled = pool_.prefilled[slot];
+  info.prefix_skipped = pool_.prefix_skipped[slot];
+  info.generated = pool_.generated[slot];
   return info;
 }
 
 bool ContinuousBatchScheduler::remove_for_fault(std::int64_t request_id,
                                                Request* out,
                                                ResidentInfo* progress) {
-  const auto fill = [&](const Sequence& victim) {
-    if (out != nullptr) *out = victim.request;
+  const auto fill = [&](const Request& request, std::int64_t prefilled,
+                        std::int64_t prefix_skipped, std::int64_t generated) {
+    if (out != nullptr) *out = request;
     if (progress != nullptr) {
-      progress->request_id = victim.request.id;
-      progress->prefilled = victim.prefilled;
-      progress->prefix_skipped = victim.prefix_skipped;
-      progress->generated = victim.generated;
+      progress->request_id = request.id;
+      progress->prefilled = prefilled;
+      progress->prefix_skipped = prefix_skipped;
+      progress->generated = generated;
     }
   };
   const auto resident_it = std::find_if(
-      sequences_.begin(), sequences_.end(),
-      [request_id](const Sequence& sequence) {
-        return sequence.request.id == request_id;
+      resident_.begin(), resident_.end(), [&](std::int32_t slot) {
+        return pool_.request[slot].id == request_id;
       });
-  if (resident_it != sequences_.end()) {
-    const Sequence victim = *resident_it;
-    sequences_.erase(resident_it);
-    if (!victim.prefilling()) decoder_leave(victim);
+  if (resident_it != resident_.end()) {
+    const std::int32_t slot = *resident_it;
+    resident_.erase(resident_it);
+    if (!slot_prefilling(slot)) decoder_leave(slot);
     kv_cache_->invalidate_blocks(request_id);
-    fill(victim);
+    admit_blocked_ = false;  // invalidation freed device blocks
+    fill(pool_.request[slot], pool_.prefilled[slot],
+         pool_.prefix_skipped[slot], pool_.generated[slot]);
+    pool_.release(slot);
     return true;
   }
   const auto swapped_it = std::find_if(
@@ -414,7 +469,9 @@ bool ContinuousBatchScheduler::remove_for_fault(std::int64_t request_id,
   const Sequence victim = *swapped_it;
   swapped_.erase(swapped_it);
   kv_cache_->invalidate_blocks(request_id);
-  fill(victim);
+  admit_blocked_ = false;
+  fill(victim.request, victim.prefilled, victim.prefix_skipped,
+       victim.generated);
   return true;
 }
 
@@ -427,22 +484,23 @@ void ContinuousBatchScheduler::requeue_after_fault(const Request& request,
   } else {
     admission_->on_enqueue(request, total_steps_);
   }
+  admit_blocked_ = false;
 }
 
 bool ContinuousBatchScheduler::restore_resident_from_host(
     std::int64_t request_id, Bytes* bytes) {
   const auto it = std::find_if(
-      sequences_.begin(), sequences_.end(),
-      [request_id](const Sequence& sequence) {
-        return sequence.request.id == request_id;
+      resident_.begin(), resident_.end(), [&](std::int32_t slot) {
+        return pool_.request[slot].id == request_id;
       });
-  if (it == sequences_.end()) return false;
+  if (it == resident_.end()) return false;
   if (!kv_cache_->restore_from_host(request_id)) return false;
+  admit_blocked_ = false;
   if (bytes != nullptr) {
     // Only pages holding computed KV cross the link (same accounting as
     // swap-in): prefilled prompt + generated tokens.
     *bytes = kv_cache_->bytes_per_token() *
-             static_cast<double>(it->prefilled + it->generated);
+             static_cast<double>(pool_.prefilled[*it] + pool_.generated[*it]);
   }
   return true;
 }
@@ -452,15 +510,16 @@ void ContinuousBatchScheduler::set_degraded(bool degraded,
   degraded_ = degraded;
   degraded_max_batch_ = degraded ? degraded_max_batch : 0;
   admission_->set_degraded(degraded);
+  admit_blocked_ = false;  // effective_max_batch may have changed
 }
 
 AdmissionContext ContinuousBatchScheduler::admission_context() const {
   AdmissionContext context;
   context.free_batch_slots =
-      effective_max_batch() - static_cast<std::int64_t>(sequences_.size());
+      effective_max_batch() - static_cast<std::int64_t>(resident_.size());
   context.free_kv_bytes = kv_cache_->capacity() - kv_cache_->used();
   context.bytes_per_token = kv_cache_->bytes_per_token();
-  context.device_empty = sequences_.empty();
+  context.device_empty = resident_.empty();
   context.now = now_;
   context.step = total_steps_;
   return context;
@@ -468,6 +527,10 @@ AdmissionContext ContinuousBatchScheduler::admission_context() const {
 
 void ContinuousBatchScheduler::build_prefill_step(StepRecord* record) {
   record->kind = StepRecord::Kind::kPrefill;
+  // Prefill progress mutates prefix-cache state (note_prefilled marks
+  // shared blocks computed) and can finish sequences — both can change a
+  // memoized head-of-line probe's outcome.
+  admit_blocked_ = false;
   record->batched_cost = config_.batched_prefill_cost;
   record->chunk_lens.reserve(config_.max_prefill_batch);
   record->prev_lens.reserve(config_.max_prefill_batch);
@@ -476,14 +539,14 @@ void ContinuousBatchScheduler::build_prefill_step(StepRecord* record) {
                             ? config_.prefill_chunk_tokens
                             : std::numeric_limits<std::int64_t>::max();
   bool any_finished = false;
-  for (Sequence& sequence : sequences_) {  // admission order
-    if (!sequence.prefilling()) continue;
+  for (const std::int32_t slot : resident_) {  // admission order
+    if (!slot_prefilling(slot)) continue;
     if (record->chunk_lens.size() >=
         static_cast<std::size_t>(config_.max_prefill_batch)) {
       break;
     }
-    const std::int64_t remaining =
-        sequence.request.prompt_len - sequence.prefilled;
+    const std::int64_t prefilled = pool_.prefilled[slot];
+    const std::int64_t remaining = pool_.prompt_len[slot] - prefilled;
     // Stop rather than hand a participant a sub-bucket leftover of the
     // shared budget: every non-final chunk stays >= seqlen_bucket, so it
     // advances its sequence's cost bucket (a final chunk may be smaller —
@@ -493,30 +556,29 @@ void ContinuousBatchScheduler::build_prefill_step(StepRecord* record) {
     // A prefix-hit sequence's FIRST chunk already starts at a nonzero KV
     // offset (prev = prefix_skipped); only later chunks mean the prompt
     // was actually split across steps.
-    record->prev_lens.push_back(sequence.prefilled);
+    record->prev_lens.push_back(prefilled);
     record->chunk_lens.push_back(chunk);
-    record->kv_lens.push_back(sequence.prefilled + chunk);
+    record->kv_lens.push_back(prefilled + chunk);
     if (trace_) {
-      trace_->on_prefill_chunk(sequence.request.id, sequence.prefilled,
-                               chunk);
+      trace_->on_prefill_chunk(pool_.request[slot].id, prefilled, chunk);
     }
-    if (sequence.prefilled > sequence.prefix_skipped || chunk < remaining) {
+    if (prefilled > pool_.prefix_skipped[slot] || chunk < remaining) {
       record->chunked = true;
     }
-    sequence.prefilled += chunk;
-    kv_cache_->note_prefilled(sequence.request.id, sequence.prefilled);
+    pool_.prefilled[slot] = prefilled + chunk;
+    kv_cache_->note_prefilled_slot(pool_.kv_slot[slot], prefilled + chunk);
     budget -= chunk;
-    if (!sequence.prefilling()) {
+    if (!slot_prefilling(slot)) {
       // Prompt complete: this step emits the sequence's first token.
-      record->first_token_ids.push_back(sequence.request.id);
-      sequence.generated = 1;
-      if (sequence.generated >= sequence.request.output_len) {
-        record->finished_ids.push_back(sequence.request.id);
-        kv_cache_->release(sequence.request.id);
-        admission_->on_finish(sequence.request, total_steps_);
+      record->first_token_ids.push_back(pool_.request[slot].id);
+      pool_.generated[slot] = 1;
+      if (pool_.generated[slot] >= pool_.output_len[slot]) {
+        record->finished_ids.push_back(pool_.request[slot].id);
+        kv_cache_->release(pool_.request[slot].id);
+        admission_->on_finish(pool_.request[slot], total_steps_);
         any_finished = true;
       } else {
-        decoder_enter(sequence);
+        decoder_enter(slot);
       }
     }
   }
@@ -526,14 +588,18 @@ void ContinuousBatchScheduler::build_prefill_step(StepRecord* record) {
     // Single compaction pass: the only residents with a completed output
     // are the ones that finished in the loop above (decoders always leave
     // the moment they finish), so the predicate needs no finished-id list.
-    sequences_.erase(
-        std::remove_if(sequences_.begin(), sequences_.end(),
-                       [](const Sequence& sequence) {
-                         return !sequence.prefilling() &&
-                                sequence.generated >=
-                                    sequence.request.output_len;
-                       }),
-        sequences_.end());
+    // Compaction moves slot ids and recycles the finished slots in place.
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < resident_.size(); ++read) {
+      const std::int32_t slot = resident_[read];
+      if (!slot_prefilling(slot) &&
+          pool_.generated[slot] >= pool_.output_len[slot]) {
+        pool_.release(slot);
+      } else {
+        resident_[write++] = slot;
+      }
+    }
+    resident_.resize(write);
   }
   if (record->chunked) counters_.chunked_prefill_steps += 1;
   last_step_prefill_ = true;
@@ -551,30 +617,35 @@ bool ContinuousBatchScheduler::build_decode_step(StepRecord* record) {
   // move to the host pool with their progress intact, recompute victims
   // re-queue from scratch.  kSwapToHost falls back to recompute when the
   // host pool is full.
-  if (kv_cache_->policy() != EvictionPolicy::kNone) {
+  const bool manage_growth = kv_cache_->policy() != EvictionPolicy::kNone;
+  if (manage_growth) {
     for (;;) {
       if (kv_cache_->fits_blocks(pending_growth_blocks_)) break;
-      CIMTPU_CONFIG_CHECK(sequences_.size() > 1,
-                          "request " << sequences_.front().request.id
+      CIMTPU_CONFIG_CHECK(resident_.size() > 1,
+                          "request " << pool_.request[resident_.front()].id
                                      << " outgrew the whole KV budget");
       const std::int64_t victim_id =
           kv_cache_->pick_eviction_victim(/*protect=*/-1);
       const auto victim_it = std::find_if(
-          sequences_.begin(), sequences_.end(),
-          [victim_id](const Sequence& sequence) {
-            return sequence.request.id == victim_id;
+          resident_.begin(), resident_.end(), [&](std::int32_t slot) {
+            return pool_.request[slot].id == victim_id;
           });
-      CIMTPU_CHECK(victim_it != sequences_.end());
-      const Sequence victim = *victim_it;
-      sequences_.erase(victim_it);
-      if (!victim.prefilling()) decoder_leave(victim);
+      CIMTPU_CHECK(victim_it != resident_.end());
+      const std::int32_t slot = *victim_it;
+      resident_.erase(victim_it);
+      if (!slot_prefilling(slot)) decoder_leave(slot);
       if (kv_cache_->policy() == EvictionPolicy::kSwapToHost &&
           kv_cache_->try_swap_out(victim_id)) {
         // As with swap-in: only computed KV pages cross the link.
         const Bytes bytes =
             kv_cache_->bytes_per_token() *
-            static_cast<double>(victim.prefilled + victim.generated);
-        swapped_.push_back(victim);  // progress survives the swap
+            static_cast<double>(pool_.prefilled[slot] + pool_.generated[slot]);
+        // Progress survives the swap: snapshot the slot into the cold deque,
+        // including the host-pool token count the swap-in watermark reads.
+        swapped_.push_back(Sequence{pool_.request[slot], pool_.prefilled[slot],
+                                    pool_.generated[slot],
+                                    pool_.prefix_skipped[slot],
+                                    kv_cache_->swapped_tokens(victim_id)});
         record->swapped_out_ids.push_back(victim_id);
         record->swap_bytes += bytes;
         counters_.preemptions_swap += 1;
@@ -583,11 +654,13 @@ bool ContinuousBatchScheduler::build_decode_step(StepRecord* record) {
       } else {
         kv_cache_->release(victim_id);
         // The policy decides where a recompute victim waits (FIFO: front).
-        admission_->on_preempt_requeue(victim.request, total_steps_);
+        admission_->on_preempt_requeue(pool_.request[slot], total_steps_);
         record->preempted_ids.push_back(victim_id);
         counters_.preemptions_recompute += 1;
         if (trace_) trace_->on_preempt(victim_id);
       }
+      pool_.release(slot);
+      admit_blocked_ = false;  // eviction freed device blocks
     }
   }
 
@@ -598,48 +671,116 @@ bool ContinuousBatchScheduler::build_decode_step(StepRecord* record) {
                                decode_kv_histogram_.end());
 
   // Advance decoders in place: a single compaction pass (two-pointer) drops
-  // finished sequences without the old per-step `keep` allocation.
+  // finished slots — moving 4-byte slot ids, never sequence payloads.
+  //
+  // Bulk-growth fast path: at block size 1, every continuing decoder grows
+  // by exactly one token = one block.  When the device has outright room
+  // for resident_decoders_ more blocks (an upper bound on this step's
+  // grows — finishers release instead), every per-decoder capacity check
+  // passes trivially and no reclaim can fire, so the grow collapses to a
+  // two-field entry update plus one global commit after the loop.  The
+  // per-decoder pending-growth bookkeeping simplifies the same way: a
+  // finishing decoder's pre-advance contribution is already 0 (its growth
+  // check looked one token ahead), and a continuing decoder's net change
+  // is -1 exactly when this advance leaves it one token from finishing.
+  if (manage_growth && kv_cache_->can_bulk_grow(resident_decoders_)) {
+    std::int64_t grows = 0;
+    std::int64_t pending_delta = 0;
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < resident_.size(); ++read) {
+      const std::int32_t slot = resident_[read];
+      if (slot_prefilling(slot)) {
+        resident_[write++] = slot;
+        continue;
+      }
+      const std::int64_t kv_len =
+          pool_.prompt_len[slot] + pool_.generated[slot];
+      record->kv_lens.push_back(kv_len);
+      const std::int64_t generated = ++pool_.generated[slot];
+      if (generated >= pool_.output_len[slot]) {
+        record->finished_ids.push_back(pool_.request[slot].id);
+        kv_cache_->release(pool_.request[slot].id);
+        admission_->on_finish(pool_.request[slot], total_steps_);
+        --resident_decoders_;
+        histogram_remove(pool_.bucket[slot]);
+        pool_.release(slot);
+        admit_blocked_ = false;  // finish freed device blocks
+      } else {
+        kv_cache_->grow_slot_unit_nocheck(pool_.kv_slot[slot]);
+        ++grows;
+        const std::int64_t old_bucket = pool_.bucket[slot];
+        if (kv_len == old_bucket) {
+          const std::int64_t new_bucket = old_bucket + config_.seqlen_bucket;
+          histogram_remove(old_bucket);
+          histogram_add(new_bucket);
+          pool_.bucket[slot] = new_bucket;
+        }
+        if (generated + 1 >= pool_.output_len[slot]) --pending_delta;
+        resident_[write++] = slot;
+      }
+    }
+    resident_.resize(write);
+    kv_cache_->commit_bulk_growth(grows);
+    pending_growth_blocks_ += pending_delta;
+    record->batch = static_cast<std::int64_t>(record->kv_lens.size());
+    if (record->batch == 0) {
+      record->decode_groups.clear();
+      return false;  // pressure evicted every decoder
+    }
+    last_step_prefill_ = false;
+    return true;
+  }
+
+  // Exact path (block sizes > 1, kNone, or a near-full device): per-grow
+  // capacity checks may reclaim cached prefix blocks, which can CHANGE a
+  // memoized head-of-line probe's outcome — drop the memo outright.
+  admit_blocked_ = false;
   std::size_t write = 0;
-  for (std::size_t read = 0; read < sequences_.size(); ++read) {
-    Sequence& sequence = sequences_[read];
-    if (sequence.prefilling()) {
+  for (std::size_t read = 0; read < resident_.size(); ++read) {
+    const std::int32_t slot = resident_[read];
+    if (slot_prefilling(slot)) {
       // Spectator: prefill continues elsewhere.
-      if (write != read) sequences_[write] = sequence;
-      ++write;
+      resident_[write++] = slot;
       continue;
     }
     // KV length this step attends over: prompt plus tokens generated so far.
-    record->kv_lens.push_back(sequence.request.prompt_len +
-                              sequence.generated);
-    const std::int64_t old_bucket = decode_bucket(sequence);
+    const std::int64_t kv_len =
+        pool_.prompt_len[slot] + pool_.generated[slot];
+    record->kv_lens.push_back(kv_len);
+    const std::int64_t old_bucket = pool_.bucket[slot];
     // This decoder's pre-advance pending-growth contribution (0 for a
     // finishing decoder — its growth check looked one token ahead) is
     // consumed by this advance; the kept branch re-derives the
     // contribution for the NEXT step after the grow.
-    pending_growth_blocks_ -= growth_blocks(sequence);
-    ++sequence.generated;
-    if (sequence.generated >= sequence.request.output_len) {
-      record->finished_ids.push_back(sequence.request.id);
-      kv_cache_->release(sequence.request.id);
-      admission_->on_finish(sequence.request, total_steps_);
+    pending_growth_blocks_ -= growth_blocks(slot);
+    const std::int64_t generated = ++pool_.generated[slot];
+    if (generated >= pool_.output_len[slot]) {
+      record->finished_ids.push_back(pool_.request[slot].id);
+      kv_cache_->release(pool_.request[slot].id);
+      admission_->on_finish(pool_.request[slot], total_steps_);
       --resident_decoders_;
       histogram_remove(old_bucket);
+      pool_.release(slot);
     } else {
-      if (kv_cache_->policy() != EvictionPolicy::kNone) {
-        const bool grew = kv_cache_->try_grow(sequence.request.id, 1);
+      if (manage_growth) {
+        const bool grew = kv_cache_->try_grow_slot(pool_.kv_slot[slot], 1);
         CIMTPU_CHECK(grew);  // pre-step eviction guaranteed room
       }
-      const std::int64_t new_bucket = decode_bucket(sequence);
-      if (new_bucket != old_bucket) {
+      // Bucket crossing in one compare: the cached bucket is kv_len rounded
+      // up, so the next token spills past it iff kv_len == bucket — and the
+      // new bucket is then exactly one bucket width further (buckets are
+      // multiples of seqlen_bucket).
+      if (kv_len == old_bucket) {
+        const std::int64_t new_bucket = old_bucket + config_.seqlen_bucket;
         histogram_remove(old_bucket);
         histogram_add(new_bucket);
+        pool_.bucket[slot] = new_bucket;
       }
-      pending_growth_blocks_ += growth_blocks(sequence);
-      if (write != read) sequences_[write] = sequence;
-      ++write;
+      pending_growth_blocks_ += growth_blocks(slot);
+      resident_[write++] = slot;
     }
   }
-  sequences_.resize(write);
+  resident_.resize(write);
   record->batch = static_cast<std::int64_t>(record->kv_lens.size());
   if (record->batch == 0) {
     record->decode_groups.clear();
@@ -657,7 +798,7 @@ bool ContinuousBatchScheduler::next_step(StepRecord* record) {
   swap_in_and_admit(record);
   drain_shed(record);
 
-  if (sequences_.empty()) {
+  if (resident_.empty()) {
     CIMTPU_CHECK(swapped_.empty());
     if (admission_->empty()) {
       // Admission control shed every waiting request (a deadline-driven
@@ -684,7 +825,7 @@ bool ContinuousBatchScheduler::next_step(StepRecord* record) {
   // some resident is not a decoder.
   const bool any_decoding = resident_decoders_ > 0;
   const bool any_prefilling =
-      static_cast<std::int64_t>(sequences_.size()) > resident_decoders_;
+      static_cast<std::int64_t>(resident_.size()) > resident_decoders_;
 
   // Step-kind choice: prefill-priority without chunking (a new prompt runs
   // whole the step it is admitted); strict prefill/decode alternation with

@@ -181,9 +181,11 @@ class ContinuousBatchScheduler {
   /// capped tenants live off their burst allowance).
   void set_time(Seconds now) { now_ = now; }
 
-  /// True when nothing is waiting, resident, or swapped out.
+  /// True when nothing is waiting, resident, or swapped out.  The cheap
+  /// vector checks run first: while anything is resident — the common case
+  /// during serving — the virtual policy call is skipped entirely.
   bool idle() const {
-    return admission_->empty() && sequences_.empty() && swapped_.empty();
+    return resident_.empty() && swapped_.empty() && admission_->empty();
   }
 
   /// Plans and commits the next engine step into `record` (cleared first;
@@ -264,7 +266,7 @@ class ContinuousBatchScheduler {
   bool degraded() const { return degraded_; }
 
   std::size_t waiting_count() const { return admission_->size(); }
-  std::size_t running_count() const { return sequences_.size(); }
+  std::size_t running_count() const { return resident_.size(); }
   std::size_t swapped_count() const { return swapped_.size(); }
   /// Residents past prefill (the decode batch size), tracked
   /// incrementally — the time-series sampler reads this per sample.
@@ -275,13 +277,47 @@ class ContinuousBatchScheduler {
   const AdmissionPolicy& admission_policy() const { return *admission_; }
 
  private:
+  /// Cold snapshot of one sequence — the representation swapped-out
+  /// sequences keep while they live off the device.  Swap transitions are
+  /// rare; nothing per-step ever walks these.
   struct Sequence {
     Request request;
     std::int64_t prefilled = 0;  ///< prompt tokens pushed through the model
     std::int64_t generated = 0;  ///< tokens decoded so far (incl. first)
     std::int64_t prefix_skipped = 0;  ///< leading tokens served from the
                                       ///< prefix cache (prefill starts here)
+    std::int64_t swapped_tokens = 0;  ///< host-pool KV tokens, snapshotted at
+                                      ///< swap-out (constant while on host) —
+                                      ///< saves a per-step manager lookup in
+                                      ///< the swap-in watermark
     bool prefilling() const { return prefilled < request.prompt_len; }
+  };
+
+  /// Struct-of-arrays pool for RESIDENT sequences: the per-sequence fields
+  /// the step builders read every iteration live in parallel arrays indexed
+  /// by a dense, free-listed slot, so the decode hot loop streams
+  /// contiguous integers instead of chasing per-request heap nodes.
+  /// `resident_` holds the live slots in admission order — compaction,
+  /// eviction, and finish move 4-byte slot ids, never whole sequences.  The
+  /// full Request stays in a parallel COLD array the hot loop touches only
+  /// on rare transitions (finish / preempt / fault / trace emission).
+  struct SequencePool {
+    std::vector<std::int64_t> prompt_len;
+    std::vector<std::int64_t> output_len;
+    std::vector<std::int64_t> prefilled;
+    std::vector<std::int64_t> generated;
+    std::vector<std::int64_t> prefix_skipped;
+    std::vector<std::int64_t> bucket;   ///< cached decode cost bucket —
+                                        ///< valid iff the slot is a decoder
+    std::vector<std::int32_t> kv_slot;  ///< KvCacheManager dense handle:
+                                        ///< growth checks index an array
+                                        ///< instead of hashing request ids
+    std::vector<Request> request;       ///< cold: events / requeue / audits
+    std::vector<std::int32_t> free_list;
+
+    /// Returns a free slot, extending every array in lockstep on demand.
+    std::int32_t acquire();
+    void release(std::int32_t slot) { free_list.push_back(slot); }
   };
 
   /// KV tokens reserved at admission: the whole sequence under kNone
@@ -290,37 +326,53 @@ class ContinuousBatchScheduler {
   std::int64_t admission_reserve_tokens(const Request& request) const;
 
   // --- Incremental decoder aggregates ------------------------------------
-  // Invariants over `sequences_` entries with !prefilling():
+  // Invariants over `resident_` slots with !slot_prefilling():
   //   resident_decoders_ = their count,
   //   pending_growth_blocks_ = KV BLOCKS the next decode step must be able
   //                            to allocate: decoders that still grow
   //                            (generated + 1 < output_len) AND whose next
   //                            token crosses a block boundary
-  //                            (KvCacheManager::grow_needs_block).  At
+  //                            (KvCacheManager::grow_needs_block_slot).  At
   //                            block size 1 every growing decoder crosses,
   //                            so this equals the pre-paging growing count.
   //   decode_kv_histogram_ = sorted (bucket_up(prompt + generated), count)
   //                          pairs, counts > 0.  Kept in cost-bucket TOKEN
   //                          units: it feeds the step-cost cache, whose
   //                          shapes are token-bucketed, not block-sized.
-  bool sequence_grows(const Sequence& sequence) const {
-    return sequence.generated + 1 < sequence.request.output_len;
+  //   pool_.bucket[slot] caches bucket_up(prompt + generated) per decoder,
+  //   so the advance loop detects bucket crossings with one compare
+  //   (kv_len == bucket ⇒ the next token crosses) instead of re-rounding.
+  bool slot_prefilling(std::int32_t slot) const {
+    return pool_.prefilled[slot] < pool_.prompt_len[slot];
   }
-  /// Blocks the next decode step must allocate for `sequence` (0 or 1).
-  std::int64_t growth_blocks(const Sequence& sequence) const {
-    return sequence_grows(sequence) &&
-                   kv_cache_->grow_needs_block(sequence.request.id)
+  bool sequence_grows(std::int32_t slot) const {
+    return pool_.generated[slot] + 1 < pool_.output_len[slot];
+  }
+  /// Blocks the next decode step must allocate for `slot` (0 or 1).  At
+  /// block size 1 — the golden-pinned default — EVERY grow crosses a block
+  /// boundary (tokens % 1 == 0 always), so the KV-manager probe is skipped
+  /// entirely on that path.
+  std::int64_t growth_blocks(std::int32_t slot) const {
+    return sequence_grows(slot) &&
+                   (config_.kv_block_tokens == 1 ||
+                    kv_cache_->grow_needs_block_slot(pool_.kv_slot[slot]))
                ? 1
                : 0;
   }
-  std::int64_t decode_bucket(const Sequence& sequence) const {
-    return round_up(sequence.request.prompt_len + sequence.generated,
+  std::int64_t decode_bucket(std::int32_t slot) const {
+    return round_up(pool_.prompt_len[slot] + pool_.generated[slot],
                     config_.seqlen_bucket);
   }
   void histogram_add(std::int64_t bucket);
   void histogram_remove(std::int64_t bucket);
-  void decoder_enter(const Sequence& sequence);
-  void decoder_leave(const Sequence& sequence);
+  void decoder_enter(std::int32_t slot);
+  void decoder_leave(std::int32_t slot);
+  /// Fills a freshly acquired pool slot from a request plus progress state
+  /// and appends it to `resident_`.  The KV entry must already be resident
+  /// (kv_slot is resolved here, once per admission).
+  std::int32_t resident_append(const Request& request, std::int64_t prefilled,
+                               std::int64_t generated,
+                               std::int64_t prefix_skipped);
 
   /// Capacity snapshot handed to AdmissionPolicy::select.
   AdmissionContext admission_context() const;
@@ -350,11 +402,22 @@ class ContinuousBatchScheduler {
   TraceSink* trace_ = nullptr;      ///< optional observer (never scheduling)
   Seconds now_ = 0;                 ///< simulated clock (see set_time)
   std::deque<Sequence> swapped_;    ///< swap-out order (FIFO re-admission)
-  std::vector<Sequence> sequences_; ///< resident, admission order
+  SequencePool pool_;               ///< SoA storage for resident sequences
+  std::vector<std::int32_t> resident_;  ///< live pool slots, admission order
   std::int64_t resident_decoders_ = 0;
   std::int64_t pending_growth_blocks_ = 0;
   std::vector<std::pair<std::int64_t, std::int64_t>> decode_kv_histogram_;
   bool last_step_prefill_ = false;  ///< interleave state under chunking
+  bool may_shed_ = false;           ///< cached AdmissionPolicy::may_shed()
+  bool admit_memo_ok_ = false;  ///< cached AdmissionPolicy::select_is_pure()
+  /// Head-of-line admission probe memo (pure-select policies only): set
+  /// when try_admit rejected the policy's head, cleared by ANY structural
+  /// change that could alter the probe's outcome — enqueue/requeue, a
+  /// release or eviction freeing blocks, swap traffic, prefill progress
+  /// (prefix-cache state), fault surgery, or a degradation toggle.  Pure
+  /// decode growth only consumes capacity, so while the flag holds the
+  /// probe would fail identically and is skipped.
+  bool admit_blocked_ = false;
   bool degraded_ = false;           ///< graceful-degradation mode
   int degraded_max_batch_ = 0;      ///< batch cap while degraded (0 = none)
   std::int64_t total_steps_ = 0;

@@ -1,5 +1,7 @@
 #include "serving/serving_sim.h"
 
+#include "serving/arena.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -190,8 +192,10 @@ struct ServingEngine::Impl {
   std::int64_t fault_sheds = 0;
   int degraded_max_batch;
 
-  StepRecord step;  // scratch reused across all steps (zero allocations
-                    // once its vectors reach steady-state capacity)
+  StepArena arena;         // per-run step scratch (see serving/arena.h)
+  StepRecord& step;        // = arena.record(); reused across all steps —
+                           // warm()ed to steady-state capacity, so the
+                           // serving loop allocates nothing per step
 
   Impl(const ServingScenario& scenario_in, SharedStepCostCache* shared_costs,
        ServingTrace* trace_out)
@@ -225,7 +229,10 @@ struct ServingEngine::Impl {
         degraded_max_batch(std::max(
             1,
             static_cast<int>(static_cast<double>(scenario.scheduler.max_batch) *
-                             scenario.fault.degraded_max_batch_fraction))) {
+                             scenario.fault.degraded_max_batch_fraction))),
+        step(arena.record()) {
+    arena.warm(scenario.scheduler.max_batch,
+               scenario.scheduler.max_prefill_batch);
     *trace = ServingTrace(scenario.trace);
     if (tracing || sampling) scheduler.set_trace_sink(trace);
     metrics.chips = scenario.chips * tp_ways;

@@ -55,10 +55,19 @@ FixedBucketHistogram::FixedBucketHistogram(std::vector<double> upper_bounds)
 
 void FixedBucketHistogram::observe(double value) {
   // First bucket covers (-inf, bounds_[0]]; the final (overflow) bucket
-  // covers (bounds_.back(), +inf).
-  const std::size_t bucket = static_cast<std::size_t>(
-      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
-      bounds_.begin());
+  // covers (bounds_.back(), +inf).  Successive observations cluster
+  // (steady decode repeats the same step latency and batch), so try the
+  // previous bucket with two compares before binary-searching.
+  const std::size_t n = bounds_.size();
+  std::size_t bucket = last_bucket_;
+  const bool above_lower = bucket == 0 || value > bounds_[bucket - 1];
+  const bool within_upper = bucket >= n || value <= bounds_[bucket];
+  if (!(above_lower && within_upper)) {
+    bucket = static_cast<std::size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+        bounds_.begin());
+    last_bucket_ = bucket;
+  }
   ++counts_[bucket];
   if (count_ == 0) {
     min_ = value;
@@ -69,6 +78,19 @@ void FixedBucketHistogram::observe(double value) {
   }
   sum_ += value;
   ++count_;
+}
+
+FixedBucketHistogram FixedBucketHistogram::from_parts(
+    std::vector<double> bounds, std::vector<std::int64_t> counts,
+    std::int64_t count, double sum, double min, double max) {
+  FixedBucketHistogram histogram(std::move(bounds));
+  CIMTPU_CHECK(counts.size() == histogram.bounds_.size() + 1);
+  histogram.counts_ = std::move(counts);
+  histogram.count_ = count;
+  histogram.sum_ = sum;
+  histogram.min_ = min;
+  histogram.max_ = max;
+  return histogram;
 }
 
 double FixedBucketHistogram::quantile(double p) const {

@@ -1104,10 +1104,15 @@ TEST(PolicyEndToEndTest, ChunkingBoundsTpotUnderLongPrompts) {
 //   3. Explain the drift (which change moved which metric) in your PR.
 //   4. If the drift also moves bench_serving output, refresh the committed
 //      BENCH_serving.json baseline at the repo root (the CI perf-smoke job
-//      gates steps_per_second against it).  The baseline is schema v9:
+//      gates steps_per_second against it — the whole-grid "sweep" number
+//      AND the cluster rows' mean).  The baseline is schema v10:
 //      "baseline" / "policies" / "fairness" / "prefix_cache" /
-//      "observability" / "slo_frontier" / "resilience" / "cluster" blocks
-//      plus the "sweep" wall-clock block (baseline + policy grids only).
+//      "observability" / "slo_frontier" / "resilience" / "cluster" /
+//      "speed" blocks plus the "sweep" wall-clock block (baseline +
+//      policy grids only).  The "speed" rows (scheduler hot-path
+//      microbenchmark) pin deterministic step/token counts and summed
+//      simulated seconds; only their wall_seconds / steps_per_second
+//      fields are machine-dependent.
 //      The slo_frontier rows must keep EDF's slo_attainment strictly above
 //      FIFO's at the highest swept arrival rate (serving_slo_test pins the
 //      ordering), the resilience rows (fault storm at kFaultStormSeed,
